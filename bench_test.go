@@ -1,0 +1,298 @@
+package repro
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// (§10), plus mat-vec microbenchmarks backing the complexity claims of
+// paper Tables 2 and 3. Each experiment benchmark runs its Quick
+// configuration; `cmd/ektelo-bench -full` regenerates the paper-scale
+// numbers.
+
+import (
+	"testing"
+
+	"repro/internal/core/partition"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/noise"
+	"repro/internal/solver"
+	"repro/internal/vec"
+)
+
+// BenchmarkTable4MWEMVariants regenerates Table 4 (MWEM recombinations).
+func BenchmarkTable4MWEMVariants(b *testing.B) {
+	cfg := experiments.QuickTable4()
+	cfg.Datasets = cfg.Datasets[:2]
+	cfg.Trials = 1
+	for i := 0; i < b.N; i++ {
+		experiments.Table4(cfg)
+	}
+}
+
+// BenchmarkTable5Census regenerates Table 5 (Census case study).
+func BenchmarkTable5Census(b *testing.B) {
+	cfg := experiments.QuickTable5()
+	for i := 0; i < b.N; i++ {
+		experiments.Table5(cfg)
+	}
+}
+
+// BenchmarkTable6Reduction regenerates Table 6 (workload-based domain
+// reduction).
+func BenchmarkTable6Reduction(b *testing.B) {
+	cfg := experiments.QuickTable6()
+	cfg.Trials = 1
+	for i := 0; i < b.N; i++ {
+		experiments.Table6(cfg)
+	}
+}
+
+// BenchmarkFig3NaiveBayes regenerates Figure 3 (private NB classifier).
+func BenchmarkFig3NaiveBayes(b *testing.B) {
+	cfg := experiments.QuickFig3()
+	cfg.Epsilons = []float64{1e-1}
+	for i := 0; i < b.N; i++ {
+		experiments.Fig3(cfg)
+	}
+}
+
+// BenchmarkFig4aPlans regenerates Figure 4a (plan scalability by matrix
+// representation, low-dimensional plans).
+func BenchmarkFig4aPlans(b *testing.B) {
+	cfg := experiments.QuickFig4a()
+	cfg.Domains = cfg.Domains[:1]
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4a(cfg)
+	}
+}
+
+// BenchmarkFig4bMultiD regenerates Figure 4b (multi-dimensional plans).
+func BenchmarkFig4bMultiD(b *testing.B) {
+	cfg := experiments.QuickFig4b()
+	cfg.IncomeSizes = cfg.IncomeSizes[:1]
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4b(cfg)
+	}
+}
+
+// BenchmarkFig5Inference regenerates Figure 5 (inference scalability).
+func BenchmarkFig5Inference(b *testing.B) {
+	cfg := experiments.QuickFig5()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(cfg)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Microbenchmarks for the implicit-matrix complexity claims (paper
+// Tables 2 and 3): mat-vec cost of core matrices against their explicit
+// representations.
+// ---------------------------------------------------------------------
+
+const benchN = 1 << 14
+
+func benchMatVec(b *testing.B, m mat.Matrix) {
+	b.Helper()
+	_, c := m.Dims()
+	r, _ := m.Dims()
+	x := make([]float64, c)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	dst := make([]float64, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatVec(dst, x)
+	}
+}
+
+func BenchmarkMatVecPrefixImplicit(b *testing.B) { benchMatVec(b, mat.Prefix(benchN)) }
+
+func BenchmarkMatVecPrefixDense(b *testing.B) {
+	n := 1 << 11 // dense n² memory: keep modest
+	benchMatVec(b, mat.Materialize(mat.Prefix(n)))
+}
+
+func BenchmarkMatVecWaveletImplicit(b *testing.B) { benchMatVec(b, mat.Wavelet(benchN)) }
+
+func BenchmarkMatVecIdentityImplicit(b *testing.B) { benchMatVec(b, mat.Identity(benchN)) }
+
+func BenchmarkMatVecH2Implicit(b *testing.B) {
+	benchMatVec(b, mat.VStack(mat.Identity(benchN), mat.RangeQueries(benchN, mat.HierarchicalRanges(benchN, 2))))
+}
+
+func BenchmarkMatVecH2Sparse(b *testing.B) {
+	h2 := mat.VStack(mat.Identity(benchN), mat.RangeQueries(benchN, mat.HierarchicalRanges(benchN, 2)))
+	s, ok := mat.ToSparse(h2, 0)
+	if !ok {
+		b.Fatal("sparse conversion failed")
+	}
+	benchMatVec(b, s)
+}
+
+func BenchmarkMatVecKronMarginals(b *testing.B) {
+	// All-2-way-marginal style Kronecker over a 64x64x64 domain.
+	m := mat.Kron(mat.Identity(64), mat.Identity(64), mat.Total(64))
+	benchMatVec(b, m)
+}
+
+// BenchmarkSensitivityImplicit measures the automatic sensitivity
+// computation that VectorLaplace performs on every call.
+func BenchmarkSensitivityImplicit(b *testing.B) {
+	m := mat.VStack(mat.Identity(benchN), mat.RangeQueries(benchN, mat.HierarchicalRanges(benchN, 2)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.L1Sensitivity(m)
+	}
+}
+
+// BenchmarkCGLSImplicitH2 measures iterative least squares over
+// hierarchical measurements at benchN cells (the Fig. 5 hot path).
+func BenchmarkCGLSImplicitH2(b *testing.B) {
+	m := solver.TreeMatrix(benchN, 2)
+	r, _ := m.Dims()
+	rng := noise.NewRand(3)
+	y := make([]float64, r)
+	noise.LaplaceVec(rng, y, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.CGLS(m, y, solver.Options{MaxIter: 50, Tol: 1e-8})
+	}
+}
+
+// BenchmarkTreeLS measures the specialized Hay et al. inference.
+func BenchmarkTreeLS(b *testing.B) {
+	m := solver.TreeMatrix(benchN, 2)
+	r, _ := m.Dims()
+	rng := noise.NewRand(4)
+	y := make([]float64, r)
+	noise.LaplaceVec(rng, y, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.TreeLS(benchN, 2, y)
+	}
+}
+
+// BenchmarkVectorLaplaceEndToEnd measures one kernel round trip:
+// budget request, sensitivity, query evaluation and noise.
+func BenchmarkVectorLaplaceEndToEnd(b *testing.B) {
+	x := dataset.Synthetic1D("uniform", benchN, 1e5, 9)
+	m := mat.Identity(benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, h := kernel.InitVector(x, 1e12, noise.NewRand(uint64(i)))
+		if _, _, err := h.VectorLaplace(m, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVectorize measures T-Vectorize over the census table.
+func BenchmarkVectorize(b *testing.B) {
+	tbl := dataset.Census(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := tbl.Vectorize()
+		if vec.Sum(x) != float64(tbl.NumRows()) {
+			b.Fatal("mass lost")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationInference compares the three inference operators on
+// identical hierarchical measurements — the operator-swap at the heart
+// of the MWEM case study (§9.1).
+func BenchmarkAblationInference(b *testing.B) {
+	n := 1024
+	m := solver.TreeMatrix(n, 2)
+	r, _ := m.Dims()
+	rng := noise.NewRand(5)
+	y := make([]float64, r)
+	noise.LaplaceVec(rng, y, 1)
+	xInit := make([]float64, n)
+	vec.Fill(xInit, 100)
+	b.Run("LS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solver.LeastSquares(m, y, nil, solver.Options{MaxIter: 80, Tol: 1e-8})
+		}
+	})
+	b.Run("NNLS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solver.NNLS(m, y, nil, solver.Options{MaxIter: 80, Tol: 1e-8})
+		}
+	})
+	b.Run("MW-10rows", func(b *testing.B) {
+		// MW iterates per measurement row; bench a 10-row slice to keep
+		// the comparison per-update.
+		small := solver.TreeMatrix(64, 2)
+		sr, _ := small.Dims()
+		sy := make([]float64, sr)
+		noise.LaplaceVec(rng, sy, 1)
+		sInit := make([]float64, 64)
+		vec.Fill(sInit, 10)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			solver.MultWeights(small, sy, sInit, 1)
+		}
+	})
+}
+
+// BenchmarkAblationSolvers compares the two Krylov least-squares
+// engines (the paper names LSMR; CGLS was the development stand-in).
+func BenchmarkAblationSolvers(b *testing.B) {
+	n := 4096
+	m := solver.TreeMatrix(n, 2)
+	r, _ := m.Dims()
+	rng := noise.NewRand(6)
+	y := make([]float64, r)
+	noise.LaplaceVec(rng, y, 1)
+	b.Run("LSMR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solver.LSMR(m, y, solver.Options{MaxIter: 80, Tol: 1e-8})
+		}
+	})
+	b.Run("CGLS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solver.CGLS(m, y, solver.Options{MaxIter: 80, Tol: 1e-8})
+		}
+	})
+	b.Run("Direct-small", func(b *testing.B) {
+		small := solver.TreeMatrix(256, 2)
+		sr, _ := small.Dims()
+		sy := make([]float64, sr)
+		noise.LaplaceVec(rng, sy, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			solver.DirectLS(mat.Materialize(small), sy)
+		}
+	})
+}
+
+// BenchmarkAblationWorkloadReduction measures the cost of the §8
+// reduction itself (Algorithm 4) against the plan time it saves.
+func BenchmarkAblationWorkloadReduction(b *testing.B) {
+	n := 8192
+	w := func() mat.Matrix {
+		rng := noise.NewRand(7)
+		ranges := make([]mat.Range1D, 500)
+		for i := range ranges {
+			width := 1 + rng.IntN(16)
+			lo := rng.IntN(n - width)
+			ranges[i] = mat.Range1D{Lo: lo, Hi: lo + width - 1}
+		}
+		return mat.RangeQueries(n, ranges)
+	}()
+	rng := noise.NewRand(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := partition.WorkloadBased(w, rng, 2)
+		if p.K >= n {
+			b.Fatal("no reduction")
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is ektelo-go: a from-scratch Go reproduction of
+// "EKTELO: A Framework for Defining Differentially-Private
+// Computations" (Zhang et al., SIGMOD 2018).
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are the examples/ programs and
+// cmd/ektelo-bench, which regenerates every table and figure of the
+// paper's evaluation. The root-level bench_test.go exposes one
+// testing.B benchmark per experiment.
+package repro

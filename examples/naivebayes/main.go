@@ -1,0 +1,53 @@
+// NaiveBayes: the paper's §9.3 case study — training a differentially
+// private Naive Bayes classifier on credit-default-like data and
+// comparing the AUC of the EKTELO plans against the non-private
+// classifier and the majority baseline across privacy budgets (the
+// paper's Figure 3).
+//
+// Run: go run ./examples/naivebayes
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/nbayes"
+)
+
+func main() {
+	tbl := dataset.CreditDefault(9)
+	fmt.Printf("credit data: %d rows, predictor domain %d\n\n", tbl.NumRows(), 7*4*11*56)
+
+	classifiers := []struct {
+		name string
+		plan nbayes.Plan
+	}{
+		{"Identity", nbayes.PlanIdentity},
+		{"Workload", nbayes.PlanWorkload},
+		{"WorkloadLS", nbayes.PlanWorkloadLS},
+		{"SelectLS", nbayes.PlanSelectLS},
+	}
+
+	clean := median(nbayes.Evaluate(tbl, nil, 0, 5, 1, 1))
+	fmt.Printf("%-12s %8s %8s %8s\n", "classifier", "eps=1e-3", "eps=1e-2", "eps=1e-1")
+	fmt.Printf("%-12s %8.3f %8.3f %8.3f   (reference)\n", "Unperturbed", clean, clean, clean)
+	fmt.Printf("%-12s %8.3f %8.3f %8.3f   (reference)\n", "Majority", 0.5, 0.5, 0.5)
+	for _, c := range classifiers {
+		fmt.Printf("%-12s", c.name)
+		for _, eps := range []float64{1e-3, 1e-2, 1e-1} {
+			auc := median(nbayes.Evaluate(tbl, c.plan, eps, 5, 1, uint64(eps*1e6)+3))
+			fmt.Printf(" %8.3f", auc)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(AUC medians over 5-fold cross validation; the private")
+	fmt.Println("classifiers approach the unperturbed AUC as ε grows and")
+	fmt.Println("collapse towards the 0.5 majority baseline as ε shrinks.)")
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

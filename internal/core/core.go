@@ -1,0 +1,22 @@
+// Package core groups EKTELO's operator framework — the paper's primary
+// contribution — into one sub-tree:
+//
+//   - core/selection: query-selection operators (paper §5.3) — the
+//     strategies that decide WHAT to measure (Identity, Privelet, H2,
+//     HB, Greedy-H, QuadTree, grids, Stripe-Kron, HDMM-lite,
+//     WorstApprox augmentation, PrivBayes structure selection).
+//   - core/partition: partition-selection operators (§5.4, §8) — AHP
+//     and DAWA data-adaptive groupings, static stripe/grid/marginal
+//     partitions, and the workload-based lossless reduction of §8.
+//   - core/inference: the inference operator class (§5.5) — a
+//     measurement log plus least-squares, non-negative least-squares
+//     and multiplicative-weights estimation over implicit matrices.
+//   - core/plans: the twenty plan signatures of Fig. 2 and the §9 case
+//     study plans, composed from the operators above against the
+//     protected kernel (internal/kernel).
+//
+// The division mirrors the paper's operator classes: transformation and
+// query operators live in internal/kernel because they touch protected
+// state; everything in this tree is client-space code that sees only
+// noisy outputs and public metadata.
+package core

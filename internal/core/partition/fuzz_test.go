@@ -1,0 +1,133 @@
+package partition
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// FuzzDawaPartitionInvariants checks the structural invariants of the
+// DAWA bucketing on arbitrary noisy inputs: groups are contiguous,
+// ascending from zero, cover every cell, and respect the width cap.
+func FuzzDawaPartitionInvariants(f *testing.F) {
+	f.Add(uint64(1), 32, uint8(8))
+	f.Add(uint64(7), 100, uint8(0))
+	f.Add(uint64(42), 1, uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, n int, cap8 uint8) {
+		if n < 1 || n > 512 {
+			return
+		}
+		maxBucket := int(cap8)
+		rng := rand.New(rand.NewPCG(seed, 99))
+		noisy := make([]float64, n)
+		for i := range noisy {
+			noisy[i] = rng.Float64()*200 - 50
+		}
+		p := DawaL1Partition(noisy, 0.5, maxBucket)
+		if len(p.Groups) != n {
+			t.Fatalf("groups length %d != %d", len(p.Groups), n)
+		}
+		if p.Groups[0] != 0 {
+			t.Fatalf("first group = %d", p.Groups[0])
+		}
+		for i := 1; i < n; i++ {
+			d := p.Groups[i] - p.Groups[i-1]
+			if d != 0 && d != 1 {
+				t.Fatalf("non-contiguous groups at %d: %d -> %d", i, p.Groups[i-1], p.Groups[i])
+			}
+		}
+		if p.Groups[n-1] != p.K-1 {
+			t.Fatalf("last group %d != K-1 = %d", p.Groups[n-1], p.K-1)
+		}
+		if maxBucket > 0 {
+			for _, s := range p.GroupSizes() {
+				if s > maxBucket {
+					t.Fatalf("bucket size %d exceeds cap %d", s, maxBucket)
+				}
+			}
+		}
+	})
+}
+
+// FuzzAHPClusterInvariants checks that AHP clustering always produces a
+// valid partition and groups equal noisy values together.
+func FuzzAHPClusterInvariants(f *testing.F) {
+	f.Add(uint64(3), 16)
+	f.Add(uint64(11), 200)
+	f.Fuzz(func(t *testing.T, seed uint64, n int) {
+		if n < 1 || n > 512 {
+			return
+		}
+		rng := rand.New(rand.NewPCG(seed, 101))
+		noisy := make([]float64, n)
+		for i := range noisy {
+			noisy[i] = math.Floor(rng.Float64() * 5) // few distinct levels
+		}
+		p := AHPCluster(noisy, 0.35, 1.0)
+		if p.K < 1 || p.K > n {
+			t.Fatalf("K = %d outside [1,%d]", p.K, n)
+		}
+		for i, g := range p.Groups {
+			if g < 0 || g >= p.K {
+				t.Fatalf("cell %d group %d outside [0,%d)", i, g, p.K)
+			}
+		}
+		// Identical noisy values must land in one cluster (they sort
+		// adjacently and have zero spread).
+		byVal := map[float64]int{}
+		for i, v := range noisy {
+			if g, ok := byVal[v]; ok {
+				if p.Groups[i] != g {
+					t.Fatalf("equal values split across clusters")
+				}
+			} else {
+				byVal[v] = p.Groups[i]
+			}
+		}
+	})
+}
+
+// FuzzWorkloadBasedLossless fuzzes the §8 reduction's core guarantee.
+func FuzzWorkloadBasedLossless(f *testing.F) {
+	f.Add(uint64(5), 16, 3)
+	f.Fuzz(func(t *testing.T, seed uint64, n, q int) {
+		if n < 2 || n > 128 || q < 1 || q > 8 {
+			return
+		}
+		rng := rand.New(rand.NewPCG(seed, 103))
+		w := randomRangeMatrix(rng, n, q)
+		p := WorkloadBased(w, rng, 1)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.IntN(100))
+		}
+		lhs := mulVec(w, x)
+		reduced := mulVec(p.Matrix(), x)
+		rhs := mulVec(p.ReduceWorkload(w), reduced)
+		for i := range lhs {
+			if math.Abs(lhs[i]-rhs[i]) > 1e-6*(1+math.Abs(lhs[i])) {
+				t.Fatalf("lossless violated at query %d: %v vs %v", i, lhs[i], rhs[i])
+			}
+		}
+	})
+}
+
+// Helpers shared by the fuzz targets.
+
+func randomRangeMatrix(rng *rand.Rand, n, q int) mat.Matrix {
+	ranges := make([]mat.Range1D, q)
+	for i := range ranges {
+		a, b := rng.IntN(n), rng.IntN(n)
+		if a > b {
+			a, b = b, a
+		}
+		ranges[i] = mat.Range1D{Lo: a, Hi: b}
+	}
+	return mat.RangeQueries(n, ranges)
+}
+
+func mulVec(m mat.Matrix, x []float64) []float64 {
+	return mat.Mul(m, x)
+}

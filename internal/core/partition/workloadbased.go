@@ -1,0 +1,50 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/mat"
+)
+
+// WorkloadBased computes the lossless workload-based partition of paper
+// §8 (Algorithm 4): cells of the data vector that every workload query
+// treats identically are merged. The grouping is found without
+// materializing W, by fingerprinting columns with h = Wᵀv for random
+// v ~ U(0,1)^m and grouping equal fingerprints.
+//
+// rounds repeats the fingerprint with independent v to drive the
+// (already ≈1e-16) collision probability lower; cells group together only
+// if they agree in every round.
+func WorkloadBased(w mat.Matrix, rng *rand.Rand, rounds int) Partition {
+	if rounds < 1 {
+		rounds = 1
+	}
+	rows, cols := w.Dims()
+	keys := make([]string, cols)
+	v := make([]float64, rows)
+	h := make([]float64, cols)
+	for r := 0; r < rounds; r++ {
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		w.TMatVec(h, v)
+		for j, val := range h {
+			// Round to 12 significant digits so that mathematically equal
+			// columns whose mat-vec accumulates in different orders still
+			// collide, while distinct columns almost surely do not.
+			keys[j] += fmt.Sprintf("%.12e;", val)
+		}
+	}
+	groups := make([]int, cols)
+	seen := map[string]int{}
+	for j, key := range keys {
+		id, ok := seen[key]
+		if !ok {
+			id = len(seen)
+			seen[key] = id
+		}
+		groups[j] = id
+	}
+	return Partition{Groups: groups, K: len(seen)}
+}

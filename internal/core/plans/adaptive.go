@@ -1,0 +1,117 @@
+package plans
+
+import (
+	"repro/internal/core/inference"
+	"repro/internal/core/partition"
+	"repro/internal/core/selection"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/solver"
+)
+
+// This file holds the data-adaptive partition plans: AHP (plan #8) and
+// DAWA (plan #9), whose signatures are PA/PD → TR → SI/SG → LM → LS.
+
+// AHPConfig parameterizes plan #8.
+type AHPConfig struct {
+	// Rho is the budget fraction spent on the partition-selection stage;
+	// 0 means 0.5 (the paper's CDF example splits ε/2 : ε/2).
+	Rho float64
+	// Eta is the AHP threshold multiplier; 0 means 0.35.
+	Eta float64
+}
+
+// AHP is plan #8 (Zhang et al.): spend ρ·ε on a noisy copy of the data
+// vector, cluster it with AHPpartition, reduce the domain by the
+// partition, measure the reduced cells with the identity strategy, and
+// infer back to the full domain by least squares.
+func AHP(h *kernel.Handle, eps float64, cfg AHPConfig) ([]float64, error) {
+	if cfg.Rho <= 0 || cfg.Rho >= 1 {
+		cfg.Rho = 0.5
+	}
+	if cfg.Eta <= 0 {
+		cfg.Eta = 0.35
+	}
+	n := h.Domain()
+	eps1, eps2 := cfg.Rho*eps, (1-cfg.Rho)*eps
+
+	noisy, _, err := h.VectorLaplace(selection.Identity(n), eps1)
+	if err != nil {
+		return nil, err
+	}
+	p := partition.AHPCluster(noisy, cfg.Eta, eps1)
+	reduced := h.ReduceByPartition(p.Matrix())
+	y, scale, err := reduced.VectorLaplace(selection.Identity(p.K), eps2)
+	if err != nil {
+		return nil, err
+	}
+	ms := inference.NewMeasurements(n)
+	ms.Add(reduced.MapTo(h, selection.Identity(p.K)), y, scale)
+	return ms.LeastSquares(solver.Options{}), nil
+}
+
+// DAWAConfig parameterizes plan #9.
+type DAWAConfig struct {
+	// Rho is the stage-1 budget fraction; 0 means 0.25 (the paper's §9.2
+	// setting).
+	Rho float64
+	// MaxBucket caps the partition DP's bucket width; 0 means 1024.
+	MaxBucket int
+	// Workload provides the range queries GreedyH adapts to; nil means
+	// the full identity workload (unit ranges).
+	Workload []mat.Range1D
+}
+
+// DAWA is plan #9 (Li et al.): a noisy stage-1 copy selects an L1-optimal
+// bucketing (PD), the domain is reduced by it (TR), GreedyH selects a
+// weighted hierarchy over the reduced domain (SG), which is measured with
+// Laplace (LM) and inverted by least squares (LS).
+func DAWA(h *kernel.Handle, eps float64, cfg DAWAConfig) ([]float64, error) {
+	if cfg.Rho <= 0 || cfg.Rho >= 1 {
+		cfg.Rho = 0.25
+	}
+	if cfg.MaxBucket <= 0 {
+		cfg.MaxBucket = 1024
+	}
+	n := h.Domain()
+	eps1, eps2 := cfg.Rho*eps, (1-cfg.Rho)*eps
+
+	noisy, _, err := h.VectorLaplace(selection.Identity(n), eps1)
+	if err != nil {
+		return nil, err
+	}
+	p := partition.DawaL1Partition(noisy, eps2, cfg.MaxBucket)
+	reduced := h.ReduceByPartition(p.Matrix())
+
+	wl := cfg.Workload
+	if wl == nil {
+		wl = identityRanges(n)
+	}
+	strategy := selection.GreedyH(p.K, mapRangesToPartition(wl, p))
+	y, scale, err := reduced.VectorLaplace(strategy, eps2)
+	if err != nil {
+		return nil, err
+	}
+	ms := inference.NewMeasurements(n)
+	ms.Add(reduced.MapTo(h, strategy), y, scale)
+	return ms.LeastSquares(solver.Options{}), nil
+}
+
+func identityRanges(n int) []mat.Range1D {
+	out := make([]mat.Range1D, n)
+	for i := range out {
+		out[i] = mat.Range1D{Lo: i, Hi: i}
+	}
+	return out
+}
+
+// mapRangesToPartition re-expresses 1-D ranges over the reduced domain of
+// a contiguous partition: cell range [lo,hi] becomes the bucket range
+// [group(lo), group(hi)].
+func mapRangesToPartition(ranges []mat.Range1D, p partition.Partition) []mat.Range1D {
+	out := make([]mat.Range1D, len(ranges))
+	for i, r := range ranges {
+		out[i] = mat.Range1D{Lo: p.Groups[r.Lo], Hi: p.Groups[r.Hi]}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package plans
+
+import (
+	"repro/internal/core/inference"
+	"repro/internal/core/partition"
+	"repro/internal/core/selection"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/solver"
+)
+
+// CDFConfig parameterizes the paper's §2.1 running example.
+type CDFConfig struct {
+	// Rho is the budget share for AHP partition selection; 0 means 0.5.
+	Rho float64
+	// Eta is the AHP threshold multiplier; 0 means 0.35.
+	Eta float64
+	// Solver controls the NNLS inference.
+	Solver solver.Options
+}
+
+// CDFEstimator is the paper's Algorithm 1 as a library plan: given a
+// vectorized 1-D handle (e.g. the salary histogram after Where/Select/
+// Vectorize), it runs AHPpartition (ρ·ε) → V-ReduceByPartition →
+// Identity → Vector Laplace ((1−ρ)·ε) → NNLS → Prefix, returning the
+// private empirical-CDF estimate over the handle's domain.
+func CDFEstimator(h *kernel.Handle, eps float64, cfg CDFConfig) ([]float64, error) {
+	if cfg.Rho <= 0 || cfg.Rho >= 1 {
+		cfg.Rho = 0.5
+	}
+	if cfg.Eta <= 0 {
+		cfg.Eta = 0.35
+	}
+	if cfg.Solver.MaxIter == 0 {
+		cfg.Solver.MaxIter = 600
+	}
+	n := h.Domain()
+	eps1, eps2 := cfg.Rho*eps, (1-cfg.Rho)*eps
+
+	noisy, _, err := h.VectorLaplace(selection.Identity(n), eps1)
+	if err != nil {
+		return nil, err
+	}
+	p := partition.AHPCluster(noisy, cfg.Eta, eps1)
+	reduced := h.ReduceByPartition(p.Matrix())
+	strategy := selection.Identity(p.K)
+	y, scale, err := reduced.VectorLaplace(strategy, eps2)
+	if err != nil {
+		return nil, err
+	}
+	ms := inference.NewMeasurements(n)
+	ms.Add(reduced.MapTo(h, strategy), y, scale)
+	xhat := ms.NNLS(cfg.Solver)
+	return mat.Mul(mat.Prefix(n), xhat), nil
+}

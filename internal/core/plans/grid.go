@@ -1,0 +1,96 @@
+package plans
+
+import (
+	"repro/internal/core/inference"
+	"repro/internal/core/partition"
+	"repro/internal/core/selection"
+	"repro/internal/kernel"
+	"repro/internal/solver"
+)
+
+// AdaptiveGridConfig parameterizes plan #12.
+type AdaptiveGridConfig struct {
+	// Alpha is the budget fraction for the level-1 grid; 0 means 0.5.
+	Alpha float64
+	// NEst is the (public or pre-estimated) record count sizing level 1.
+	NEst float64
+}
+
+// AdaptiveGrid is plan #12 (Qardaji et al.), signature
+// SU LM LS PU TP[SA LM]: a coarse grid of block counts is measured
+// first; the domain is then split by the level-1 cells and each cell
+// receives its own finer grid, sized by the cell's noisy count. Because
+// the level-2 subplans act on disjoint partitions they parallel-compose:
+// total cost is α·ε + (1−α)·ε regardless of the number of cells.
+func AdaptiveGrid(hd *kernel.Handle, height, width int, eps float64, cfg AdaptiveGridConfig) ([]float64, error) {
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		cfg.Alpha = 0.5
+	}
+	if height*width != hd.Domain() {
+		panic("plans: AdaptiveGrid shape does not match domain")
+	}
+	eps1, eps2 := cfg.Alpha*eps, (1-cfg.Alpha)*eps
+	side := height
+	if width < side {
+		side = width
+	}
+
+	// Level 1: block counts of a coarse grid. Measuring the partition
+	// matrix itself keeps level-1 answers and level-2 blocks aligned.
+	g1 := selection.UniformGridCells(cfg.NEst, eps1, side)
+	cellH := (height + g1 - 1) / g1
+	cellW := (width + g1 - 1) / g1
+	p := partition.Grid(height, width, cellH, cellW)
+	m1 := p.Matrix()
+	y1, scale1, err := hd.VectorLaplace(m1, eps1)
+	if err != nil {
+		return nil, err
+	}
+	ms := inference.NewMeasurements(hd.Domain())
+	ms.Add(m1, y1, scale1)
+
+	// Level 2: split by the level-1 cells, refine each block with its own
+	// grid sized by the block's noisy count.
+	subs := hd.SplitByPartition(p.Groups, p.K)
+	blocksPerRow := (width + cellW - 1) / cellW
+	for g, sub := range subs {
+		if sub.Domain() == 0 {
+			continue
+		}
+		bh, bw := blockDims(height, width, cellH, cellW, g, blocksPerRow)
+		if bh*bw != sub.Domain() {
+			panic("plans: AdaptiveGrid block shape mismatch")
+		}
+		g2 := selection.AdaptiveGridCells(y1[g], eps2, minInt(bh, bw))
+		m2 := selection.UniformGrid(bh, bw, g2)
+		y2, scale2, err := sub.VectorLaplace(m2, eps2)
+		if err != nil {
+			return nil, err
+		}
+		ms.Add(sub.MapTo(hd, m2), y2, scale2)
+	}
+	return ms.LeastSquares(solver.Options{MaxIter: 500, Tol: 1e-8}), nil
+}
+
+// blockDims returns the rectangle dimensions of level-1 block g under
+// the fixed cellH×cellW tiling used by partition.Grid.
+func blockDims(height, width, cellH, cellW, g, blocksPerRow int) (int, int) {
+	by := g / blocksPerRow
+	bx := g % blocksPerRow
+	bh := cellH
+	if (by+1)*cellH > height {
+		bh = height - by*cellH
+	}
+	bw := cellW
+	if (bx+1)*cellW > width {
+		bw = width - bx*cellW
+	}
+	return bh, bw
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package plans
+
+import (
+	"repro/internal/core/inference"
+	"repro/internal/core/selection"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/solver"
+	"repro/internal/vec"
+)
+
+// MWEMConfig selects among the MWEM variants of paper §9.1 (plans #7,
+// #18, #19, #20).
+type MWEMConfig struct {
+	// Rounds is the number of select/measure/update iterations T.
+	Rounds int
+	// Total is the (publicly known) total record count MWEM assumes.
+	Total float64
+	// AugmentH2 enables the augmented query selection of plan #18: each
+	// round also measures the disjoint dyadic ranges that parallel-compose
+	// with the selected query for free.
+	AugmentH2 bool
+	// UseNNLS replaces multiplicative-weights inference with non-negative
+	// least squares anchored by the known total (plans #19, #20).
+	UseNNLS bool
+	// MWIters is the number of multiplicative-weights passes per round
+	// (ignored with UseNNLS); 0 means 20.
+	MWIters int
+}
+
+// MWEM runs the Multiplicative Weights Exponential Mechanism of Hardt et
+// al. (plan #7) or one of its §9.1 recombinations over a workload of 1-D
+// range queries. Budget: ε/2T for selection and ε/2T for measurement per
+// round.
+func MWEM(h *kernel.Handle, w *mat.RangeQueriesMat, eps float64, cfg MWEMConfig) ([]float64, error) {
+	n := h.Domain()
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 10
+	}
+	if cfg.MWIters <= 0 {
+		cfg.MWIters = 20
+	}
+	ranges := w.Ranges1D()
+	epsSelect := eps / (2 * float64(cfg.Rounds))
+	epsMeasure := eps / (2 * float64(cfg.Rounds))
+
+	// Initial estimate: uniform with the known total.
+	xEst := make([]float64, n)
+	vec.Fill(xEst, cfg.Total/float64(n))
+
+	ms := inference.NewMeasurements(n)
+	if cfg.UseNNLS {
+		ms.AddExact(mat.Total(n), []float64{cfg.Total})
+	}
+
+	for t := 1; t <= cfg.Rounds; t++ {
+		sel, err := h.WorstApprox(w, xEst, epsSelect, 1)
+		if err != nil {
+			return nil, err
+		}
+		var m mat.Matrix
+		if cfg.AugmentH2 {
+			m = selection.AugmentH2(n, ranges[sel], t)
+		} else {
+			m = selection.SingleRange(n, ranges[sel])
+		}
+		y, scale, err := h.VectorLaplace(m, epsMeasure)
+		if err != nil {
+			return nil, err
+		}
+		ms.Add(m, y, scale)
+		if cfg.UseNNLS {
+			// Warm-starting from the current estimate keeps the uniform
+			// prior on unmeasured directions (the measurement system is
+			// underdetermined until late rounds).
+			xEst = ms.NNLS(solver.Options{MaxIter: 800, X0: xEst})
+		} else {
+			xEst = ms.MultWeights(xEst, cfg.MWIters)
+		}
+	}
+	return xEst, nil
+}

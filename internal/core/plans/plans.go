@@ -1,0 +1,98 @@
+// Package plans implements the twenty plan signatures of the paper's
+// Fig. 2 — the DPBench algorithms re-expressed as EKTELO operator
+// sequences (plans #1–#13) and the new recombinations introduced in §9
+// (plans #14–#20) — plus the case-study plans of §9.3.
+//
+// Every plan takes a kernel vector handle produced by Vectorize (a
+// lineage root): all privacy-relevant interaction flows through the
+// protected kernel, so each plan is ε-differentially private by
+// construction (paper Theorem 4.1), with ε the sum of the budget shares
+// it passes to Private→Public operators.
+package plans
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/core/inference"
+	"repro/internal/core/selection"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/solver"
+)
+
+// measureLS is the Query-select → Laplace → Least-squares idiom shared by
+// plans #1–#6, #10, #11, #13 (paper §6.2, first translation strategy).
+func measureLS(h *kernel.Handle, m mat.Matrix, eps float64, opts solver.Options) ([]float64, error) {
+	y, scale, err := h.VectorLaplace(m, eps)
+	if err != nil {
+		return nil, err
+	}
+	ms := inference.NewMeasurements(h.Domain())
+	ms.Add(m, y, scale)
+	return ms.LeastSquares(opts), nil
+}
+
+// Identity is plan #1 (Dwork et al.): measure every cell with the Laplace
+// mechanism. The identity strategy needs no inference.
+func Identity(h *kernel.Handle, eps float64) ([]float64, error) {
+	y, _, err := h.VectorLaplace(selection.Identity(h.Domain()), eps)
+	return y, err
+}
+
+// Privelet is plan #2 (Xiao et al.): wavelet selection, Laplace, LS.
+func Privelet(h *kernel.Handle, eps float64) ([]float64, error) {
+	return measureLS(h, selection.Privelet(h.Domain()), eps, solver.Options{})
+}
+
+// H2 is plan #3 (Hay et al.): binary hierarchy, Laplace, LS.
+func H2(h *kernel.Handle, eps float64) ([]float64, error) {
+	return measureLS(h, selection.H2(h.Domain()), eps, solver.Options{})
+}
+
+// HB is plan #4 (Qardaji et al.): optimized-branching hierarchy.
+func HB(h *kernel.Handle, eps float64) ([]float64, error) {
+	return measureLS(h, selection.HB(h.Domain()), eps, solver.Options{})
+}
+
+// GreedyH is plan #5 (Li et al.): workload-weighted hierarchy.
+func GreedyH(h *kernel.Handle, workloadRanges []mat.Range1D, eps float64) ([]float64, error) {
+	return measureLS(h, selection.GreedyH(h.Domain(), workloadRanges), eps, solver.Options{})
+}
+
+// Uniform is plan #6: measure only the total and assume uniformity. The
+// minimum-norm least-squares solution of the single total measurement
+// spreads the noisy total uniformly over the domain.
+func Uniform(h *kernel.Handle, eps float64) ([]float64, error) {
+	return measureLS(h, selection.Total(h.Domain()), eps, solver.Options{})
+}
+
+// HDMM is plan #13 (McKenna et al.): strategy optimization for a
+// Kronecker-structured workload, then Laplace and LS. workloadFactors
+// are the per-dimension workload factors; for 1-D workloads pass one.
+func HDMM(h *kernel.Handle, workloadFactors []mat.Matrix, eps float64, rng *rand.Rand) ([]float64, error) {
+	strategy := selection.HDMMSelect(workloadFactors, 16, rng)
+	return measureLS(h, strategy, eps, solver.Options{})
+}
+
+// QuadTree is plan #10 (Cormode et al.) over an h×w spatial domain.
+func QuadTree(hd *kernel.Handle, height, width int, eps float64) ([]float64, error) {
+	if height*width != hd.Domain() {
+		panic("plans: QuadTree shape does not match domain")
+	}
+	return measureLS(hd, selection.QuadTree(height, width), eps, solver.Options{})
+}
+
+// UniformGrid is plan #11 (Qardaji et al.) over an h×w spatial domain.
+// nEst is the (public or separately estimated) record count that sizes
+// the grid.
+func UniformGrid(hd *kernel.Handle, height, width int, nEst, eps float64) ([]float64, error) {
+	if height*width != hd.Domain() {
+		panic("plans: UniformGrid shape does not match domain")
+	}
+	side := height
+	if width < side {
+		side = width
+	}
+	g := selection.UniformGridCells(nEst, eps, side)
+	return measureLS(hd, selection.UniformGrid(height, width, g), eps, solver.Options{})
+}

@@ -1,0 +1,206 @@
+package plans
+
+import (
+	"repro/internal/core/inference"
+	"repro/internal/core/selection"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/solver"
+)
+
+// This file implements the PrivBayes baseline (Zhang et al. [47]) and
+// the PrivBayesLS recombination of paper §9.2 (plan #17, Algorithm 7).
+// Both share the private structure selection and the Laplace measurement
+// of the network's sufficient statistics; they differ only in inference —
+// product-form reconstruction versus least squares — demonstrating the
+// operator-swap flexibility the paper highlights.
+
+// PrivBayesConfig parameterizes both PrivBayes plans.
+type PrivBayesConfig struct {
+	// Shape is the per-attribute domain of the vectorized table.
+	Shape []int
+	// EpsTotalShare/EpsSelectShare/EpsMeasureShare split ε between the
+	// noisy record count, structure selection, and the marginal
+	// measurements; zero values mean 0.1/0.4/0.5.
+	EpsTotalShare, EpsSelectShare, EpsMeasureShare float64
+	// Solver controls PrivBayesLS inference.
+	Solver solver.Options
+}
+
+func (c *PrivBayesConfig) fill() {
+	if c.EpsTotalShare <= 0 {
+		c.EpsTotalShare = 0.1
+	}
+	if c.EpsSelectShare <= 0 {
+		c.EpsSelectShare = 0.4
+	}
+	if c.EpsMeasureShare <= 0 {
+		c.EpsMeasureShare = 0.5
+	}
+}
+
+// privBayesMeasure runs the shared front of both plans: noisy total,
+// private structure selection, and one Laplace measurement of the
+// sufficient-statistic marginals. It returns the selected net, the
+// measurement matrix (over the full domain), its noisy answers and noise
+// scale, and the noisy record count.
+func privBayesMeasure(h *kernel.Handle, eps float64, cfg *PrivBayesConfig) (selection.BayesNet, mat.Matrix, []float64, float64, float64, error) {
+	cfg.fill()
+	n := h.Domain()
+	var net selection.BayesNet
+
+	nEst, _, err := h.VectorLaplace(mat.Total(n), cfg.EpsTotalShare*eps)
+	if err != nil {
+		return net, nil, nil, 0, 0, err
+	}
+	total := nEst[0]
+	if total < 2 {
+		total = 2
+	}
+	m, net, err := selection.PrivBayesSelect(h, cfg.Shape, cfg.EpsSelectShare*eps, total)
+	if err != nil {
+		return net, nil, nil, 0, 0, err
+	}
+	y, scale, err := h.VectorLaplace(m, cfg.EpsMeasureShare*eps)
+	if err != nil {
+		return net, nil, nil, 0, 0, err
+	}
+	return net, m, y, scale, total, nil
+}
+
+// PrivBayes is the baseline: the estimate is the product-form joint
+// distribution implied by the noisy marginals, scaled to the noisy
+// record count. This mirrors PrivBayes's synthetic-data sampling in
+// expectation without the sampling variance.
+func PrivBayes(h *kernel.Handle, eps float64, cfg PrivBayesConfig) ([]float64, error) {
+	net, _, y, _, total, err := privBayesMeasure(h, eps, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	return privBayesProductForm(cfg.Shape, net, y, total), nil
+}
+
+// PrivBayesLS is plan #17: identical selection and measurement, with the
+// product-form inference replaced by generic least squares.
+func PrivBayesLS(h *kernel.Handle, eps float64, cfg PrivBayesConfig) ([]float64, error) {
+	_, m, y, scale, _, err := privBayesMeasure(h, eps, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	ms := inference.NewMeasurements(h.Domain())
+	ms.Add(m, y, scale)
+	return ms.LeastSquares(cfg.Solver), nil
+}
+
+// privBayesProductForm reconstructs the joint estimate
+// x̂[cell] = N̂ · p̂(root) · Π_c p̂(child | parent) from the noisy
+// sufficient statistics, clamping negative noisy counts to zero and
+// falling back to uniform conditionals for empty parent slices.
+func privBayesProductForm(shape []int, net selection.BayesNet, answers []float64, total float64) []float64 {
+	d := len(shape)
+	strides := make([]int, d)
+	n := 1
+	for k := d - 1; k >= 0; k-- {
+		strides[k] = n
+		n *= shape[k]
+	}
+	root := net.Order[0]
+
+	// The measurement matrix stacks: root 1-D marginal, then for each
+	// child (in attribute order) its pairwise marginal with its parent,
+	// rows enumerating the kept dims in schema order.
+	off := 0
+	rootMarg := clampCopy(answers[off : off+shape[root]])
+	off += shape[root]
+	normalize(rootMarg)
+
+	// cond[c][vp*shape[c]+vc] = p(c=vc | parent=vp)
+	cond := make([][]float64, d)
+	for c := 0; c < d; c++ {
+		p := net.Parent[c]
+		if p < 0 {
+			continue
+		}
+		lo, hi := c, p
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		block := clampCopy(answers[off : off+shape[lo]*shape[hi]])
+		off += shape[lo] * shape[hi]
+		tbl := make([]float64, shape[p]*shape[c])
+		for vlo := 0; vlo < shape[lo]; vlo++ {
+			for vhi := 0; vhi < shape[hi]; vhi++ {
+				jv := block[vlo*shape[hi]+vhi]
+				var vp, vc int
+				if lo == p {
+					vp, vc = vlo, vhi
+				} else {
+					vp, vc = vhi, vlo
+				}
+				tbl[vp*shape[c]+vc] = jv
+			}
+		}
+		// Normalize each parent slice; empty slices become uniform.
+		for vp := 0; vp < shape[p]; vp++ {
+			slice := tbl[vp*shape[c] : (vp+1)*shape[c]]
+			var s float64
+			for _, v := range slice {
+				s += v
+			}
+			if s <= 0 {
+				for i := range slice {
+					slice[i] = 1 / float64(shape[c])
+				}
+			} else {
+				for i := range slice {
+					slice[i] /= s
+				}
+			}
+		}
+		cond[c] = tbl
+	}
+
+	// Evaluate the product form cell by cell, in the net's topological
+	// order (Order[0] is the root; every later attribute's parent appears
+	// earlier).
+	x := make([]float64, n)
+	vals := make([]int, d)
+	for idx := 0; idx < n; idx++ {
+		for k := 0; k < d; k++ {
+			vals[k] = (idx / strides[k]) % shape[k]
+		}
+		p := rootMarg[vals[root]]
+		for _, c := range net.Order[1:] {
+			par := net.Parent[c]
+			p *= cond[c][vals[par]*shape[c]+vals[c]]
+		}
+		x[idx] = total * p
+	}
+	return x
+}
+
+func clampCopy(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		if x > 0 {
+			out[i] = x
+		}
+	}
+	return out
+}
+
+func normalize(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	if s <= 0 {
+		for i := range v {
+			v[i] = 1 / float64(len(v))
+		}
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}

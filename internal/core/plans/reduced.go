@@ -1,0 +1,34 @@
+package plans
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/core/partition"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// WithWorkloadReduction wraps any plan with the §8 workload-based
+// domain reduction: the lossless partition P is computed from the
+// workload alone (no budget), the protected vector is reduced inside
+// the kernel (1-stable), the plan runs on the reduced domain, and the
+// workload answers are produced through the reduced workload W·P⁺.
+//
+// Theorem 8.4 guarantees the reduction never increases the expected
+// error of any workload query; Table 6 measures the (usually
+// substantial) error and runtime wins.
+func WithWorkloadReduction(
+	h *kernel.Handle,
+	w mat.Matrix,
+	rng *rand.Rand,
+	plan func(h *kernel.Handle) ([]float64, error),
+) (answers []float64, p partition.Partition, err error) {
+	p = partition.WorkloadBased(w, rng, 2)
+	reduced := h.ReduceByPartition(p.Matrix())
+	xr, err := plan(reduced)
+	if err != nil {
+		return nil, p, err
+	}
+	wReduced := p.ReduceWorkload(w)
+	return mat.Mul(wReduced, xr), p, nil
+}

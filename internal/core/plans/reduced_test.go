@@ -1,0 +1,66 @@
+package plans
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+func TestWithWorkloadReductionLossless(t *testing.T) {
+	// At huge ε the reduced pipeline must answer the workload exactly.
+	n := 256
+	x := testData(n, 11)
+	rng := rand.New(rand.NewPCG(13, 14))
+	w := workload.RandomSmallRange(n, 40, 8, rng)
+	truth := mat.Mul(w, x)
+
+	_, h := newVecKernel(x, 1e9, 15)
+	answers, p, err := WithWorkloadReduction(h, w, rng, func(hr *kernel.Handle) ([]float64, error) {
+		return Identity(hr, 1e8)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K >= n {
+		t.Fatalf("no reduction: K=%d", p.K)
+	}
+	if !vec.AllClose(answers, truth, 1e-4, 1e-2) {
+		t.Fatalf("reduced answers differ:\n got %v\nwant %v", answers[:5], truth[:5])
+	}
+}
+
+func TestWithWorkloadReductionBudget(t *testing.T) {
+	n := 64
+	x := testData(n, 12)
+	rng := rand.New(rand.NewPCG(15, 16))
+	w := workload.RandomSmallRange(n, 10, 4, rng)
+	k, h := newVecKernel(x, 1.0, 17)
+	_, _, err := WithWorkloadReduction(h, w, rng, func(hr *kernel.Handle) ([]float64, error) {
+		return HB(hr, 0.8)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reduction itself is free: only the plan's 0.8 is consumed.
+	if k.Consumed() > 0.8+1e-9 {
+		t.Fatalf("reduction consumed budget: %v", k.Consumed())
+	}
+}
+
+func TestWithWorkloadReductionPlanError(t *testing.T) {
+	n := 32
+	x := testData(n, 13)
+	rng := rand.New(rand.NewPCG(17, 18))
+	w := workload.RandomSmallRange(n, 5, 4, rng)
+	_, h := newVecKernel(x, 0.1, 19)
+	_, _, err := WithWorkloadReduction(h, w, rng, func(hr *kernel.Handle) ([]float64, error) {
+		return Identity(hr, 5.0) // over budget
+	})
+	if err == nil {
+		t.Fatal("expected budget error to propagate")
+	}
+}

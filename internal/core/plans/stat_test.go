@@ -1,0 +1,163 @@
+package plans
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/noise"
+	"repro/internal/solver"
+)
+
+// This file holds statistical calibration tests: the mechanisms' noise
+// must match the theory they claim, which is the empirical counterpart
+// of the paper's "statistically equivalent outputs" validation (§6).
+
+// TestIdentityPlanVarianceCalibrated checks that the Identity plan's
+// per-cell error variance equals 2·(σ(M)/ε)² = 2/ε² for the identity
+// strategy.
+func TestIdentityPlanVarianceCalibrated(t *testing.T) {
+	n := 16
+	eps := 0.5
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(10 * i)
+	}
+	trials := 600
+	var sq float64
+	for s := 0; s < trials; s++ {
+		_, h := kernel.InitVector(x, eps, noise.NewRand(uint64(1000+s)))
+		got, err := Identity(h, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			d := got[i] - x[i]
+			sq += d * d
+		}
+	}
+	empirical := sq / float64(trials*n)
+	want := 2 / (eps * eps)
+	if math.Abs(empirical-want)/want > 0.15 {
+		t.Fatalf("per-cell variance = %v, want ≈%v", empirical, want)
+	}
+}
+
+// TestPrefixSensitivityScalesNoise verifies that a strategy with
+// sensitivity n gets proportionally larger noise: measuring Prefix(n)
+// directly must yield per-query variance 2·(n/ε)².
+func TestPrefixSensitivityScalesNoise(t *testing.T) {
+	n := 8
+	eps := 1.0
+	x := make([]float64, n)
+	trials := 800
+	var sq float64
+	truth := mat.Mul(mat.Prefix(n), x)
+	for s := 0; s < trials; s++ {
+		_, h := kernel.InitVector(x, eps, noise.NewRand(uint64(5000+s)))
+		y, _, err := h.VectorLaplace(mat.Prefix(n), eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range y {
+			d := y[i] - truth[i]
+			sq += d * d
+		}
+	}
+	empirical := sq / float64(trials*n)
+	want := 2 * float64(n*n) / (eps * eps)
+	if math.Abs(empirical-want)/want > 0.15 {
+		t.Fatalf("prefix measurement variance = %v, want ≈%v", empirical, want)
+	}
+}
+
+// TestMatrixMechanismErrorFormula validates the expected-error formula
+// the paper's Theorem 5.3 proof uses — Error_M(q) ∝ ‖M‖₁²·q(MᵀM)⁻¹qᵀ —
+// by comparing H2's predicted total-query error against an empirical
+// run, and confirming H2 beats Identity for the total query as theory
+// predicts.
+func TestMatrixMechanismErrorFormula(t *testing.T) {
+	n := 16
+	eps := 1.0
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 5
+	}
+	q := mat.Total(n)
+	trueAns := mat.Mul(q, x)[0]
+
+	empiricalErr := func(strategy mat.Matrix, seedBase uint64) float64 {
+		trials := 500
+		var sq float64
+		for s := 0; s < trials; s++ {
+			_, h := kernel.InitVector(x, eps, noise.NewRand(seedBase+uint64(s)))
+			y, scale, err := h.VectorLaplace(strategy, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = scale
+			xhat := solver.LeastSquares(strategy, y, nil, solver.Options{Tol: 1e-12})
+			d := mat.Mul(q, xhat)[0] - trueAns
+			sq += d * d
+		}
+		return sq / float64(500)
+	}
+
+	predicted := func(strategy mat.Matrix) float64 {
+		sens := mat.L1Sensitivity(strategy)
+		g := mat.Gram(strategy)
+		// Solve (MᵀM) z = qᵀ and return 2·(sens/ε)²·q·z.
+		qv := mat.Row(q, 0)
+		z := solver.CGLS(g, qv, solver.Options{Tol: 1e-12}).X
+		var qz float64
+		for i := range qv {
+			qz += qv[i] * z[i]
+		}
+		return 2 * (sens / eps) * (sens / eps) * qz
+	}
+
+	for _, c := range []struct {
+		name     string
+		strategy mat.Matrix
+		seed     uint64
+	}{
+		{"identity", mat.Identity(n), 9000},
+		{"h2", mat.VStack(mat.Identity(n), mat.RangeQueries(n, mat.HierarchicalRanges(n, 2))), 20000},
+	} {
+		emp := empiricalErr(c.strategy, c.seed)
+		pred := predicted(c.strategy)
+		if math.Abs(emp-pred)/pred > 0.25 {
+			t.Errorf("%s: empirical error %v vs predicted %v", c.name, emp, pred)
+		}
+	}
+
+	// Theory: for the total query, H2 (which measures coarse aggregates)
+	// must beat Identity (which must sum n independent noisy cells).
+	h2 := mat.VStack(mat.Identity(n), mat.RangeQueries(n, mat.HierarchicalRanges(n, 2)))
+	if predicted(h2) >= predicted(mat.Identity(n)) {
+		t.Errorf("H2 predicted error %v >= identity %v for total query", predicted(h2), predicted(mat.Identity(n)))
+	}
+}
+
+// TestPlanDeterministicGivenSeed: identical seeds must reproduce
+// identical plan outputs — the property the experiment harness relies
+// on.
+func TestPlanDeterministicGivenSeed(t *testing.T) {
+	x := dataset.Synthetic1D("zipf", 64, 5000, 3)
+	run := func() []float64 {
+		_, h := kernel.InitVector(x, 1, noise.NewRand(77))
+		got, err := DAWA(h, 1, DAWAConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package plans
+
+import (
+	"repro/internal/core/inference"
+	"repro/internal/core/partition"
+	"repro/internal/core/selection"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/solver"
+)
+
+// This file holds the high-dimensional "striped" plans of paper §9.2:
+// HB-Striped (plan #15), DAWA-Striped (plan #14) and HB-Striped_kron
+// (plan #16). The striped plans split the domain into 1-D stripes along
+// one attribute — one stripe per combination of the remaining attributes
+// — run a 1-D subplan on every stripe at full ε (parallel composition
+// over the disjoint split), and close with one global least-squares
+// inference over all measurements.
+
+// HBStriped is plan #15: PS TP[SHB LM] LS.
+func HBStriped(h *kernel.Handle, shape []int, dim int, eps float64, opts solver.Options) ([]float64, error) {
+	p := partition.Stripe(shape, dim)
+	subs := h.SplitByPartition(p.Groups, p.K)
+	ms := inference.NewMeasurements(h.Domain())
+	strategy := selection.HB(shape[dim]) // data-independent: shared by all stripes
+	for _, sub := range subs {
+		y, scale, err := sub.VectorLaplace(strategy, eps)
+		if err != nil {
+			return nil, err
+		}
+		ms.Add(sub.MapTo(h, strategy), y, scale)
+	}
+	return ms.LeastSquares(opts), nil
+}
+
+// DAWAStripedConfig parameterizes plan #14.
+type DAWAStripedConfig struct {
+	// Rho is each stripe subplan's stage-1 budget fraction; 0 means 0.25.
+	Rho float64
+	// MaxBucket caps the per-stripe partition DP; 0 means 1024.
+	MaxBucket int
+	// StripeWorkload provides the 1-D ranges GreedyH adapts to on each
+	// stripe (e.g. all prefixes for CDF-style workloads); nil means the
+	// identity workload.
+	StripeWorkload []mat.Range1D
+	// Solver controls the closing least-squares inference.
+	Solver solver.Options
+}
+
+// DAWAStriped is plan #14: PS TP[PD TR SG LM] LS. Unlike HB-Striped the
+// subplan is data-dependent, so each stripe may select different
+// measurements.
+func DAWAStriped(h *kernel.Handle, shape []int, dim int, eps float64, cfg DAWAStripedConfig) ([]float64, error) {
+	if cfg.Rho <= 0 || cfg.Rho >= 1 {
+		cfg.Rho = 0.25
+	}
+	if cfg.MaxBucket <= 0 {
+		cfg.MaxBucket = 1024
+	}
+	p := partition.Stripe(shape, dim)
+	subs := h.SplitByPartition(p.Groups, p.K)
+	ms := inference.NewMeasurements(h.Domain())
+	eps1, eps2 := cfg.Rho*eps, (1-cfg.Rho)*eps
+	stripeLen := shape[dim]
+	stripeWL := cfg.StripeWorkload
+	if stripeWL == nil {
+		stripeWL = identityRanges(stripeLen)
+	}
+	for _, sub := range subs {
+		noisy, _, err := sub.VectorLaplace(selection.Identity(stripeLen), eps1)
+		if err != nil {
+			return nil, err
+		}
+		sp := partition.DawaL1Partition(noisy, eps2, cfg.MaxBucket)
+		reduced := sub.ReduceByPartition(sp.Matrix())
+		strategy := selection.GreedyH(sp.K, mapRangesToPartition(stripeWL, sp))
+		y, scale, err := reduced.VectorLaplace(strategy, eps2)
+		if err != nil {
+			return nil, err
+		}
+		ms.Add(reduced.MapTo(h, strategy), y, scale)
+	}
+	return ms.LeastSquares(cfg.Solver), nil
+}
+
+// HBStripedKron is plan #16: SS LM LS — the non-iterative alternative to
+// HB-Striped that expresses the identical global measurement set as a
+// single Kronecker product (HB on the striped dimension, Identity
+// elsewhere) and measures it in one Laplace call.
+func HBStripedKron(h *kernel.Handle, shape []int, dim int, eps float64, opts solver.Options) ([]float64, error) {
+	m := selection.StripeKron(shape, dim, selection.HB)
+	return measureLS(h, m, eps, opts)
+}
+
+// StripeWorkloadAnswer is a convenience for evaluating a workload W on a
+// plan estimate: answers = W·x̂.
+func StripeWorkloadAnswer(w mat.Matrix, xhat []float64) []float64 {
+	return mat.Mul(w, xhat)
+}

@@ -1,0 +1,91 @@
+package selection
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// This file holds the 2-D spatial strategies: QuadTree (paper plan #10)
+// and the uniform/adaptive grids of Qardaji et al. (plans #11, #12).
+
+// QuadTree returns the quadtree strategy over an h×w grid: the root cell
+// plus recursive quadrant splits down to unit cells, represented
+// implicitly as 2-D range queries.
+func QuadTree(h, w int) mat.Matrix {
+	var boxes []mat.RangeND
+	var rec func(y1, y2, x1, x2 int)
+	rec = func(y1, y2, x1, x2 int) {
+		boxes = append(boxes, mat.RangeND{Lo: []int{y1, x1}, Hi: []int{y2, x2}})
+		if y1 == y2 && x1 == x2 {
+			return
+		}
+		ym, xm := (y1+y2)/2, (x1+x2)/2
+		if y1 == y2 { // split only x
+			rec(y1, y2, x1, xm)
+			rec(y1, y2, xm+1, x2)
+			return
+		}
+		if x1 == x2 { // split only y
+			rec(y1, ym, x1, x2)
+			rec(ym+1, y2, x1, x2)
+			return
+		}
+		rec(y1, ym, x1, xm)
+		rec(y1, ym, xm+1, x2)
+		rec(ym+1, y2, x1, xm)
+		rec(ym+1, y2, xm+1, x2)
+	}
+	rec(0, h-1, 0, w-1)
+	return mat.NDRangeQueries([]int{h, w}, boxes)
+}
+
+// UniformGridCells returns the per-side cell count of the UniformGrid
+// strategy given an estimated record count and budget: g = √(N·ε/c) with
+// the Qardaji et al. constant c = 10, clamped to [1, side].
+func UniformGridCells(n float64, eps float64, side int) int {
+	g := int(math.Sqrt(n * eps / 10))
+	if g < 1 {
+		g = 1
+	}
+	if g > side {
+		g = side
+	}
+	return g
+}
+
+// UniformGrid returns the UniformGrid strategy over an h×w domain: the
+// block-count queries of a g×g grid of (nearly) equal cells.
+func UniformGrid(h, w, g int) mat.Matrix {
+	var boxes []mat.RangeND
+	for gy := 0; gy < g; gy++ {
+		y1, y2 := gy*h/g, (gy+1)*h/g-1
+		if y2 < y1 {
+			continue
+		}
+		for gx := 0; gx < g; gx++ {
+			x1, x2 := gx*w/g, (gx+1)*w/g-1
+			if x2 < x1 {
+				continue
+			}
+			boxes = append(boxes, mat.RangeND{Lo: []int{y1, x1}, Hi: []int{y2, x2}})
+		}
+	}
+	return mat.NDRangeQueries([]int{h, w}, boxes)
+}
+
+// AdaptiveGridCells sizes the second-level grid of AdaptiveGrid from the
+// first level's noisy block count (Qardaji et al., constant c₂ = 5).
+func AdaptiveGridCells(noisyCount, eps2 float64, side int) int {
+	if noisyCount < 0 {
+		noisyCount = 0
+	}
+	g := int(math.Sqrt(noisyCount * eps2 / 5))
+	if g < 1 {
+		g = 1
+	}
+	if g > side {
+		g = side
+	}
+	return g
+}

@@ -1,0 +1,38 @@
+package selection
+
+import (
+	"repro/internal/mat"
+)
+
+// This file supports the MWEM query-selection operators: the plain
+// worst-approximated single query (the kernel's WorstApprox performs the
+// private selection; this file builds the measurement matrices) and the
+// H2-augmented variant of paper §9.1 that adds disjoint dyadic queries at
+// no extra privacy cost via parallel composition.
+
+// SingleRange returns the 1×n measurement matrix of one range query.
+func SingleRange(n int, r mat.Range1D) mat.Matrix {
+	return mat.RangeQueries(n, []mat.Range1D{r})
+}
+
+// AugmentH2 implements the augmented MWEM selection (paper §9.1, plan
+// #18): given the privately selected worst-approximated range and the
+// round number (1-based), it returns the selected query unioned with all
+// disjoint dyadic ranges of length 2^(round-1) that do not intersect it.
+// All returned queries measure disjoint cells, so the set costs no more
+// budget than the single query under parallel composition — the
+// selection's sensitivity remains that of one counting query.
+func AugmentH2(n int, selected mat.Range1D, round int) mat.Matrix {
+	length := 1
+	for i := 1; i < round && length < n; i++ {
+		length *= 2
+	}
+	ranges := []mat.Range1D{selected}
+	for lo := 0; lo+length-1 < n; lo += length {
+		r := mat.Range1D{Lo: lo, Hi: lo + length - 1}
+		if r.Hi < selected.Lo || r.Lo > selected.Hi {
+			ranges = append(ranges, r)
+		}
+	}
+	return mat.RangeQueries(n, ranges)
+}

@@ -1,0 +1,27 @@
+package selection
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// StripeKron returns the Stripe(attr) selection operator of paper §9.2
+// (plan #16, HB-Striped_kron): a single Kronecker product that applies a
+// 1-D strategy along the striped dimension and Identity along every
+// other dimension. It expresses the same global measurement set as
+// running the 1-D strategy on every stripe of the domain, but compactly.
+func StripeKron(shape []int, dim int, strategy func(n int) mat.Matrix) mat.Matrix {
+	if dim < 0 || dim >= len(shape) {
+		panic(fmt.Sprintf("selection: StripeKron dim %d outside %d-dim shape", dim, len(shape)))
+	}
+	factors := make([]mat.Matrix, len(shape))
+	for k, s := range shape {
+		if k == dim {
+			factors[k] = strategy(s)
+		} else {
+			factors[k] = mat.Identity(s)
+		}
+	}
+	return mat.Kron(factors...)
+}

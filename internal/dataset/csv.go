@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file provides CSV ingestion and export for Table, the path by
+// which real data enters the framework. Raw column values are mapped
+// into the discrete attribute domains either by integer bucketing
+// (Bucketize) or by categorical dictionary (Categorical), matching the
+// paper's assumption that every attribute is discrete or suitably
+// discretized (§3).
+
+// ColumnCodec maps one raw CSV column into an attribute domain.
+type ColumnCodec struct {
+	// Attr is the attribute this codec produces.
+	Attr Attribute
+	// Encode maps the raw field to a value in [0, Attr.Size); it returns
+	// an error for unmappable fields.
+	Encode func(field string) (int, error)
+	// Decode maps a domain value back to a representative field for
+	// WriteCSV; nil falls back to the integer form.
+	Decode func(v int) string
+}
+
+// Bucketize returns a codec that parses numeric fields and buckets the
+// range [lo, hi) uniformly into size buckets, clamping out-of-range
+// values to the boundary buckets.
+func Bucketize(name string, size int, lo, hi float64) ColumnCodec {
+	if size <= 0 || hi <= lo {
+		panic(fmt.Sprintf("dataset: Bucketize(%q) invalid parameters", name))
+	}
+	width := (hi - lo) / float64(size)
+	return ColumnCodec{
+		Attr: Attribute{Name: name, Size: size},
+		Encode: func(field string) (int, error) {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return 0, fmt.Errorf("dataset: column %q: %w", name, err)
+			}
+			b := int((v - lo) / width)
+			if b < 0 {
+				b = 0
+			}
+			if b >= size {
+				b = size - 1
+			}
+			return b, nil
+		},
+		Decode: func(v int) string {
+			return strconv.FormatFloat(lo+(float64(v)+0.5)*width, 'g', -1, 64)
+		},
+	}
+}
+
+// Categorical returns a codec with a fixed value dictionary; unknown
+// fields are errors.
+func Categorical(name string, values ...string) ColumnCodec {
+	if len(values) == 0 {
+		panic(fmt.Sprintf("dataset: Categorical(%q) needs values", name))
+	}
+	index := make(map[string]int, len(values))
+	for i, v := range values {
+		index[v] = i
+	}
+	return ColumnCodec{
+		Attr: Attribute{Name: name, Size: len(values)},
+		Encode: func(field string) (int, error) {
+			v, ok := index[field]
+			if !ok {
+				return 0, fmt.Errorf("dataset: column %q: unknown value %q", name, field)
+			}
+			return v, nil
+		},
+		Decode: func(v int) string { return values[v] },
+	}
+}
+
+// IntColumn returns a codec for fields that are already domain indices
+// in [0, size).
+func IntColumn(name string, size int) ColumnCodec {
+	return ColumnCodec{
+		Attr: Attribute{Name: name, Size: size},
+		Encode: func(field string) (int, error) {
+			v, err := strconv.Atoi(field)
+			if err != nil {
+				return 0, fmt.Errorf("dataset: column %q: %w", name, err)
+			}
+			if v < 0 || v >= size {
+				return 0, fmt.Errorf("dataset: column %q: value %d outside [0,%d)", name, v, size)
+			}
+			return v, nil
+		},
+	}
+}
+
+// ReadCSV parses CSV content whose header row names must include every
+// codec's attribute name, producing a table with the codecs' schema
+// (codec order). Extra CSV columns are ignored.
+func ReadCSV(r io.Reader, codecs []ColumnCodec) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	colIdx := make([]int, len(codecs))
+	for i, c := range codecs {
+		colIdx[i] = -1
+		for j, name := range header {
+			if name == c.Attr.Name {
+				colIdx[i] = j
+				break
+			}
+		}
+		if colIdx[i] < 0 {
+			return nil, fmt.Errorf("dataset: CSV missing column %q", c.Attr.Name)
+		}
+	}
+	schema := make(Schema, len(codecs))
+	for i, c := range codecs {
+		schema[i] = c.Attr
+	}
+	t := New(schema)
+	row := make([]int, len(codecs))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+		for i, c := range codecs {
+			v, err := c.Encode(rec[colIdx[i]])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+			}
+			row[i] = v
+		}
+		t.Append(row...)
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table with a header row, using the codecs'
+// decoders when available (codecs may be nil for plain integer output;
+// when non-nil it must match the schema order).
+func WriteCSV(w io.Writer, t *Table, codecs []ColumnCodec) error {
+	cw := csv.NewWriter(w)
+	schema := t.Schema()
+	header := make([]string, len(schema))
+	for i, a := range schema {
+		header[i] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	n := t.NumRows()
+	rec := make([]string, len(schema))
+	for i := 0; i < n; i++ {
+		row := t.Row(i)
+		for j, v := range row {
+			if codecs != nil && codecs[j].Decode != nil {
+				rec[j] = codecs[j].Decode(v)
+			} else {
+				rec[j] = strconv.Itoa(v)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleCodecs() []ColumnCodec {
+	return []ColumnCodec{
+		Bucketize("income", 10, 0, 100000),
+		Categorical("gender", "M", "F"),
+		IntColumn("age", 5),
+	}
+}
+
+func TestReadCSVBasic(t *testing.T) {
+	csvData := `income,gender,age,ignored
+25000,M,2,x
+99999,F,0,y
+5000,M,4,z
+`
+	tbl, err := ReadCSV(strings.NewReader(csvData), sampleCodecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 3 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if got := tbl.Row(0); got[0] != 2 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("row 0 = %v", got)
+	}
+	if got := tbl.Row(1); got[0] != 9 || got[1] != 1 {
+		t.Fatalf("row 1 = %v", got)
+	}
+}
+
+func TestReadCSVBucketClamping(t *testing.T) {
+	csvData := "income,gender,age\n-50,M,0\n1e9,F,1\n"
+	tbl, err := ReadCSV(strings.NewReader(csvData), sampleCodecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Row(0)[0] != 0 || tbl.Row(1)[0] != 9 {
+		t.Fatalf("clamping failed: %v %v", tbl.Row(0), tbl.Row(1))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing column":    "gender,age\nM,0\n",
+		"unknown category":  "income,gender,age\n1,X,0\n",
+		"non-numeric field": "income,gender,age\nabc,M,0\n",
+		"int out of domain": "income,gender,age\n1,M,9\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data), sampleCodecs()); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	codecs := sampleCodecs()
+	tbl := New(Schema{codecs[0].Attr, codecs[1].Attr, codecs[2].Attr})
+	tbl.Append(3, 1, 2)
+	tbl.Append(0, 0, 4)
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl, codecs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, codecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 2 {
+		t.Fatalf("round-trip rows = %d", back.NumRows())
+	}
+	for i := 0; i < 2; i++ {
+		a, b := tbl.Row(i), back.Row(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d: %v != %v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestWriteCSVIntegerFallback(t *testing.T) {
+	tbl := New(Schema{{Name: "a", Size: 3}})
+	tbl.Append(2)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2") {
+		t.Fatalf("output = %q", buf.String())
+	}
+}
+
+func TestCodecValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Bucketize("x", 0, 0, 1) },
+		func() { Bucketize("x", 5, 3, 3) },
+		func() { Categorical("x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

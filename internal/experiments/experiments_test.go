@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestL2PerQuery(t *testing.T) {
+	w := mat.Identity(2)
+	got := L2PerQuery(w, []float64{3, 4}, []float64{0, 0})
+	// sqrt((9+16)/2)
+	if got < 3.53 || got > 3.54 {
+		t.Fatalf("L2PerQuery = %v", got)
+	}
+	if s := ScaledL2PerQuery(w, []float64{3, 4}, []float64{0, 0}, 10); s < 0.353 || s > 0.354 {
+		t.Fatalf("scaled = %v", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	s := Table([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if !strings.Contains(s, "333") || !strings.Contains(s, "bb") {
+		t.Fatalf("table = %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("table lines = %d", len(lines))
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	rows := Table4(QuickTable4())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Variant (a) is the baseline: factors exactly 1.
+	if rows[0].MeanImp != 1 || rows[0].RuntimeFactor != 1 {
+		t.Fatalf("baseline row = %+v", rows[0])
+	}
+	// The paper's headline: variant (b) improves mean error.
+	if rows[1].MeanImp <= 1 {
+		t.Errorf("variant (b) mean improvement = %v, want > 1", rows[1].MeanImp)
+	}
+	// Variant (d) improves too and is cheaper than (b).
+	if rows[3].MeanImp <= 1 {
+		t.Errorf("variant (d) mean improvement = %v, want > 1", rows[3].MeanImp)
+	}
+	if rows[3].RuntimeFactor >= rows[1].RuntimeFactor {
+		t.Errorf("variant (d) runtime %v should undercut (b) %v", rows[3].RuntimeFactor, rows[1].RuntimeFactor)
+	}
+	out := Table4String(rows)
+	if !strings.Contains(out, "MWEM") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestTable5Quick(t *testing.T) {
+	cells := Table5(QuickTable5())
+	if len(cells) != 15 { // 5 algorithms × 3 workloads
+		t.Fatalf("cells = %d", len(cells))
+	}
+	get := func(a, w string) float64 {
+		for _, c := range cells {
+			if c.Algorithm == a && c.Workload == w {
+				return c.Error
+			}
+		}
+		t.Fatalf("missing cell %s/%s", a, w)
+		return 0
+	}
+	// Paper's headline shape: DAWA-Striped dominates on Prefix(Income).
+	if get("DAWA-Striped", "Prefix(Income)") >= get("PrivBayes", "Prefix(Income)") {
+		t.Errorf("DAWA-Striped should beat PrivBayes on Prefix(Income): %v vs %v",
+			get("DAWA-Striped", "Prefix(Income)"), get("PrivBayes", "Prefix(Income)"))
+	}
+	// The striped plans should beat plain Identity on the range workload.
+	if get("HB-Striped", "Prefix(Income)") >= get("Identity", "Prefix(Income)") {
+		t.Errorf("HB-Striped %v should beat Identity %v on Prefix(Income)",
+			get("HB-Striped", "Prefix(Income)"), get("Identity", "Prefix(Income)"))
+	}
+	_ = Table5String(cells)
+}
+
+func TestFig3Quick(t *testing.T) {
+	points := Fig3(QuickFig3())
+	// 6 classifiers × 2 epsilons.
+	if len(points) != 12 {
+		t.Fatalf("points = %d", len(points))
+	}
+	byKey := map[string]Fig3Point{}
+	for _, p := range points {
+		byKey[p.Classifier+"@"+fmtF(p.Eps)] = p
+	}
+	clean := byKey["Unperturbed@"+fmtF(0.1)]
+	if clean.P50 < 0.6 {
+		t.Fatalf("unperturbed median AUC = %v", clean.P50)
+	}
+	// At the larger ε the private classifiers should beat majority.
+	for _, name := range []string{"WorkloadLS", "SelectLS"} {
+		p := byKey[name+"@"+fmtF(0.1)]
+		if p.P50 < 0.55 {
+			t.Errorf("%s median AUC at ε=0.1 = %v, want > 0.55", name, p.P50)
+		}
+	}
+	_ = Fig3String(points)
+}
+
+func TestFig4aQuick(t *testing.T) {
+	rows := Fig4a(QuickFig4a())
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Plan] = true
+		if r.Skipped == "" && r.Seconds < 0 {
+			t.Fatalf("negative time: %+v", r)
+		}
+	}
+	for _, plan := range Fig4aPlans {
+		if !seen[plan] {
+			t.Errorf("plan %s missing from sweep", plan)
+		}
+	}
+	// Dense must be skipped at the largest quick domain only if above cap;
+	// at 1024 (== MaxDense) it should run.
+	var denseRan bool
+	for _, r := range rows {
+		if r.Repr == ReprDense && r.Skipped == "" {
+			denseRan = true
+		}
+	}
+	if !denseRan {
+		t.Error("dense representation never ran")
+	}
+	_ = Fig4String(rows)
+}
+
+func TestFig4bQuick(t *testing.T) {
+	rows := Fig4b(QuickFig4b())
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Every plan appears, plus the basic-sparse comparison point.
+	var basicSparse int
+	for _, r := range rows {
+		if r.Repr == ReprBasicSparse {
+			basicSparse++
+		}
+	}
+	if basicSparse != len(QuickFig4b().IncomeSizes) {
+		t.Fatalf("basic-sparse points = %d", basicSparse)
+	}
+	_ = Fig4String(rows)
+}
+
+func TestFig5Quick(t *testing.T) {
+	rows := Fig5(QuickFig5())
+	want := len(Fig5Methods) * len(QuickFig5().Domains)
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	// Tree-based and implicit must run at every domain.
+	for _, r := range rows {
+		if (r.Method == "LS Tree-based" || r.Method == "LS Implicit+Iterative") && r.Skipped != "" {
+			t.Errorf("%s skipped at %d: %s", r.Method, r.Domain, r.Skipped)
+		}
+	}
+	_ = Fig5String(rows)
+}
+
+func TestTable6Quick(t *testing.T) {
+	rows := Table6(QuickTable6())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ReducedDomain >= r.OrigDomain {
+			t.Errorf("%s: no reduction (%d -> %d)", r.Algorithm, r.OrigDomain, r.ReducedDomain)
+		}
+		if r.ErrReduced <= 0 || r.ErrOrig <= 0 {
+			t.Errorf("%s: degenerate errors %v/%v", r.Algorithm, r.ErrOrig, r.ErrReduced)
+		}
+	}
+	// Paper's headline: Identity benefits most in error from reduction.
+	for _, r := range rows {
+		if r.Algorithm == "Identity" && r.ErrFactor < 1 {
+			t.Errorf("Identity reduction made error worse: factor %v", r.ErrFactor)
+		}
+	}
+	_ = Table6String(rows)
+}

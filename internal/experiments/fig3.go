@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/nbayes"
+	"repro/internal/vec"
+)
+
+// Fig3Config parameterizes the Naive Bayes case study of paper §10.1.3
+// (Credit-Default-like data, AUC quartiles across repeated 10-fold CV
+// for ε ∈ {1e-3, 1e-2, 1e-1}).
+type Fig3Config struct {
+	Rows     int
+	Epsilons []float64
+	Folds    int
+	Repeats  int
+	Seed     uint64
+}
+
+// QuickFig3 is the configuration used by tests and benches.
+func QuickFig3() Fig3Config {
+	return Fig3Config{Rows: 4000, Epsilons: []float64{1e-3, 1e-1}, Folds: 3, Repeats: 1, Seed: 23}
+}
+
+// FullFig3 matches the paper (30k rows, 10×10-fold CV).
+func FullFig3() Fig3Config {
+	return Fig3Config{Rows: dataset.CreditRows, Epsilons: []float64{1e-3, 1e-2, 1e-1}, Folds: 10, Repeats: 3, Seed: 23}
+}
+
+// Fig3Point is one (classifier, ε) AUC summary: 25/50/75 percentiles
+// over cross-validation folds.
+type Fig3Point struct {
+	Classifier    string
+	Eps           float64
+	P25, P50, P75 float64
+}
+
+// Fig3 runs the experiment. The non-private Unperturbed and the Majority
+// baseline are included as ε-independent references (reported once per
+// ε for the plot).
+func Fig3(cfg Fig3Config) []Fig3Point {
+	tbl := creditTable(cfg)
+	classifiers := []struct {
+		name string
+		plan nbayes.Plan
+	}{
+		{"Identity", nbayes.PlanIdentity},
+		{"Workload(Cormode)", nbayes.PlanWorkload},
+		{"WorkloadLS", nbayes.PlanWorkloadLS},
+		{"SelectLS", nbayes.PlanSelectLS},
+	}
+	var out []Fig3Point
+	cleanAUCs := nbayes.Evaluate(tbl, nil, 0, cfg.Folds, cfg.Repeats, cfg.Seed)
+	for _, eps := range cfg.Epsilons {
+		out = append(out, quartiles("Unperturbed", eps, cleanAUCs))
+		out = append(out, Fig3Point{Classifier: "Majority", Eps: eps, P25: nbayes.MajorityAUC, P50: nbayes.MajorityAUC, P75: nbayes.MajorityAUC})
+		for _, c := range classifiers {
+			aucs := nbayes.Evaluate(tbl, c.plan, eps, cfg.Folds, cfg.Repeats, cfg.Seed+uint64(eps*1e6))
+			out = append(out, quartiles(c.name, eps, aucs))
+		}
+	}
+	return out
+}
+
+func creditTable(cfg Fig3Config) *dataset.Table {
+	full := dataset.CreditDefault(cfg.Seed)
+	if cfg.Rows >= full.NumRows() {
+		return full
+	}
+	t := dataset.New(full.Schema())
+	for i := 0; i < cfg.Rows; i++ {
+		t.Append(full.Row(i)...)
+	}
+	return t
+}
+
+func quartiles(name string, eps float64, values []float64) Fig3Point {
+	v := vec.Clone(values)
+	sort.Float64s(v)
+	q := func(p float64) float64 {
+		if len(v) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(v)-1))
+		return v[idx]
+	}
+	return Fig3Point{Classifier: name, Eps: eps, P25: q(0.25), P50: q(0.5), P75: q(0.75)}
+}
+
+// Fig3String renders the AUC series.
+func Fig3String(points []Fig3Point) string {
+	header := []string{"Classifier", "eps", "AUC p25", "AUC p50", "AUC p75"}
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{p.Classifier, fmtF(p.Eps), fmtF(p.P25), fmtF(p.P50), fmtF(p.P75)}
+	}
+	return Table(header, rows)
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core/plans"
+	"repro/internal/core/selection"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/noise"
+	"repro/internal/solver"
+	"repro/internal/vec"
+)
+
+// Repr names a physical matrix representation (paper §7.2).
+type Repr string
+
+// The three representations the paper compares, plus the "basic sparse"
+// variant used for HB-Striped_kron in Fig. 4b (the Kronecker product
+// replaced by one materialized sparse matrix over the full domain).
+const (
+	ReprDense       Repr = "dense"
+	ReprSparse      Repr = "sparse"
+	ReprImplicit    Repr = "implicit"
+	ReprBasicSparse Repr = "basic-sparse"
+)
+
+// Fig4Row is one (plan, domain, representation) timing; Skipped is a
+// reason string when the configuration is infeasible (matching the
+// paper's timeout/absent points).
+type Fig4Row struct {
+	Plan    string
+	Domain  int
+	Repr    Repr
+	Seconds float64
+	Skipped string
+}
+
+// Fig4aConfig parameterizes the low-dimensional plan-scalability sweep
+// (paper Fig. 4a: domains 4^7..4^13, 1000s timeout).
+type Fig4aConfig struct {
+	Domains   []int // total domain sizes (squares for 2-D plans)
+	Eps       float64
+	Scale     float64
+	Seed      uint64
+	MaxDense  int // largest domain for which dense is attempted
+	MaxSparse int // nnz budget for explicit sparse strategies
+	Solver    solver.Options
+}
+
+// QuickFig4a keeps the sweep small for tests.
+func QuickFig4a() Fig4aConfig {
+	return Fig4aConfig{Domains: []int{256, 1024}, Eps: 0.1, Scale: 20000, Seed: 31,
+		MaxDense: 1024, MaxSparse: 1 << 22, Solver: solver.Options{MaxIter: 40, Tol: 1e-6}}
+}
+
+// FullFig4a approximates the paper's sweep (dense capped by memory,
+// the top domain bounded so the HDMM strategy search stays tractable).
+func FullFig4a() Fig4aConfig {
+	return Fig4aConfig{Domains: []int{1 << 12, 1 << 14, 1 << 16, 1 << 18}, Eps: 0.1, Scale: 1e5, Seed: 31,
+		MaxDense: 4096, MaxSparse: 1 << 26, Solver: solver.Options{MaxIter: 60, Tol: 1e-6}}
+}
+
+// fig4aStrategy builds the (data-independent) selection matrix of a
+// Fig. 4a plan over domain n; side is the 2-D side length when the plan
+// is spatial.
+func fig4aStrategy(plan string, n int, scale, eps float64) (mat.Matrix, bool) {
+	side := int(math.Sqrt(float64(n)))
+	switch plan {
+	case "Identity":
+		return selection.Identity(n), true
+	case "Uniform":
+		return selection.Total(n), true
+	case "Privelet":
+		return selection.Privelet(n), true
+	case "H2":
+		return selection.H2(n), true
+	case "HB":
+		return selection.HB(n), true
+	case "Greedy-H":
+		return selection.GreedyH(n, []mat.Range1D{{Lo: 0, Hi: n - 1}}), true
+	case "QuadTree":
+		return selection.QuadTree(side, side), true
+	case "UniformGrid":
+		g := selection.UniformGridCells(scale, eps, side)
+		return selection.UniformGrid(side, side, g), true
+	default:
+		return nil, false
+	}
+}
+
+// Fig4aPlans lists the plans of the sweep, data-independent first.
+var Fig4aPlans = []string{
+	"Identity", "Uniform", "Privelet", "H2", "HB", "Greedy-H",
+	"QuadTree", "UniformGrid",
+	"AHP", "DAWA", "MWEM variant c", "MWEM variant d", "AdaptiveGrid", "HDMM",
+}
+
+// Fig4a times each plan × domain × representation. Data-independent
+// plans are timed in all three representations (strategy construction +
+// sensitivity + measurement + least-squares); data-dependent plans run
+// end-to-end in the implicit representation (their measurement sets are
+// chosen at run time, so a fixed explicit conversion has no analogue —
+// see EXPERIMENTS.md).
+func Fig4a(cfg Fig4aConfig) []Fig4Row {
+	var rows []Fig4Row
+	for _, n := range cfg.Domains {
+		x := dataset.Synthetic1D("gauss-mix", n, cfg.Scale, cfg.Seed)
+		for _, plan := range Fig4aPlans {
+			if strategy, ok := fig4aStrategy(plan, n, cfg.Scale, cfg.Eps); ok {
+				for _, repr := range []Repr{ReprDense, ReprSparse, ReprImplicit} {
+					rows = append(rows, timeStrategy(plan, n, repr, strategy, x, cfg))
+				}
+				continue
+			}
+			rows = append(rows, timeDataDependent(plan, n, x, cfg))
+			for _, repr := range []Repr{ReprDense, ReprSparse} {
+				rows = append(rows, Fig4Row{Plan: plan, Domain: n, Repr: repr,
+					Skipped: "data-dependent selection: implicit only"})
+			}
+		}
+	}
+	return rows
+}
+
+// timeStrategy measures one (strategy, representation) configuration.
+func timeStrategy(plan string, n int, repr Repr, strategy mat.Matrix, x []float64, cfg Fig4aConfig) Fig4Row {
+	row := Fig4Row{Plan: plan, Domain: n, Repr: repr}
+	m := strategy
+	switch repr {
+	case ReprDense:
+		if n > cfg.MaxDense {
+			row.Skipped = "dense too large"
+			return row
+		}
+		m = mat.Materialize(strategy)
+	case ReprSparse:
+		s, ok := mat.ToSparse(strategy, cfg.MaxSparse)
+		if !ok {
+			row.Skipped = "no explicit sparse form"
+			return row
+		}
+		m = s
+	}
+	d := timeIt(func() {
+		_, h := kernel.InitVector(x, cfg.Eps, noise.NewRand(cfg.Seed))
+		y, _, err := h.VectorLaplace(m, cfg.Eps)
+		if err != nil {
+			panic(err)
+		}
+		_ = solver.LeastSquares(m, y, nil, cfg.Solver)
+	})
+	row.Seconds = d.Seconds()
+	return row
+}
+
+// timeDataDependent measures a full data-dependent plan end to end.
+func timeDataDependent(plan string, n int, x []float64, cfg Fig4aConfig) Fig4Row {
+	row := Fig4Row{Plan: plan, Domain: n, Repr: ReprImplicit}
+	side := int(math.Sqrt(float64(n)))
+	total := vec.Sum(x)
+	run := func() error {
+		_, h := kernel.InitVector(x, cfg.Eps, noise.NewRand(cfg.Seed+1))
+		switch plan {
+		case "AHP":
+			_, err := plans.AHP(h, cfg.Eps, plans.AHPConfig{})
+			return err
+		case "DAWA":
+			_, err := plans.DAWA(h, cfg.Eps, plans.DAWAConfig{})
+			return err
+		case "MWEM variant c":
+			w := workloadForMWEM(n, cfg.Seed)
+			_, err := plans.MWEM(h, w, cfg.Eps, plans.MWEMConfig{Rounds: 6, Total: total, UseNNLS: true})
+			return err
+		case "MWEM variant d":
+			w := workloadForMWEM(n, cfg.Seed)
+			_, err := plans.MWEM(h, w, cfg.Eps, plans.MWEMConfig{Rounds: 6, Total: total, AugmentH2: true, UseNNLS: true})
+			return err
+		case "AdaptiveGrid":
+			_, err := plans.AdaptiveGrid(h, side, side, cfg.Eps, plans.AdaptiveGridConfig{NEst: total})
+			return err
+		case "HDMM":
+			_, err := plans.HDMM(h, []mat.Matrix{mat.Prefix(n)}, cfg.Eps, noise.NewRand(cfg.Seed+2))
+			return err
+		default:
+			return nil
+		}
+	}
+	d := timeIt(func() {
+		if err := run(); err != nil {
+			panic(err)
+		}
+	})
+	row.Seconds = d.Seconds()
+	return row
+}
+
+func workloadForMWEM(n int, seed uint64) *mat.RangeQueriesMat {
+	rng := noise.NewRand(seed + 3)
+	ranges := make([]mat.Range1D, 64)
+	for i := range ranges {
+		a, b := rng.IntN(n), rng.IntN(n)
+		if a > b {
+			a, b = b, a
+		}
+		ranges[i] = mat.Range1D{Lo: a, Hi: b}
+	}
+	return mat.RangeQueries(n, ranges)
+}
+
+// Fig4bConfig parameterizes the multi-dimensional sweep (paper Fig. 4b:
+// DAWA-Striped, PrivBayesLS, HB-Striped, HB-Striped_kron on domains
+// 1e4..1e8).
+type Fig4bConfig struct {
+	IncomeSizes []int // first-attribute sizes; full shape is [s, 5, 7, 4, 2]
+	Eps         float64
+	Rows        int
+	Seed        uint64
+	MaxSparse   int
+	Solver      solver.Options
+}
+
+// QuickFig4b keeps the sweep small for tests.
+func QuickFig4b() Fig4bConfig {
+	return Fig4bConfig{IncomeSizes: []int{20, 80}, Eps: 1, Rows: 4000, Seed: 37,
+		MaxSparse: 1 << 22, Solver: solver.Options{MaxIter: 30, Tol: 1e-6}}
+}
+
+// FullFig4b approximates the paper's domain range.
+func FullFig4b() Fig4bConfig {
+	return Fig4bConfig{IncomeSizes: []int{50, 500, 5000}, Eps: 1, Rows: dataset.CensusRows, Seed: 37,
+		MaxSparse: 1 << 26, Solver: solver.Options{MaxIter: 50, Tol: 1e-6}}
+}
+
+// Fig4bPlans lists the multi-dimensional plans of the sweep.
+var Fig4bPlans = []string{"DAWA-Striped", "PrivBayesLS", "HB-Striped", "HB-Striped_kron"}
+
+// Fig4b times the multi-dimensional plans; HB-Striped_kron is also run
+// with its Kronecker strategy flattened to one explicit sparse matrix
+// ("basic sparse"), reproducing the paper's comparison point.
+func Fig4b(cfg Fig4bConfig) []Fig4Row {
+	var rows []Fig4Row
+	for _, s := range cfg.IncomeSizes {
+		shape := []int{s, 5, 7, 4, 2}
+		tbl := censusTable(Table5Config{Schema: dataset.Schema{
+			{Name: "income", Size: s}, {Name: "age", Size: 5}, {Name: "status", Size: 7},
+			{Name: "race", Size: 4}, {Name: "gender", Size: 2},
+		}, Rows: cfg.Rows, Seed: cfg.Seed})
+		x := tbl.Vectorize()
+		n := len(x)
+		for _, plan := range Fig4bPlans {
+			row := Fig4Row{Plan: plan, Domain: n, Repr: ReprImplicit}
+			d := timeIt(func() {
+				_, h := kernel.InitVector(x, cfg.Eps, noise.NewRand(cfg.Seed+5))
+				var err error
+				switch plan {
+				case "DAWA-Striped":
+					_, err = plans.DAWAStriped(h, shape, 0, cfg.Eps, plans.DAWAStripedConfig{Solver: cfg.Solver})
+				case "PrivBayesLS":
+					_, err = plans.PrivBayesLS(h, cfg.Eps, plans.PrivBayesConfig{Shape: shape, Solver: cfg.Solver})
+				case "HB-Striped":
+					_, err = plans.HBStriped(h, shape, 0, cfg.Eps, cfg.Solver)
+				case "HB-Striped_kron":
+					_, err = plans.HBStripedKron(h, shape, 0, cfg.Eps, cfg.Solver)
+				}
+				if err != nil {
+					panic(err)
+				}
+			})
+			row.Seconds = d.Seconds()
+			rows = append(rows, row)
+
+			if plan == "HB-Striped_kron" {
+				rows = append(rows, timeBasicSparseKron(shape, x, cfg))
+			}
+		}
+	}
+	return rows
+}
+
+// timeBasicSparseKron replaces the implicit Kronecker strategy of
+// HB-Striped_kron with one materialized sparse matrix over the full
+// domain, then measures and infers with it.
+func timeBasicSparseKron(shape []int, x []float64, cfg Fig4bConfig) Fig4Row {
+	n := len(x)
+	row := Fig4Row{Plan: "HB-Striped_kron", Domain: n, Repr: ReprBasicSparse}
+	strategy := selection.StripeKron(shape, 0, selection.HB)
+	s, ok := mat.ToSparse(strategy, cfg.MaxSparse)
+	if !ok {
+		row.Skipped = "sparse strategy exceeds nnz budget"
+		return row
+	}
+	d := timeIt(func() {
+		_, h := kernel.InitVector(x, cfg.Eps, noise.NewRand(cfg.Seed+6))
+		y, _, err := h.VectorLaplace(s, cfg.Eps)
+		if err != nil {
+			panic(err)
+		}
+		_ = solver.LeastSquares(s, y, nil, cfg.Solver)
+	})
+	row.Seconds = d.Seconds()
+	return row
+}
+
+// Fig4String renders a timing sweep.
+func Fig4String(rows []Fig4Row) string {
+	header := []string{"Plan", "Domain", "Repr", "Time", "Note"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		timeCell := "-"
+		if r.Skipped == "" {
+			timeCell = fmtDur(time.Duration(r.Seconds * float64(time.Second)))
+		}
+		out[i] = []string{r.Plan, fmtF(float64(r.Domain)), string(r.Repr), timeCell, r.Skipped}
+	}
+	return Table(header, out)
+}

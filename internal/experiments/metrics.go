@@ -1,0 +1,96 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§10): Table 4 (MWEM variants), Table 5 (Census case
+// study), Figure 3 (Naive Bayes AUC), Figures 4a/4b (plan scalability by
+// matrix representation), Figure 5 (inference scalability) and Table 6
+// (workload-based domain reduction). Each experiment has a Quick
+// configuration used by tests and benches and a Full configuration
+// matching the paper's parameters, both runnable through
+// cmd/ektelo-bench.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/mat"
+)
+
+// L2PerQuery is the root-mean-squared per-query error of an estimate
+// against the truth under a workload.
+func L2PerQuery(w mat.Matrix, xhat, x []float64) float64 {
+	a := mat.Mul(w, xhat)
+	b := mat.Mul(w, x)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+// ScaledL2PerQuery normalizes L2PerQuery by the dataset scale (record
+// count), the metric of the paper's Table 5.
+func ScaledL2PerQuery(w mat.Matrix, xhat, x []float64, scale float64) float64 {
+	return L2PerQuery(w, xhat, x) / scale
+}
+
+// timeIt measures the wall-clock duration of f.
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// Table renders rows of cells as an aligned text table.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// fmtF formats a float compactly for table cells.
+func fmtF(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000 || math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// fmtDur formats a duration in seconds for table cells.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}

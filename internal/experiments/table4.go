@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core/plans"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/noise"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// Table4Config parameterizes the MWEM-variant comparison of paper
+// Table 4 (1-D, n=4096, W=RandomRange(1000), ε=0.1, error factors
+// relative to standard MWEM reported as min/mean/max over datasets).
+type Table4Config struct {
+	Domain   int
+	Queries  int
+	Eps      float64
+	Scale    float64
+	Rounds   int
+	Trials   int // noise trials per dataset
+	Datasets []string
+	Seed     uint64
+}
+
+// QuickTable4 is the configuration used by tests and benches.
+func QuickTable4() Table4Config {
+	return Table4Config{Domain: 256, Queries: 100, Eps: 0.1, Scale: 20000,
+		Rounds: 8, Trials: 2, Datasets: []string{"piecewise", "gauss-mix", "spikes", "uniform"}, Seed: 7}
+}
+
+// FullTable4 matches the paper's parameters.
+func FullTable4() Table4Config {
+	return Table4Config{Domain: 4096, Queries: 1000, Eps: 0.1, Scale: 1e5,
+		Rounds: 10, Trials: 3, Datasets: dataset.Synthetic1DKinds, Seed: 7}
+}
+
+// Table4Row reports one MWEM variant's error-improvement factors over
+// standard MWEM (min/mean/max across datasets) and its mean runtime
+// normalized to standard MWEM.
+type Table4Row struct {
+	Variant                 string
+	MinImp, MeanImp, MaxImp float64
+	RuntimeFactor           float64
+}
+
+// Table4 runs the experiment and returns one row per variant, in the
+// paper's order (a)–(d).
+func Table4(cfg Table4Config) []Table4Row {
+	type variant struct {
+		name string
+		cfg  func(total float64) plans.MWEMConfig
+	}
+	variants := []variant{
+		{"(a) worst-approx + MW", func(t float64) plans.MWEMConfig {
+			return plans.MWEMConfig{Rounds: cfg.Rounds, Total: t}
+		}},
+		{"(b) worst-approx+H2 + MW", func(t float64) plans.MWEMConfig {
+			return plans.MWEMConfig{Rounds: cfg.Rounds, Total: t, AugmentH2: true}
+		}},
+		{"(c) worst-approx + NNLS", func(t float64) plans.MWEMConfig {
+			return plans.MWEMConfig{Rounds: cfg.Rounds, Total: t, UseNNLS: true}
+		}},
+		{"(d) worst-approx+H2 + NNLS", func(t float64) plans.MWEMConfig {
+			return plans.MWEMConfig{Rounds: cfg.Rounds, Total: t, AugmentH2: true, UseNNLS: true}
+		}},
+	}
+
+	// errs[v][d]: mean error of variant v on dataset d; times[v]: total.
+	errs := make([][]float64, len(variants))
+	times := make([]time.Duration, len(variants))
+	for v := range errs {
+		errs[v] = make([]float64, len(cfg.Datasets))
+	}
+	for di, kind := range cfg.Datasets {
+		x := dataset.Synthetic1D(kind, cfg.Domain, cfg.Scale, cfg.Seed+uint64(di))
+		total := vec.Sum(x)
+		wrng := noise.NewRand(cfg.Seed + 100 + uint64(di))
+		w := workload.RandomRange(cfg.Domain, cfg.Queries, wrng)
+		for v, vr := range variants {
+			var errSum float64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := cfg.Seed + uint64(1000*v+10*di+trial)
+				_, h := kernel.InitVector(x, cfg.Eps, noise.NewRand(seed))
+				var xhat []float64
+				times[v] += timeIt(func() {
+					var err error
+					xhat, err = plans.MWEM(h, w, cfg.Eps, vr.cfg(total))
+					if err != nil {
+						panic(err)
+					}
+				})
+				errSum += L2PerQuery(w, xhat, x)
+			}
+			errs[v][di] = errSum / float64(cfg.Trials)
+		}
+	}
+
+	rows := make([]Table4Row, len(variants))
+	for v, vr := range variants {
+		row := Table4Row{Variant: vr.name}
+		minI, maxI, sum := 1e300, -1e300, 0.0
+		for di := range cfg.Datasets {
+			imp := errs[0][di] / errs[v][di] // factor by which error improved
+			if imp < minI {
+				minI = imp
+			}
+			if imp > maxI {
+				maxI = imp
+			}
+			sum += imp
+		}
+		row.MinImp, row.MaxImp = minI, maxI
+		row.MeanImp = sum / float64(len(cfg.Datasets))
+		row.RuntimeFactor = float64(times[v]) / float64(times[0])
+		rows[v] = row
+	}
+	return rows
+}
+
+// Table4String renders the experiment in the paper's layout.
+func Table4String(rows []Table4Row) string {
+	header := []string{"MWEM variant", "err min", "err mean", "err max", "runtime"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Variant, fmtF(r.MinImp), fmtF(r.MeanImp), fmtF(r.MaxImp), fmtF(r.RuntimeFactor)}
+	}
+	return Table(header, out)
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"repro/internal/core/plans"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/noise"
+	"repro/internal/solver"
+	"repro/internal/workload"
+)
+
+// Table5Config parameterizes the Census case study of paper §9.2/§10.1.2
+// (domain 5000×5×7×4×2 = 1.4M; workloads Identity, all 2-way marginals,
+// Prefix(Income); scaled per-query L2 error).
+type Table5Config struct {
+	Schema dataset.Schema
+	Rows   int
+	Eps    float64
+	Seed   uint64
+	Solver solver.Options
+}
+
+// QuickTable5 shrinks income to 250 buckets (domain 70k) for tests.
+func QuickTable5() Table5Config {
+	schema := dataset.Schema{
+		{Name: "income", Size: 250},
+		{Name: "age", Size: 5},
+		{Name: "status", Size: 7},
+		{Name: "race", Size: 4},
+		{Name: "gender", Size: 2},
+	}
+	return Table5Config{Schema: schema, Rows: 8000, Eps: 1.0, Seed: 11,
+		Solver: solver.Options{MaxIter: 60, Tol: 1e-7}}
+}
+
+// FullTable5 matches the paper's 1.4M-cell domain.
+func FullTable5() Table5Config {
+	return Table5Config{Schema: dataset.CensusSchema, Rows: dataset.CensusRows, Eps: 1.0, Seed: 11,
+		Solver: solver.Options{MaxIter: 120, Tol: 1e-7}}
+}
+
+// censusTable generates a synthetic census table matching cfg.Schema
+// (income buckets may be coarsened relative to dataset.Census).
+func censusTable(cfg Table5Config) *dataset.Table {
+	full := dataset.Census(cfg.Seed)
+	if cfg.Schema[0].Size == dataset.CensusSchema[0].Size && cfg.Rows >= full.NumRows() {
+		return full
+	}
+	// Coarsen income buckets and subsample rows.
+	t := dataset.New(cfg.Schema)
+	factor := dataset.CensusSchema[0].Size / cfg.Schema[0].Size
+	for i := 0; i < cfg.Rows && i < full.NumRows(); i++ {
+		row := full.Row(i)
+		row[0] /= factor
+		if row[0] >= cfg.Schema[0].Size {
+			row[0] = cfg.Schema[0].Size - 1
+		}
+		t.Append(row...)
+	}
+	return t
+}
+
+// Table5Cell is one (algorithm, workload) error entry.
+type Table5Cell struct {
+	Algorithm string
+	Workload  string
+	Error     float64
+}
+
+// Table5 runs the five algorithms of the paper's Table 5 against the
+// three Census workloads and returns the scaled per-query L2 errors.
+func Table5(cfg Table5Config) []Table5Cell {
+	tbl := censusTable(cfg)
+	x := tbl.Vectorize()
+	shape := cfg.Schema.Sizes()
+	scale := float64(tbl.NumRows())
+
+	workloads := []struct {
+		name string
+		m    mat.Matrix
+	}{
+		{"Identity", workload.Identity(len(x))},
+		{"2-way Marg.", workload.AllKWayMarginals(cfg.Schema, 2)},
+		{"Prefix(Income)", workload.CensusPrefixIncome(cfg.Schema)},
+	}
+
+	algorithms := []struct {
+		name string
+		run  func(h *kernel.Handle) ([]float64, error)
+	}{
+		{"Identity", func(h *kernel.Handle) ([]float64, error) {
+			return plans.Identity(h, cfg.Eps)
+		}},
+		{"PrivBayes", func(h *kernel.Handle) ([]float64, error) {
+			return plans.PrivBayes(h, cfg.Eps, plans.PrivBayesConfig{Shape: shape, Solver: cfg.Solver})
+		}},
+		{"PrivBayesLS", func(h *kernel.Handle) ([]float64, error) {
+			return plans.PrivBayesLS(h, cfg.Eps, plans.PrivBayesConfig{Shape: shape, Solver: cfg.Solver})
+		}},
+		{"HB-Striped", func(h *kernel.Handle) ([]float64, error) {
+			return plans.HBStriped(h, shape, 0, cfg.Eps, cfg.Solver)
+		}},
+		{"DAWA-Striped", func(h *kernel.Handle) ([]float64, error) {
+			// The income stripes answer prefix-style workloads: let
+			// GreedyH adapt to all prefixes of the stripe.
+			prefixes := make([]mat.Range1D, shape[0])
+			for i := range prefixes {
+				prefixes[i] = mat.Range1D{Lo: 0, Hi: i}
+			}
+			return plans.DAWAStriped(h, shape, 0, cfg.Eps,
+				plans.DAWAStripedConfig{StripeWorkload: prefixes, Solver: cfg.Solver})
+		}},
+	}
+
+	var cells []Table5Cell
+	for _, alg := range algorithms {
+		_, h := kernel.InitVector(x, cfg.Eps, noise.NewRand(cfg.Seed+17))
+		xhat, err := alg.run(h)
+		if err != nil {
+			panic(err)
+		}
+		for _, wl := range workloads {
+			cells = append(cells, Table5Cell{
+				Algorithm: alg.name,
+				Workload:  wl.name,
+				Error:     ScaledL2PerQuery(wl.m, xhat, x, scale),
+			})
+		}
+	}
+	return cells
+}
+
+// Table5String renders the experiment in the paper's layout (algorithms
+// as rows, workloads as columns).
+func Table5String(cells []Table5Cell) string {
+	algOrder := []string{"Identity", "PrivBayes", "PrivBayesLS", "HB-Striped", "DAWA-Striped"}
+	wlOrder := []string{"Identity", "2-way Marg.", "Prefix(Income)"}
+	get := func(a, w string) string {
+		for _, c := range cells {
+			if c.Algorithm == a && c.Workload == w {
+				return fmtF(c.Error)
+			}
+		}
+		return "-"
+	}
+	rows := make([][]string, len(algOrder))
+	for i, a := range algOrder {
+		rows[i] = []string{a, get(a, wlOrder[0]), get(a, wlOrder[1]), get(a, wlOrder[2])}
+	}
+	return Table(append([]string{"Algorithm"}, wlOrder...), rows)
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core/partition"
+	"repro/internal/core/plans"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/noise"
+	"repro/internal/workload"
+)
+
+// Table6Config parameterizes the workload-driven data-reduction
+// experiment (paper §10.3: W = RandomRange with small ranges; AHP on
+// 128×128, DAWA on 4096, Identity on 256×256, HB on 4096).
+type Table6Config struct {
+	Queries  int
+	MaxWidth int // small-range width cap
+	Eps      float64
+	Scale    float64
+	Trials   int
+	Seed     uint64
+	Domains  map[string]int // per-algorithm original domain size
+}
+
+// QuickTable6 shrinks the domains for tests.
+func QuickTable6() Table6Config {
+	return Table6Config{Queries: 60, MaxWidth: 8, Eps: 0.5, Scale: 20000, Trials: 2, Seed: 43,
+		Domains: map[string]int{"AHP": 1024, "DAWA": 512, "Identity": 4096, "HB": 512}}
+}
+
+// FullTable6 matches the paper's domain sizes (2-D domains flattened:
+// the algorithms operate on the vectorized form either way).
+func FullTable6() Table6Config {
+	return Table6Config{Queries: 1000, MaxWidth: 32, Eps: 0.5, Scale: 1e5, Trials: 3, Seed: 43,
+		Domains: map[string]int{"AHP": 128 * 128, "DAWA": 4096, "Identity": 256 * 256, "HB": 4096}}
+}
+
+// Table6Row reports an algorithm's error and runtime with and without
+// workload-based reduction, plus the improvement factors.
+type Table6Row struct {
+	Algorithm             string
+	OrigDomain            int
+	ReducedDomain         int
+	ErrOrig, ErrReduced   float64
+	TimeOrig, TimeReduced time.Duration
+	ErrFactor, TimeFactor float64
+}
+
+// Table6Algorithms lists the paper's four algorithms.
+var Table6Algorithms = []string{"AHP", "DAWA", "Identity", "HB"}
+
+// Table6 runs each algorithm on the original domain and on the
+// workload-reduced domain and compares error and runtime.
+func Table6(cfg Table6Config) []Table6Row {
+	var rows []Table6Row
+	for _, alg := range Table6Algorithms {
+		n := cfg.Domains[alg]
+		x := dataset.Synthetic1D("piecewise", n, cfg.Scale, cfg.Seed)
+		wrng := noise.NewRand(cfg.Seed + 1)
+		w := workload.RandomSmallRange(n, cfg.Queries, cfg.MaxWidth, wrng)
+		trueAns := mat.Mul(w, x)
+
+		// Workload-based reduction (public: uses only W).
+		p := partition.WorkloadBased(w, noise.NewRand(cfg.Seed+2), 2)
+		wReduced := p.ReduceWorkload(w)
+
+		row := Table6Row{Algorithm: alg, OrigDomain: n, ReducedDomain: p.K}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := cfg.Seed + uint64(10+trial)
+
+			// Original domain.
+			_, h := kernel.InitVector(x, cfg.Eps, noise.NewRand(seed))
+			var xhat []float64
+			row.TimeOrig += timeIt(func() { xhat = runTable6Plan(alg, h, n, cfg.Eps) })
+			row.ErrOrig += answerErr(mat.Mul(w, xhat), trueAns) / float64(cfg.Trials)
+
+			// Reduced domain: the reduction is a 1-stable transform inside
+			// the kernel, then the same plan runs on the reduced vector.
+			_, h2 := kernel.InitVector(x, cfg.Eps, noise.NewRand(seed+500))
+			var ansReduced []float64
+			row.TimeReduced += timeIt(func() {
+				hr := h2.ReduceByPartition(p.Matrix())
+				xr := runTable6Plan(alg, hr, p.K, cfg.Eps)
+				ansReduced = mat.Mul(wReduced, xr)
+			})
+			row.ErrReduced += answerErr(ansReduced, trueAns) / float64(cfg.Trials)
+		}
+		row.ErrFactor = row.ErrOrig / row.ErrReduced
+		row.TimeFactor = float64(row.TimeOrig) / float64(row.TimeReduced)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// runTable6Plan executes one of the four algorithms on a vector handle
+// of domain n, returning the estimate over that domain.
+func runTable6Plan(alg string, h *kernel.Handle, n int, eps float64) []float64 {
+	var xhat []float64
+	var err error
+	switch alg {
+	case "AHP":
+		xhat, err = plans.AHP(h, eps, plans.AHPConfig{})
+	case "DAWA":
+		xhat, err = plans.DAWA(h, eps, plans.DAWAConfig{})
+	case "Identity":
+		xhat, err = plans.Identity(h, eps)
+	case "HB":
+		xhat, err = plans.HB(h, eps)
+	default:
+		panic("experiments: unknown Table 6 algorithm " + alg)
+	}
+	if err != nil {
+		panic(err)
+	}
+	// Plans infer relative to the handle they are given, so the estimate
+	// always has the handle's domain width.
+	if len(xhat) != n {
+		panic("experiments: plan estimate width mismatch")
+	}
+	return xhat
+}
+
+func answerErr(got, want []float64) float64 {
+	var s float64
+	for i := range got {
+		d := got[i] - want[i]
+		s += d * d
+	}
+	return s / float64(len(got))
+}
+
+// Table6String renders the experiment in the paper's layout.
+func Table6String(rows []Table6Row) string {
+	header := []string{"Algorithm", "orig n", "reduced n", "err orig", "time orig", "err reduced", "time reduced", "err factor", "time factor"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Algorithm, fmtF(float64(r.OrigDomain)), fmtF(float64(r.ReducedDomain)),
+			fmtF(r.ErrOrig), fmtDur(r.TimeOrig), fmtF(r.ErrReduced), fmtDur(r.TimeReduced),
+			fmtF(r.ErrFactor), fmtF(r.TimeFactor),
+		}
+	}
+	return Table(header, out)
+}

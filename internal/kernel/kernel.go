@@ -1,0 +1,506 @@
+// Package kernel implements EKTELO's protected kernel (paper §4): the
+// trusted component that holds the private data, services privileged
+// operator requests, tracks the transformation graph with per-source
+// stability, and enforces the global privacy budget with the recursive
+// request procedure of the paper's Algorithm 2 (including the special
+// accounting for partition variables that realizes parallel composition).
+//
+// Client code holds only opaque *Handle values; the raw table and vector
+// state never leaves the kernel except through noisy Private→Public
+// operators (NoisyCount, VectorLaplace, WorstApprox, NoisyMax).
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/noise"
+)
+
+// ErrBudgetExceeded is returned when a Private→Public operator would push
+// cumulative consumption past the global budget. The decision to return
+// it never depends on the private data (paper §4.3).
+var ErrBudgetExceeded = errors.New("kernel: privacy budget exceeded")
+
+type sourceKind int
+
+const (
+	kindTable sourceKind = iota
+	kindVector
+	kindPartition // dummy partition variable (paper §4.4)
+)
+
+// node is one data-source variable in the transformation graph.
+type node struct {
+	id        int
+	parent    int // -1 for the root
+	kind      sourceKind
+	table     *dataset.Table
+	vector    []float64
+	stability float64 // stability of the transform deriving this node
+	budget    float64 // B(sv): budget consumed by queries on sv or descendants
+	// edge maps the nearest ancestor *vector* node's domain to this
+	// node's domain (x_this = edge · x_ancestorVector); nil for vectorize
+	// roots, table nodes and partition dummies. It is public plan
+	// metadata used by inference.
+	edge mat.Matrix
+	// edgeFrom is the id of the vector node edge maps from (for split
+	// children this skips the partition dummy); -1 when edge is nil.
+	edgeFrom int
+}
+
+// Kernel is the protected kernel state (paper §4.4, S_kernel).
+type Kernel struct {
+	epsTotal float64
+	rng      *rand.Rand
+	nodes    []*node
+	history  []QueryRecord
+}
+
+// QueryRecord is one entry of the kernel's query history 𝒬.
+type QueryRecord struct {
+	Source  int
+	Epsilon float64
+	Kind    string
+}
+
+// Handle is a client-visible reference to a protected data source.
+type Handle struct {
+	k  *Kernel
+	id int
+}
+
+// InitTable initializes a kernel protecting the given table with global
+// budget epsTotal (paper Init(T, ε_tot)).
+func InitTable(t *dataset.Table, epsTotal float64, rng *rand.Rand) (*Kernel, *Handle) {
+	k := &Kernel{epsTotal: epsTotal, rng: rng}
+	id := k.addNode(&node{parent: -1, kind: kindTable, table: t, stability: 1, edgeFrom: -1})
+	return k, &Handle{k: k, id: id}
+}
+
+// InitVector initializes a kernel protecting a data vector directly,
+// a convenience for plans that operate purely on vectorized data.
+func InitVector(x []float64, epsTotal float64, rng *rand.Rand) (*Kernel, *Handle) {
+	k := &Kernel{epsTotal: epsTotal, rng: rng}
+	id := k.addNode(&node{parent: -1, kind: kindVector, vector: x, stability: 1, edgeFrom: -1})
+	return k, &Handle{k: k, id: id}
+}
+
+func (k *Kernel) addNode(n *node) int {
+	n.id = len(k.nodes)
+	k.nodes = append(k.nodes, n)
+	return n.id
+}
+
+// Remaining returns the unconsumed portion of the global budget.
+func (k *Kernel) Remaining() float64 { return k.epsTotal - k.nodes[0].budget }
+
+// Consumed returns the budget consumed at the root (total privacy loss).
+func (k *Kernel) Consumed() float64 { return k.nodes[0].budget }
+
+// History returns a copy of the query history.
+func (k *Kernel) History() []QueryRecord {
+	return append([]QueryRecord(nil), k.history...)
+}
+
+// NodeState is a public snapshot of one transformation-graph node's
+// bookkeeping (paper §4.4: the stability tracker St and budget tracker
+// B). It contains no private data and exists so that audits and tests
+// can verify the Algorithm 2 accounting at every node, not just the
+// root.
+type NodeState struct {
+	ID        int
+	Parent    int
+	Kind      string // "table", "vector" or "partition"
+	Stability float64
+	Budget    float64
+	Domain    int // vector length, or -1 for non-vector nodes
+}
+
+// Nodes returns the bookkeeping snapshot of the whole transformation
+// graph in creation order.
+func (k *Kernel) Nodes() []NodeState {
+	out := make([]NodeState, len(k.nodes))
+	for i, n := range k.nodes {
+		kind := "vector"
+		domain := -1
+		switch n.kind {
+		case kindTable:
+			kind = "table"
+		case kindPartition:
+			kind = "partition"
+		default:
+			domain = len(n.vector)
+		}
+		out[i] = NodeState{ID: n.id, Parent: n.parent, Kind: kind,
+			Stability: n.stability, Budget: n.budget, Domain: domain}
+	}
+	return out
+}
+
+// ID returns the handle's node id, for correlating with Nodes().
+func (h *Handle) ID() int { return h.id }
+
+const budgetSlack = 1e-9 // absorbs float accumulation in repeated requests
+
+// request implements the paper's Algorithm 2. fromChild is the node from
+// which the request arrived (-1 when sv itself is queried directly).
+func (k *Kernel) request(id, fromChild int, sigma float64) bool {
+	n := k.nodes[id]
+	switch {
+	case n.parent == -1 && n.kind != kindPartition:
+		if n.budget+sigma > k.epsTotal+budgetSlack {
+			return false
+		}
+		n.budget += sigma
+		return true
+	case n.kind == kindPartition:
+		if fromChild < 0 {
+			panic("kernel: direct query on a partition variable")
+		}
+		r := k.nodes[fromChild].budget + sigma - n.budget
+		if r < 0 {
+			r = 0
+		}
+		if !k.request(n.parent, id, r) {
+			return false
+		}
+		n.budget += r
+		return true
+	default:
+		if !k.request(n.parent, id, n.stability*sigma) {
+			return false
+		}
+		n.budget += sigma
+		return true
+	}
+}
+
+// Stability returns the stability of the node's deriving transform.
+func (h *Handle) Stability() float64 { return h.k.nodes[h.id].stability }
+
+// node fetches the handle's node with kind validation.
+func (h *Handle) node(want sourceKind) *node {
+	n := h.k.nodes[h.id]
+	if n.kind != want {
+		panic(fmt.Sprintf("kernel: handle %d has kind %d, operator requires %d", h.id, n.kind, want))
+	}
+	return n
+}
+
+// Domain returns the length of a vector source; it is public metadata.
+func (h *Handle) Domain() int { return len(h.node(kindVector).vector) }
+
+// ---------------------------------------------------------------------
+// Transformation operators (Private: act on protected state, return only
+// acknowledgement via a new handle).
+// ---------------------------------------------------------------------
+
+// Where applies a predicate filter to a table source (1-stable).
+func (h *Handle) Where(p dataset.Predicate) *Handle {
+	n := h.node(kindTable)
+	id := h.k.addNode(&node{parent: h.id, kind: kindTable, table: n.table.Where(p), stability: 1, edgeFrom: -1})
+	return &Handle{k: h.k, id: id}
+}
+
+// Select projects a table source onto the named attributes (1-stable).
+func (h *Handle) Select(names ...string) *Handle {
+	n := h.node(kindTable)
+	id := h.k.addNode(&node{parent: h.id, kind: kindTable, table: n.table.Select(names...), stability: 1, edgeFrom: -1})
+	return &Handle{k: h.k, id: id}
+}
+
+// SplitTableByPartition splits a table source into disjoint sub-tables
+// by a grouping of the named attribute's values (the table-level TP
+// operator of paper §5.1). Like the vector split, a dummy partition
+// variable is inserted so budget spent on different groups composes in
+// parallel. groups[v] is the group of attribute value v (-1 drops it).
+func (h *Handle) SplitTableByPartition(attr string, groups []int, numGroups int) []*Handle {
+	n := h.node(kindTable)
+	parts := n.table.SplitByPartition(attr, groups, numGroups)
+	dummy := h.k.addNode(&node{parent: h.id, kind: kindPartition, stability: 1, edgeFrom: -1})
+	out := make([]*Handle, numGroups)
+	for g, sub := range parts {
+		id := h.k.addNode(&node{parent: dummy, kind: kindTable, table: sub, stability: 1, edgeFrom: -1})
+		out[g] = &Handle{k: h.k, id: id}
+	}
+	return out
+}
+
+// GroupBy replaces a table source by its per-value projection onto the
+// named attribute, keeping one representative row per distinct value
+// (the PINQ-style GroupBy of paper §5.1). Removing one input row can
+// both remove one group and create another, so the transform is
+// 2-stable; the budget accounting reflects that automatically.
+func (h *Handle) GroupBy(attr string) *Handle {
+	n := h.node(kindTable)
+	col := n.table.Column(attr)
+	k := n.table.Schema().Index(attr)
+	if k < 0 {
+		panic(fmt.Sprintf("kernel: GroupBy unknown attribute %q", attr))
+	}
+	grouped := dataset.New(dataset.Schema{n.table.Schema()[k]})
+	seen := map[int]bool{}
+	for _, v := range col {
+		if !seen[v] {
+			seen[v] = true
+			grouped.Append(v)
+		}
+	}
+	id := h.k.addNode(&node{parent: h.id, kind: kindTable, table: grouped, stability: 2, edgeFrom: -1})
+	return &Handle{k: h.k, id: id}
+}
+
+// VectorGeometric answers the query set M with the two-sided geometric
+// mechanism — the discrete analogue of VectorLaplace, immune to the
+// floating-point attacks of Mironov (paper §1) when answers are
+// integer counts. The returned noise scale is the standard deviation
+// of the geometric noise, for inference weighting.
+func (h *Handle) VectorGeometric(m mat.Matrix, eps float64) (answers []float64, noiseScale float64, err error) {
+	n := h.node(kindVector)
+	if eps <= 0 {
+		return nil, 0, fmt.Errorf("kernel: VectorGeometric requires positive eps, got %g", eps)
+	}
+	_, mc := m.Dims()
+	if mc != len(n.vector) {
+		return nil, 0, fmt.Errorf("kernel: VectorGeometric matrix cols %d != domain %d", mc, len(n.vector))
+	}
+	if !h.k.request(h.id, -1, eps) {
+		return nil, 0, ErrBudgetExceeded
+	}
+	sens := mat.L1Sensitivity(m)
+	h.k.history = append(h.k.history, QueryRecord{Source: h.id, Epsilon: eps, Kind: "VectorGeometric"})
+	y := mat.Mul(m, n.vector)
+	for i := range y {
+		y[i] += float64(noise.TwoSidedGeometric(h.k.rng, eps, sens))
+	}
+	// Var of the two-sided geometric with alpha = exp(-eps/sens) is
+	// 2*alpha/(1-alpha)^2; report the std dev as the scale.
+	alpha := math.Exp(-eps / sens)
+	sd := math.Sqrt(2*alpha) / (1 - alpha)
+	return y, sd, nil
+}
+
+// Vectorize converts a table source into its count vector over the full
+// attribute domain (T-Vectorize; 1-stable). The resulting node is a
+// lineage root: measurements on its descendants map back to this domain.
+func (h *Handle) Vectorize() *Handle {
+	n := h.node(kindTable)
+	id := h.k.addNode(&node{parent: h.id, kind: kindVector, vector: n.table.Vectorize(), stability: 1, edgeFrom: -1})
+	return &Handle{k: h.k, id: id}
+}
+
+// TableSchema exposes the schema of a table source (public metadata).
+func (h *Handle) TableSchema() dataset.Schema { return h.node(kindTable).table.Schema() }
+
+// ReduceByPartition applies the V-ReduceByPartition transform: the new
+// vector is P·x for the p×n partition matrix P (1-stable, since partition
+// matrices have unit L1 column norms).
+func (h *Handle) ReduceByPartition(p mat.Matrix) *Handle {
+	n := h.node(kindVector)
+	pr, pc := p.Dims()
+	if pc != len(n.vector) {
+		panic(fmt.Sprintf("kernel: partition matrix %dx%d does not match domain %d", pr, pc, len(n.vector)))
+	}
+	reduced := mat.Mul(p, n.vector)
+	id := h.k.addNode(&node{parent: h.id, kind: kindVector, vector: reduced, stability: 1, edge: p, edgeFrom: h.id})
+	return &Handle{k: h.k, id: id}
+}
+
+// Transform applies a general linear vector transform M (x' = M·x). Its
+// stability is the maximum L1 column norm of M (paper §5.1), computed
+// automatically.
+func (h *Handle) Transform(m mat.Matrix) *Handle {
+	n := h.node(kindVector)
+	_, mc := m.Dims()
+	if mc != len(n.vector) {
+		panic("kernel: transform matrix does not match domain")
+	}
+	stability := mat.L1Sensitivity(m)
+	id := h.k.addNode(&node{parent: h.id, kind: kindVector, vector: mat.Mul(m, n.vector), stability: stability, edge: m, edgeFrom: h.id})
+	return &Handle{k: h.k, id: id}
+}
+
+// SplitByPartition applies V-SplitByPartition: the data vector is split
+// into one sub-vector per partition group (1-stable). A dummy partition
+// variable is inserted between the source and the children so that budget
+// consumed on disjoint children composes in parallel (paper Algorithm 2).
+// groups[i] is the group of cell i; group count is numGroups.
+func (h *Handle) SplitByPartition(groups []int, numGroups int) []*Handle {
+	n := h.node(kindVector)
+	if len(groups) != len(n.vector) {
+		panic("kernel: SplitByPartition group map size mismatch")
+	}
+	dummy := h.k.addNode(&node{parent: h.id, kind: kindPartition, stability: 1})
+	// Collect the cell indices of each group, in domain order.
+	members := make([][]int, numGroups)
+	for i, g := range groups {
+		if g < 0 {
+			continue
+		}
+		if g >= numGroups {
+			panic("kernel: SplitByPartition group out of range")
+		}
+		members[g] = append(members[g], i)
+	}
+	out := make([]*Handle, numGroups)
+	for g, cells := range members {
+		sub := make([]float64, len(cells))
+		entries := make([]mat.Triplet, len(cells))
+		for j, c := range cells {
+			sub[j] = n.vector[c]
+			entries[j] = mat.Triplet{Row: j, Col: c, Val: 1}
+		}
+		sel := mat.NewSparse(len(cells), len(n.vector), entries)
+		// The edge skips the partition dummy: it maps from the vector
+		// node being split.
+		id := h.k.addNode(&node{parent: dummy, kind: kindVector, vector: sub, stability: 1, edge: sel, edgeFrom: h.id})
+		out[g] = &Handle{k: h.k, id: id}
+	}
+	return out
+}
+
+// Lineage returns the public linear map L from the nearest vectorize
+// root to this vector source's domain (x_this = L·x_root), or nil when
+// the source is itself a root.
+func (h *Handle) Lineage() mat.Matrix {
+	n := h.k.nodes[h.id]
+	if n.edge == nil {
+		return nil
+	}
+	l := n.edge
+	cur := h.k.nodes[n.edgeFrom]
+	for cur.edge != nil {
+		l = mat.Product(l, cur.edge)
+		cur = h.k.nodes[cur.edgeFrom]
+	}
+	return l
+}
+
+// MapToRoot lifts a measurement matrix defined on this source's domain to
+// the vectorize-root domain: M_root = M·L (paper §5.5, inference under
+// vector transformations). This is public plan metadata.
+func (h *Handle) MapToRoot(m mat.Matrix) mat.Matrix {
+	l := h.Lineage()
+	if l == nil {
+		return m
+	}
+	return mat.Product(m, l)
+}
+
+// MapTo lifts a measurement matrix defined on this source's domain to
+// the domain of an ancestor vector source: M_anc = M·E_h·…·E_(anc+1).
+// Plans use it to run inference relative to whatever vector handle they
+// were given, not necessarily the global vectorize root.
+func (h *Handle) MapTo(anc *Handle, m mat.Matrix) mat.Matrix {
+	if h.k != anc.k {
+		panic("kernel: MapTo across kernels")
+	}
+	if h.id == anc.id {
+		return m
+	}
+	out := m
+	cur := h.k.nodes[h.id]
+	for {
+		if cur.edge == nil {
+			panic(fmt.Sprintf("kernel: node %d is not derived from node %d", h.id, anc.id))
+		}
+		out = mat.Product(out, cur.edge)
+		if cur.edgeFrom == anc.id {
+			return out
+		}
+		cur = h.k.nodes[cur.edgeFrom]
+	}
+}
+
+// ---------------------------------------------------------------------
+// Query operators (Private→Public: consume budget, return noisy values).
+// ---------------------------------------------------------------------
+
+// NoisyCount returns |D| + Laplace(1/eps) for a table source.
+func (h *Handle) NoisyCount(eps float64) (float64, error) {
+	n := h.node(kindTable)
+	if eps <= 0 {
+		return 0, fmt.Errorf("kernel: NoisyCount requires positive eps, got %g", eps)
+	}
+	if !h.k.request(h.id, -1, eps) {
+		return 0, ErrBudgetExceeded
+	}
+	h.k.history = append(h.k.history, QueryRecord{Source: h.id, Epsilon: eps, Kind: "NoisyCount"})
+	return float64(n.table.NumRows()) + noise.Laplace(h.k.rng, 1/eps), nil
+}
+
+// VectorLaplace answers the query set M on a vector source with the
+// Laplace mechanism: M·x + (σ(M)/ε)·b, where σ(M) is the maximum L1
+// column norm, computed automatically from the implicit representation
+// (paper §5.2). The per-row noise scale is returned for inference
+// weighting.
+func (h *Handle) VectorLaplace(m mat.Matrix, eps float64) (answers []float64, noiseScale float64, err error) {
+	n := h.node(kindVector)
+	if eps <= 0 {
+		return nil, 0, fmt.Errorf("kernel: VectorLaplace requires positive eps, got %g", eps)
+	}
+	_, mc := m.Dims()
+	if mc != len(n.vector) {
+		return nil, 0, fmt.Errorf("kernel: VectorLaplace matrix cols %d != domain %d", mc, len(n.vector))
+	}
+	if !h.k.request(h.id, -1, eps) {
+		return nil, 0, ErrBudgetExceeded
+	}
+	sens := mat.L1Sensitivity(m)
+	h.k.history = append(h.k.history, QueryRecord{Source: h.id, Epsilon: eps, Kind: "VectorLaplace"})
+	y := mat.Mul(m, n.vector)
+	scale := sens / eps
+	for i := range y {
+		y[i] += noise.Laplace(h.k.rng, scale)
+	}
+	return y, scale, nil
+}
+
+// WorstApprox privately selects the row of workload W whose true answer
+// is worst approximated by the public estimate est, using the exponential
+// mechanism with score |w·x − w·est| (paper §5.3, the MWEM selection
+// operator). rowSens bounds the per-record change of any single score;
+// for counting queries with 0/1 coefficients it is 1.
+func (h *Handle) WorstApprox(w mat.Matrix, est []float64, eps, rowSens float64) (int, error) {
+	n := h.node(kindVector)
+	if eps <= 0 || rowSens <= 0 {
+		return 0, fmt.Errorf("kernel: WorstApprox requires positive eps and rowSens")
+	}
+	if !h.k.request(h.id, -1, eps) {
+		return 0, ErrBudgetExceeded
+	}
+	h.k.history = append(h.k.history, QueryRecord{Source: h.id, Epsilon: eps, Kind: "WorstApprox"})
+	truth := mat.Mul(w, n.vector)
+	approx := mat.Mul(w, est)
+	scores := make([]float64, len(truth))
+	for i := range scores {
+		d := truth[i] - approx[i]
+		if d < 0 {
+			d = -d
+		}
+		scores[i] = d
+	}
+	return noise.Exponential(h.k.rng, scores, eps, rowSens), nil
+}
+
+// NoisyMax privately selects the index with the (approximately) largest
+// score among the linear queries in M evaluated on the source, via the
+// exponential mechanism. It generalizes WorstApprox for selection-style
+// operators such as PrivBayes parent selection.
+func (h *Handle) NoisyMax(scoresOf func(x []float64) []float64, eps, sens float64) (int, error) {
+	n := h.node(kindVector)
+	if eps <= 0 || sens <= 0 {
+		return 0, fmt.Errorf("kernel: NoisyMax requires positive eps and sens")
+	}
+	if !h.k.request(h.id, -1, eps) {
+		return 0, ErrBudgetExceeded
+	}
+	h.k.history = append(h.k.history, QueryRecord{Source: h.id, Epsilon: eps, Kind: "NoisyMax"})
+	scores := scoresOf(n.vector)
+	return noise.Exponential(h.k.rng, scores, eps, sens), nil
+}

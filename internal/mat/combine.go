@@ -1,0 +1,404 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the combining operations of paper §7.4: Union
+// (vertical stacking of query sets), Product, and Kronecker product, plus
+// the Transpose, Scaled and Diag helpers. Composed matrices delegate the
+// primitive methods to their children and therefore inherit the children's
+// space/time characteristics (paper Table 3).
+
+// VStackMat is the vertical stacking (query-set union) of sub-matrices
+// that share a column count.
+type VStackMat struct {
+	blocks []Matrix
+	rows   int
+	cols   int
+}
+
+// VStack returns the union of the given query matrices: a matrix whose
+// rows are the concatenated rows of the blocks. All blocks must share a
+// column count.
+func VStack(blocks ...Matrix) *VStackMat {
+	if len(blocks) == 0 {
+		panic("mat: VStack of zero blocks")
+	}
+	_, c := blocks[0].Dims()
+	rows := 0
+	for _, b := range blocks {
+		br, bc := b.Dims()
+		if bc != c {
+			panic(fmt.Sprintf("mat: VStack column mismatch %d vs %d", bc, c))
+		}
+		rows += br
+	}
+	return &VStackMat{blocks: blocks, rows: rows, cols: c}
+}
+
+// Blocks returns the stacked sub-matrices.
+func (m *VStackMat) Blocks() []Matrix { return m.blocks }
+
+// Dims returns the stacked dimensions.
+func (m *VStackMat) Dims() (int, int) { return m.rows, m.cols }
+
+// MatVec evaluates each block on x into its row segment.
+func (m *VStackMat) MatVec(dst, x []float64) {
+	checkMatVec(m, dst, x)
+	off := 0
+	for _, b := range m.blocks {
+		br, _ := b.Dims()
+		b.MatVec(dst[off:off+br], x)
+		off += br
+	}
+}
+
+// TMatVec accumulates Σᵢ Bᵢᵀ xᵢ over the row segments.
+func (m *VStackMat) TMatVec(dst, x []float64) {
+	checkTMatVec(m, dst, x)
+	for j := range dst {
+		dst[j] = 0
+	}
+	tmp := make([]float64, m.cols)
+	off := 0
+	for _, b := range m.blocks {
+		br, _ := b.Dims()
+		b.TMatVec(tmp, x[off:off+br])
+		for j, v := range tmp {
+			dst[j] += v
+		}
+		off += br
+	}
+}
+
+// Abs stacks the children's absolute values.
+func (m *VStackMat) Abs() Matrix {
+	out := make([]Matrix, len(m.blocks))
+	for i, b := range m.blocks {
+		out[i] = Abs(b)
+	}
+	return VStack(out...)
+}
+
+// Sqr stacks the children's element-wise squares.
+func (m *VStackMat) Sqr() Matrix {
+	out := make([]Matrix, len(m.blocks))
+	for i, b := range m.blocks {
+		out[i] = Sqr(b)
+	}
+	return VStack(out...)
+}
+
+// ProductMat is the matrix product A·B, evaluated lazily.
+type ProductMat struct {
+	a, b Matrix
+	// binary marks products known to materialize to a 0/1 matrix (e.g. the
+	// range-query construction of Example 7.4), for which Abs and Sqr are
+	// no-ops despite products not distributing over abs in general.
+	binary bool
+}
+
+// Product returns the lazy matrix product a·b.
+func Product(a, b Matrix) *ProductMat {
+	_, ac := a.Dims()
+	br, _ := b.Dims()
+	if ac != br {
+		panic(fmt.Sprintf("mat: Product inner dims %d vs %d", ac, br))
+	}
+	return &ProductMat{a: a, b: b}
+}
+
+// BinaryProduct returns the lazy product a·b declared by the caller to
+// materialize to a 0/1 matrix, enabling implicit Abs/Sqr (paper §7.5 note
+// on binary-valued matrices).
+func BinaryProduct(a, b Matrix) *ProductMat {
+	p := Product(a, b)
+	p.binary = true
+	return p
+}
+
+// Dims returns the product's dimensions.
+func (m *ProductMat) Dims() (int, int) {
+	ar, _ := m.a.Dims()
+	_, bc := m.b.Dims()
+	return ar, bc
+}
+
+// MatVec computes dst = A(Bx).
+func (m *ProductMat) MatVec(dst, x []float64) {
+	checkMatVec(m, dst, x)
+	br, _ := m.b.Dims()
+	tmp := make([]float64, br)
+	m.b.MatVec(tmp, x)
+	m.a.MatVec(dst, tmp)
+}
+
+// TMatVec computes dst = Bᵀ(Aᵀx).
+func (m *ProductMat) TMatVec(dst, x []float64) {
+	checkTMatVec(m, dst, x)
+	_, ac := m.a.Dims()
+	tmp := make([]float64, ac)
+	m.a.TMatVec(tmp, x)
+	m.b.TMatVec(dst, tmp)
+}
+
+// Abs returns the product itself when it is declared binary, and a dense
+// materialization otherwise (abs does not distribute over products).
+func (m *ProductMat) Abs() Matrix {
+	if m.binary {
+		return m
+	}
+	return Materialize(m).Abs()
+}
+
+// Sqr returns the product itself when it is declared binary, and a dense
+// materialization otherwise.
+func (m *ProductMat) Sqr() Matrix {
+	if m.binary {
+		return m
+	}
+	return Materialize(m).Sqr()
+}
+
+// KroneckerMat is the Kronecker product A⊗B (paper Definition 7.2),
+// evaluated via the vec-trick in n_B·Time(A) + m_A·Time(B).
+type KroneckerMat struct {
+	a, b Matrix
+}
+
+// Kron returns the Kronecker product of the factors, folding right to
+// left; Kron(A, B, C) = A⊗(B⊗C).
+func Kron(factors ...Matrix) Matrix {
+	if len(factors) == 0 {
+		panic("mat: Kron of zero factors")
+	}
+	out := factors[len(factors)-1]
+	for i := len(factors) - 2; i >= 0; i-- {
+		out = &KroneckerMat{a: factors[i], b: out}
+	}
+	return out
+}
+
+// Dims returns (m_A·m_B, n_A·n_B).
+func (m *KroneckerMat) Dims() (int, int) {
+	ar, ac := m.a.Dims()
+	br, bc := m.b.Dims()
+	return ar * br, ac * bc
+}
+
+// Factors returns the two Kronecker factors.
+func (m *KroneckerMat) Factors() (Matrix, Matrix) { return m.a, m.b }
+
+// MatVec computes (A⊗B)x by reshaping x into an n_A×n_B matrix X and
+// evaluating vec(A·(X·Bᵀ)ᵀ... concretely: Z[j1,:] = B·X[j1,:] for each j1,
+// then dst[:,i2] = A·Z[:,i2] for each i2.
+func (m *KroneckerMat) MatVec(dst, x []float64) {
+	checkMatVec(m, dst, x)
+	ar, ac := m.a.Dims()
+	br, bc := m.b.Dims()
+	// Step 1: apply B to each of the ac rows of X (row j1 = x[j1*bc:(j1+1)*bc]).
+	z := make([]float64, ac*br) // z[j1*br + i2]
+	for j1 := 0; j1 < ac; j1++ {
+		m.b.MatVec(z[j1*br:(j1+1)*br], x[j1*bc:(j1+1)*bc])
+	}
+	// Step 2: apply A down each of the br columns of Z.
+	colIn := make([]float64, ac)
+	colOut := make([]float64, ar)
+	for i2 := 0; i2 < br; i2++ {
+		for j1 := 0; j1 < ac; j1++ {
+			colIn[j1] = z[j1*br+i2]
+		}
+		m.a.MatVec(colOut, colIn)
+		for i1 := 0; i1 < ar; i1++ {
+			dst[i1*br+i2] = colOut[i1]
+		}
+	}
+}
+
+// TMatVec computes (A⊗B)ᵀx = (Aᵀ⊗Bᵀ)x by the same trick with the
+// transposed factors.
+func (m *KroneckerMat) TMatVec(dst, x []float64) {
+	checkTMatVec(m, dst, x)
+	ar, ac := m.a.Dims()
+	br, bc := m.b.Dims()
+	z := make([]float64, ar*bc) // z[i1*bc + j2] = Bᵀ applied to row i1 of X
+	for i1 := 0; i1 < ar; i1++ {
+		m.b.TMatVec(z[i1*bc:(i1+1)*bc], x[i1*br:(i1+1)*br])
+	}
+	colIn := make([]float64, ar)
+	colOut := make([]float64, ac)
+	for j2 := 0; j2 < bc; j2++ {
+		for i1 := 0; i1 < ar; i1++ {
+			colIn[i1] = z[i1*bc+j2]
+		}
+		m.a.TMatVec(colOut, colIn)
+		for j1 := 0; j1 < ac; j1++ {
+			dst[j1*bc+j2] = colOut[j1]
+		}
+	}
+}
+
+// Abs distributes over Kronecker products: |A⊗B| = |A|⊗|B|.
+func (m *KroneckerMat) Abs() Matrix { return &KroneckerMat{a: Abs(m.a), b: Abs(m.b)} }
+
+// Sqr distributes over Kronecker products: (A⊗B)² = A²⊗B² element-wise.
+func (m *KroneckerMat) Sqr() Matrix { return &KroneckerMat{a: Sqr(m.a), b: Sqr(m.b)} }
+
+// TransposeMat is the lazy transpose of a matrix.
+type TransposeMat struct{ m Matrix }
+
+// T returns the transpose of m, unwrapping double transposes.
+func T(m Matrix) Matrix {
+	if t, ok := m.(*TransposeMat); ok {
+		return t.m
+	}
+	return &TransposeMat{m: m}
+}
+
+// Dims returns the transposed dimensions.
+func (t *TransposeMat) Dims() (int, int) {
+	r, c := t.m.Dims()
+	return c, r
+}
+
+// MatVec computes dst = Mᵀx via the child's TMatVec.
+func (t *TransposeMat) MatVec(dst, x []float64) { t.m.TMatVec(dst, x) }
+
+// TMatVec computes dst = Mx via the child's MatVec.
+func (t *TransposeMat) TMatVec(dst, x []float64) { t.m.MatVec(dst, x) }
+
+// Abs transposes the child's absolute value.
+func (t *TransposeMat) Abs() Matrix { return T(Abs(t.m)) }
+
+// Sqr transposes the child's element-wise square.
+func (t *TransposeMat) Sqr() Matrix { return T(Sqr(t.m)) }
+
+// ScaledMat is c·M for a scalar c.
+type ScaledMat struct {
+	c float64
+	m Matrix
+}
+
+// Scaled returns the scalar multiple c·m.
+func Scaled(c float64, m Matrix) *ScaledMat { return &ScaledMat{c: c, m: m} }
+
+// Dims returns the child's dimensions.
+func (s *ScaledMat) Dims() (int, int) { return s.m.Dims() }
+
+// MatVec computes dst = c·(Mx).
+func (s *ScaledMat) MatVec(dst, x []float64) {
+	s.m.MatVec(dst, x)
+	for i := range dst {
+		dst[i] *= s.c
+	}
+}
+
+// TMatVec computes dst = c·(Mᵀx).
+func (s *ScaledMat) TMatVec(dst, x []float64) {
+	s.m.TMatVec(dst, x)
+	for i := range dst {
+		dst[i] *= s.c
+	}
+}
+
+// Abs returns |c|·|M|.
+func (s *ScaledMat) Abs() Matrix { return Scaled(math.Abs(s.c), Abs(s.m)) }
+
+// Sqr returns c²·M².
+func (s *ScaledMat) Sqr() Matrix { return Scaled(s.c*s.c, Sqr(s.m)) }
+
+// DiagMat is a diagonal matrix stored as its diagonal.
+type DiagMat struct{ d []float64 }
+
+// Diag returns the diagonal matrix with the given diagonal (not copied).
+func Diag(d []float64) *DiagMat { return &DiagMat{d: d} }
+
+// Dims returns (n, n).
+func (m *DiagMat) Dims() (int, int) { return len(m.d), len(m.d) }
+
+// MatVec computes dst = d ⊙ x.
+func (m *DiagMat) MatVec(dst, x []float64) {
+	checkMatVec(m, dst, x)
+	for i, v := range m.d {
+		dst[i] = v * x[i]
+	}
+}
+
+// TMatVec computes dst = d ⊙ x (diagonal matrices are symmetric).
+func (m *DiagMat) TMatVec(dst, x []float64) {
+	checkTMatVec(m, dst, x)
+	for i, v := range m.d {
+		dst[i] = v * x[i]
+	}
+}
+
+// Abs returns the diagonal of absolute values.
+func (m *DiagMat) Abs() Matrix {
+	out := make([]float64, len(m.d))
+	for i, v := range m.d {
+		out[i] = math.Abs(v)
+	}
+	return Diag(out)
+}
+
+// Sqr returns the diagonal of squares.
+func (m *DiagMat) Sqr() Matrix {
+	out := make([]float64, len(m.d))
+	for i, v := range m.d {
+		out[i] = v * v
+	}
+	return Diag(out)
+}
+
+// RowScaled returns diag(w)·M, the matrix whose i-th row is w[i] times the
+// i-th row of m. It is used by inference to weight measurements with
+// unequal noise scales.
+func RowScaled(w []float64, m Matrix) Matrix {
+	r, _ := m.Dims()
+	if len(w) != r {
+		panic(fmt.Sprintf("mat: RowScaled weights length %d != rows %d", len(w), r))
+	}
+	return &rowScaledMat{w: w, m: m}
+}
+
+type rowScaledMat struct {
+	w []float64
+	m Matrix
+}
+
+func (s *rowScaledMat) Dims() (int, int) { return s.m.Dims() }
+
+func (s *rowScaledMat) MatVec(dst, x []float64) {
+	s.m.MatVec(dst, x)
+	for i, w := range s.w {
+		dst[i] *= w
+	}
+}
+
+func (s *rowScaledMat) TMatVec(dst, x []float64) {
+	tmp := make([]float64, len(x))
+	for i, w := range s.w {
+		tmp[i] = x[i] * w
+	}
+	s.m.TMatVec(dst, tmp)
+}
+
+// Abs scales the child's absolute value rows by |w|.
+func (s *rowScaledMat) Abs() Matrix {
+	w := make([]float64, len(s.w))
+	for i, v := range s.w {
+		w[i] = math.Abs(v)
+	}
+	return RowScaled(w, Abs(s.m))
+}
+
+// Sqr scales the child's squared rows by w².
+func (s *rowScaledMat) Sqr() Matrix {
+	w := make([]float64, len(s.w))
+	for i, v := range s.w {
+		w[i] = v * v
+	}
+	return RowScaled(w, Sqr(s.m))
+}

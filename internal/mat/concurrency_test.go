@@ -1,0 +1,63 @@
+package mat
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// TestConcurrentMatVec exercises the documented contract that matrices
+// are immutable after construction and MatVec/TMatVec may run
+// concurrently. Run with -race to catch violations.
+func TestConcurrentMatVec(t *testing.T) {
+	mats := []Matrix{
+		Identity(64),
+		Prefix(64),
+		Wavelet(64),
+		VStack(Identity(64), RangeQueries(64, HierarchicalRanges(64, 2))),
+		Kron(Prefix(8), Identity(8)),
+		NewSparse(4, 64, []Triplet{{Row: 0, Col: 0, Val: 1}, {Row: 3, Col: 63, Val: 2}}),
+	}
+	for _, m := range mats {
+		m := m
+		r, c := m.Dims()
+		x := make([]float64, c)
+		for i := range x {
+			x[i] = float64(i)
+		}
+		want := Mul(m, x)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dst := make([]float64, r)
+				for k := 0; k < 50; k++ {
+					m.MatVec(dst, x)
+					if !vec.AllClose(dst, want, 1e-12, 1e-12) {
+						t.Error("concurrent MatVec produced different result")
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func TestConcurrentSensitivity(t *testing.T) {
+	m := VStack(Identity(128), RangeQueries(128, HierarchicalRanges(128, 2)))
+	want := L1Sensitivity(m)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := L1Sensitivity(m); got != want {
+				t.Errorf("concurrent sensitivity %v != %v", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,223 @@
+package mat
+
+// This file provides structure-aware conversion of implicit matrices to
+// explicit CSR form, used by the representation-comparison experiments
+// (paper §10.2: dense vs sparse vs implicit). Conversion walks the
+// implicit constructors instead of materializing through mat-vec
+// products, so it costs O(nnz).
+
+// ToSparse converts m to an explicit CSR matrix when a structure-aware
+// conversion exists and the result has at most maxNNZ stored entries
+// (maxNNZ <= 0 means unlimited). It returns false when the matrix type
+// has no efficient explicit form or the budget is exceeded.
+func ToSparse(m Matrix, maxNNZ int) (*Sparse, bool) {
+	tri, ok := toTriplets(m, maxNNZ)
+	if !ok {
+		return nil, false
+	}
+	r, c := m.Dims()
+	return NewSparse(r, c, tri), true
+}
+
+// toTriplets returns the coordinate entries of m, or false when the
+// structure is not efficiently convertible.
+func toTriplets(m Matrix, maxNNZ int) ([]Triplet, bool) {
+	within := func(n int) bool { return maxNNZ <= 0 || n <= maxNNZ }
+	switch t := m.(type) {
+	case *Sparse:
+		if !within(t.NNZ()) {
+			return nil, false
+		}
+		var out []Triplet
+		for i := 0; i < t.rows; i++ {
+			cols, vals := t.RowNNZ(i)
+			for k, c := range cols {
+				out = append(out, Triplet{Row: i, Col: c, Val: vals[k]})
+			}
+		}
+		return out, true
+	case *Dense:
+		r, c := t.Dims()
+		if !within(r * c) {
+			return nil, false
+		}
+		var out []Triplet
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if v := t.At(i, j); v != 0 {
+					out = append(out, Triplet{Row: i, Col: j, Val: v})
+				}
+			}
+		}
+		return out, true
+	case *IdentityMat:
+		if !within(t.n) {
+			return nil, false
+		}
+		out := make([]Triplet, t.n)
+		for i := range out {
+			out[i] = Triplet{Row: i, Col: i, Val: 1}
+		}
+		return out, true
+	case *DiagMat:
+		if !within(len(t.d)) {
+			return nil, false
+		}
+		var out []Triplet
+		for i, v := range t.d {
+			if v != 0 {
+				out = append(out, Triplet{Row: i, Col: i, Val: v})
+			}
+		}
+		return out, true
+	case *OnesMat:
+		if !within(t.r * t.c) {
+			return nil, false
+		}
+		out := make([]Triplet, 0, t.r*t.c)
+		for i := 0; i < t.r; i++ {
+			for j := 0; j < t.c; j++ {
+				out = append(out, Triplet{Row: i, Col: j, Val: 1})
+			}
+		}
+		return out, true
+	case *PrefixMat:
+		if !within(t.n * (t.n + 1) / 2) {
+			return nil, false
+		}
+		var out []Triplet
+		for i := 0; i < t.n; i++ {
+			for j := 0; j <= i; j++ {
+				out = append(out, Triplet{Row: i, Col: j, Val: 1})
+			}
+		}
+		return out, true
+	case *SuffixMat:
+		if !within(t.n * (t.n + 1) / 2) {
+			return nil, false
+		}
+		var out []Triplet
+		for i := 0; i < t.n; i++ {
+			for j := i; j < t.n; j++ {
+				out = append(out, Triplet{Row: i, Col: j, Val: 1})
+			}
+		}
+		return out, true
+	case *RangeQueriesMat:
+		return rangeTriplets(t, maxNNZ)
+	case *VStackMat:
+		var out []Triplet
+		off := 0
+		for _, b := range t.blocks {
+			sub, ok := toTriplets(b, maxNNZ)
+			if !ok {
+				return nil, false
+			}
+			for _, e := range sub {
+				out = append(out, Triplet{Row: e.Row + off, Col: e.Col, Val: e.Val})
+			}
+			if maxNNZ > 0 && len(out) > maxNNZ {
+				return nil, false
+			}
+			br, _ := b.Dims()
+			off += br
+		}
+		return out, true
+	case *ScaledMat:
+		sub, ok := toTriplets(t.m, maxNNZ)
+		if !ok {
+			return nil, false
+		}
+		for i := range sub {
+			sub[i].Val *= t.c
+		}
+		return sub, true
+	case *rowScaledMat:
+		sub, ok := toTriplets(t.m, maxNNZ)
+		if !ok {
+			return nil, false
+		}
+		for i := range sub {
+			sub[i].Val *= t.w[sub[i].Row]
+		}
+		return sub, true
+	case *TransposeMat:
+		sub, ok := toTriplets(t.m, maxNNZ)
+		if !ok {
+			return nil, false
+		}
+		for i := range sub {
+			sub[i].Row, sub[i].Col = sub[i].Col, sub[i].Row
+		}
+		return sub, true
+	case *KroneckerMat:
+		a, ok := toTriplets(t.a, maxNNZ)
+		if !ok {
+			return nil, false
+		}
+		b, ok := toTriplets(t.b, maxNNZ)
+		if !ok {
+			return nil, false
+		}
+		if maxNNZ > 0 && len(a)*len(b) > maxNNZ {
+			return nil, false
+		}
+		_, bc := t.b.Dims()
+		br, _ := t.b.Dims()
+		out := make([]Triplet, 0, len(a)*len(b))
+		for _, ea := range a {
+			for _, eb := range b {
+				out = append(out, Triplet{
+					Row: ea.Row*br + eb.Row,
+					Col: ea.Col*bc + eb.Col,
+					Val: ea.Val * eb.Val,
+				})
+			}
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// rangeTriplets expands a range-query matrix into one entry per covered
+// cell.
+func rangeTriplets(m *RangeQueriesMat, maxNNZ int) ([]Triplet, bool) {
+	shape := m.Shape()
+	strides := make([]int, len(shape))
+	n := 1
+	for k := len(shape) - 1; k >= 0; k-- {
+		strides[k] = n
+		n *= shape[k]
+	}
+	var out []Triplet
+	idx := make([]int, len(shape))
+	for qi, box := range m.Ranges() {
+		// Iterate the box cells.
+		copy(idx, box.Lo)
+		for {
+			cell := 0
+			for k, v := range idx {
+				cell += v * strides[k]
+			}
+			out = append(out, Triplet{Row: qi, Col: cell, Val: 1})
+			if maxNNZ > 0 && len(out) > maxNNZ {
+				return nil, false
+			}
+			// Advance the multi-index.
+			k := len(idx) - 1
+			for k >= 0 {
+				idx[k]++
+				if idx[k] <= box.Hi[k] {
+					break
+				}
+				idx[k] = box.Lo[k]
+				k--
+			}
+			if k < 0 {
+				break
+			}
+		}
+	}
+	return out, true
+}

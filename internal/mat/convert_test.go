@@ -1,0 +1,71 @@
+package mat
+
+import (
+	"testing"
+)
+
+func TestToSparseMatchesImplicit(t *testing.T) {
+	cases := map[string]Matrix{
+		"identity": Identity(6),
+		"diag":     Diag([]float64{1, 0, -2}),
+		"ones":     Ones(3, 4),
+		"ranges":   RangeQueries(8, []Range1D{{Lo: 0, Hi: 7}, {Lo: 2, Hi: 3}}),
+		"vstack":   VStack(Identity(5), Total(5)),
+		"scaled":   Scaled(2.5, Identity(4)),
+		"rowscale": RowScaled([]float64{1, 2, 3}, Ones(3, 2)),
+		"kron":     Kron(Identity(2), RangeQueries(3, []Range1D{{Lo: 0, Hi: 2}})),
+		"transp":   T(Prefix(4)),
+		"ndrange": NDRangeQueries([]int{3, 3}, []RangeND{
+			{Lo: []int{0, 0}, Hi: []int{2, 2}},
+			{Lo: []int{1, 1}, Hi: []int{1, 2}},
+		}),
+	}
+	for name, m := range cases {
+		s, ok := ToSparse(m, 0)
+		if !ok {
+			t.Errorf("%s: conversion refused", name)
+			continue
+		}
+		if !Equal(s, m, 1e-12) {
+			t.Errorf("%s: sparse conversion differs from implicit", name)
+		}
+	}
+}
+
+func TestToSparseRespectsBudget(t *testing.T) {
+	m := Ones(100, 100)
+	if _, ok := ToSparse(m, 50); ok {
+		t.Fatal("budget ignored")
+	}
+	if _, ok := ToSparse(m, 10000); !ok {
+		t.Fatal("within-budget conversion refused")
+	}
+}
+
+func TestToSparseUnsupportedType(t *testing.T) {
+	// Wavelet has no efficient explicit sparse structure.
+	if _, ok := ToSparse(Wavelet(8), 0); ok {
+		t.Fatal("wavelet conversion unexpectedly supported")
+	}
+}
+
+func TestToSparseHierarchy(t *testing.T) {
+	// The H2-style union used by the scalability experiments.
+	n := 16
+	m := VStack(Identity(n), RangeQueries(n, HierarchicalRanges(n, 2)))
+	s, ok := ToSparse(m, 0)
+	if !ok {
+		t.Fatal("hierarchy conversion refused")
+	}
+	if !Equal(s, m, 1e-12) {
+		t.Fatal("hierarchy conversion mismatch")
+	}
+	// nnz = n (identity) + sum of internal node widths.
+	wantNNZ := n
+	for _, r := range HierarchicalRanges(n, 2) {
+		wantNNZ += r.Size()
+	}
+	if s.NNZ() != wantNNZ {
+		t.Fatalf("nnz = %d, want %d", s.NNZ(), wantNNZ)
+	}
+}

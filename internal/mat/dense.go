@@ -1,0 +1,129 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is an explicit row-major matrix. It is the fallback representation
+// and the reference implementation against which implicit matrices are
+// tested.
+type Dense struct {
+	rows, cols int
+	data       []float64 // row-major, len rows*cols
+}
+
+// NewDense returns a rows×cols dense matrix backed by data (row-major).
+// If data is nil a zero matrix is allocated; otherwise len(data) must be
+// rows*cols and the slice is used directly (not copied).
+func NewDense(rows, cols int, data []float64) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: NewDense negative dims %dx%d", rows, cols))
+	}
+	if data == nil {
+		data = make([]float64, rows*cols)
+	}
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: NewDense data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: data}
+}
+
+// DenseFromRows builds a dense matrix from a slice of equal-length rows.
+func DenseFromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0, nil)
+	}
+	c := len(rows[0])
+	d := NewDense(len(rows), c, nil)
+	for i, r := range rows {
+		if len(r) != c {
+			panic(fmt.Sprintf("mat: DenseFromRows ragged row %d: len %d != %d", i, len(r), c))
+		}
+		copy(d.data[i*c:(i+1)*c], r)
+	}
+	return d
+}
+
+// Dims returns the matrix dimensions.
+func (d *Dense) Dims() (int, int) { return d.rows, d.cols }
+
+// At returns the element at row i, column j.
+func (d *Dense) At(i, j int) float64 { return d.data[i*d.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (d *Dense) Set(i, j int, v float64) { d.data[i*d.cols+j] = v }
+
+// RowView returns a view (not a copy) of row i.
+func (d *Dense) RowView(i int) []float64 { return d.data[i*d.cols : (i+1)*d.cols] }
+
+// Data returns the backing row-major slice (not a copy).
+func (d *Dense) Data() []float64 { return d.data }
+
+// MatVec computes dst = D*x.
+func (d *Dense) MatVec(dst, x []float64) {
+	checkMatVec(d, dst, x)
+	for i := 0; i < d.rows; i++ {
+		row := d.data[i*d.cols : (i+1)*d.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// TMatVec computes dst = Dᵀ*x.
+func (d *Dense) TMatVec(dst, x []float64) {
+	checkTMatVec(d, dst, x)
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < d.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := d.data[i*d.cols : (i+1)*d.cols]
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+}
+
+// Abs returns the element-wise absolute value as a new dense matrix.
+func (d *Dense) Abs() Matrix {
+	out := NewDense(d.rows, d.cols, nil)
+	for i, v := range d.data {
+		out.data[i] = math.Abs(v)
+	}
+	return out
+}
+
+// Sqr returns the element-wise square as a new dense matrix.
+func (d *Dense) Sqr() Matrix {
+	out := NewDense(d.rows, d.cols, nil)
+	for i, v := range d.data {
+		out.data[i] = v * v
+	}
+	return out
+}
+
+// Clone returns a deep copy of d.
+func (d *Dense) Clone() *Dense {
+	data := make([]float64, len(d.data))
+	copy(data, d.data)
+	return NewDense(d.rows, d.cols, data)
+}
+
+// String renders small matrices for debugging.
+func (d *Dense) String() string {
+	if d.rows*d.cols > 400 {
+		return fmt.Sprintf("Dense(%dx%d)", d.rows, d.cols)
+	}
+	s := ""
+	for i := 0; i < d.rows; i++ {
+		s += fmt.Sprintf("%6.3v\n", d.RowView(i))
+	}
+	return s
+}

@@ -1,0 +1,178 @@
+// Package mat implements the implicit-matrix framework of EKTELO §7.
+//
+// A Matrix is a linear operator defined by the five primitive methods the
+// paper identifies: matrix-vector product, transpose (via TMatVec),
+// matrix multiplication (via Product), element-wise absolute value and
+// element-wise square (via the optional Abser/Sqrer interfaces, with a
+// materializing fallback). Core matrices (Identity, Ones, Total, Prefix,
+// Suffix, Wavelet) are stored implicitly in O(1) space; combinators
+// (VStack/union, Product, Kronecker) delegate to their children so that
+// composed matrices inherit the children's cost model (paper Tables 2, 3).
+package mat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Matrix is an implicitly represented linear operator.
+//
+// Implementations must treat the receiver as immutable: MatVec and TMatVec
+// may be called concurrently.
+type Matrix interface {
+	// Dims returns the number of rows and columns.
+	Dims() (rows, cols int)
+	// MatVec computes dst = M*x. len(x) must equal cols and len(dst) rows.
+	MatVec(dst, x []float64)
+	// TMatVec computes dst = Mᵀ*x. len(x) must equal rows and len(dst) cols.
+	TMatVec(dst, x []float64)
+}
+
+// Abser is implemented by matrices that can produce their element-wise
+// absolute value without materializing.
+type Abser interface {
+	Abs() Matrix
+}
+
+// Sqrer is implemented by matrices that can produce their element-wise
+// square without materializing.
+type Sqrer interface {
+	Sqr() Matrix
+}
+
+// checkMatVec panics if the slice lengths do not match m's dimensions.
+func checkMatVec(m Matrix, dst, x []float64) {
+	r, c := m.Dims()
+	if len(x) != c || len(dst) != r {
+		panic(fmt.Sprintf("mat: MatVec dims %dx%d with len(x)=%d len(dst)=%d", r, c, len(x), len(dst)))
+	}
+}
+
+// checkTMatVec panics if the slice lengths do not match mᵀ's dimensions.
+func checkTMatVec(m Matrix, dst, x []float64) {
+	r, c := m.Dims()
+	if len(x) != r || len(dst) != c {
+		panic(fmt.Sprintf("mat: TMatVec dims %dx%d with len(x)=%d len(dst)=%d", r, c, len(x), len(dst)))
+	}
+}
+
+// Mul returns M*x as a newly allocated vector.
+func Mul(m Matrix, x []float64) []float64 {
+	r, _ := m.Dims()
+	dst := make([]float64, r)
+	m.MatVec(dst, x)
+	return dst
+}
+
+// TMul returns Mᵀ*x as a newly allocated vector.
+func TMul(m Matrix, x []float64) []float64 {
+	_, c := m.Dims()
+	dst := make([]float64, c)
+	m.TMatVec(dst, x)
+	return dst
+}
+
+// Abs returns the element-wise absolute value of m, using the implicit
+// representation when m implements Abser and a dense materialization
+// otherwise.
+func Abs(m Matrix) Matrix {
+	if a, ok := m.(Abser); ok {
+		return a.Abs()
+	}
+	return Materialize(m).Abs()
+}
+
+// Sqr returns the element-wise square of m, using the implicit
+// representation when m implements Sqrer and a dense materialization
+// otherwise.
+func Sqr(m Matrix) Matrix {
+	if s, ok := m.(Sqrer); ok {
+		return s.Sqr()
+	}
+	return Materialize(m).Sqr()
+}
+
+// L1Sensitivity returns ‖M‖₁, the maximum L1 column norm, computed as
+// max(abs(M)ᵀ·1) using only primitive methods (paper §7.3).
+func L1Sensitivity(m Matrix) float64 {
+	a := Abs(m)
+	r, _ := a.Dims()
+	colSums := TMul(a, vec.Ones(r))
+	if len(colSums) == 0 {
+		return 0
+	}
+	return vec.Max(colSums)
+}
+
+// L2Sensitivity returns ‖M‖₂, the maximum L2 column norm, computed as
+// sqrt(max(sqr(M)ᵀ·1)).
+func L2Sensitivity(m Matrix) float64 {
+	s := Sqr(m)
+	r, _ := s.Dims()
+	colSums := TMul(s, vec.Ones(r))
+	if len(colSums) == 0 {
+		return 0
+	}
+	return math.Sqrt(max(0, vec.Max(colSums)))
+}
+
+// Row materializes the i-th row of m as wᵢ = Mᵀeᵢ (paper §7.3, row indexing).
+func Row(m Matrix, i int) []float64 {
+	r, _ := m.Dims()
+	if i < 0 || i >= r {
+		panic(fmt.Sprintf("mat: Row index %d out of range [0,%d)", i, r))
+	}
+	return TMul(m, vec.Basis(r, i))
+}
+
+// Materialize converts m into an explicit dense matrix by multiplying with
+// the columns of the identity (paper §7.3, materialize). Intended for tests
+// and small matrices only.
+func Materialize(m Matrix) *Dense {
+	r, c := m.Dims()
+	d := NewDense(r, c, nil)
+	x := make([]float64, c)
+	col := make([]float64, r)
+	for j := 0; j < c; j++ {
+		x[j] = 1
+		m.MatVec(col, x)
+		x[j] = 0
+		for i := 0; i < r; i++ {
+			d.data[i*c+j] = col[i]
+		}
+	}
+	return d
+}
+
+// Gram returns MᵀM as a dense matrix. It requires c mat-vec products and a
+// transpose mat-vec each, so it is intended for modest column counts.
+func Gram(m Matrix) *Dense {
+	_, c := m.Dims()
+	g := NewDense(c, c, nil)
+	ej := make([]float64, c)
+	r, _ := m.Dims()
+	tmp := make([]float64, r)
+	col := make([]float64, c)
+	for j := 0; j < c; j++ {
+		ej[j] = 1
+		m.MatVec(tmp, ej)
+		m.TMatVec(col, tmp)
+		ej[j] = 0
+		copy(g.data[j*c:(j+1)*c], col)
+	}
+	return g
+}
+
+// Equal reports whether a and b have the same dimensions and materialize to
+// element-wise equal matrices within tolerance tol. Intended for tests.
+func Equal(a, b Matrix, tol float64) bool {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		return false
+	}
+	da, db := Materialize(a), Materialize(b)
+	return vec.AllClose(da.data, db.data, 0, tol)
+}

@@ -1,0 +1,160 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sparse is a compressed-sparse-row (CSR) matrix: only nonzero entries are
+// stored, giving O(nnz) mat-vec cost (paper §7.2, sparse representation).
+type Sparse struct {
+	rows, cols int
+	rowPtr     []int // len rows+1
+	colIdx     []int // len nnz
+	val        []float64
+}
+
+// Triplet is a single (row, col, value) coordinate entry used to build a
+// Sparse matrix.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewSparse builds a CSR matrix from coordinate triplets. Duplicate
+// coordinates are summed; zero values are kept out of the structure.
+func NewSparse(rows, cols int, entries []Triplet) *Sparse {
+	for _, t := range entries {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			panic(fmt.Sprintf("mat: NewSparse entry (%d,%d) outside %dx%d", t.Row, t.Col, rows, cols))
+		}
+	}
+	sorted := make([]Triplet, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	s := &Sparse{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+	for k := 0; k < len(sorted); {
+		t := sorted[k]
+		v := t.Val
+		k++
+		for k < len(sorted) && sorted[k].Row == t.Row && sorted[k].Col == t.Col {
+			v += sorted[k].Val
+			k++
+		}
+		if v == 0 {
+			continue
+		}
+		s.colIdx = append(s.colIdx, t.Col)
+		s.val = append(s.val, v)
+		s.rowPtr[t.Row+1] = len(s.val)
+	}
+	// rowPtr currently holds end offsets only for rows that had entries;
+	// propagate so that rowPtr is non-decreasing.
+	for i := 1; i <= rows; i++ {
+		if s.rowPtr[i] < s.rowPtr[i-1] {
+			s.rowPtr[i] = s.rowPtr[i-1]
+		}
+	}
+	return s
+}
+
+// SparseFromRows builds a CSR matrix where row i contains the given
+// (column, value) pairs. Columns within each row need not be sorted.
+func SparseFromRows(cols int, rows [][]Triplet) *Sparse {
+	var entries []Triplet
+	for i, r := range rows {
+		for _, t := range r {
+			entries = append(entries, Triplet{Row: i, Col: t.Col, Val: t.Val})
+		}
+	}
+	return NewSparse(len(rows), cols, entries)
+}
+
+// SparseFromDense converts a dense matrix to CSR, dropping zeros.
+func SparseFromDense(d *Dense) *Sparse {
+	var entries []Triplet
+	r, c := d.Dims()
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if v := d.At(i, j); v != 0 {
+				entries = append(entries, Triplet{Row: i, Col: j, Val: v})
+			}
+		}
+	}
+	return NewSparse(r, c, entries)
+}
+
+// Dims returns the matrix dimensions.
+func (s *Sparse) Dims() (int, int) { return s.rows, s.cols }
+
+// NNZ returns the number of stored nonzero entries.
+func (s *Sparse) NNZ() int { return len(s.val) }
+
+// MatVec computes dst = S*x in O(nnz).
+func (s *Sparse) MatVec(dst, x []float64) {
+	checkMatVec(s, dst, x)
+	for i := 0; i < s.rows; i++ {
+		var acc float64
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			acc += s.val[k] * x[s.colIdx[k]]
+		}
+		dst[i] = acc
+	}
+}
+
+// TMatVec computes dst = Sᵀ*x in O(nnz).
+func (s *Sparse) TMatVec(dst, x []float64) {
+	checkTMatVec(s, dst, x)
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < s.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			dst[s.colIdx[k]] += xi * s.val[k]
+		}
+	}
+}
+
+// Abs returns the element-wise absolute value, preserving sparsity.
+func (s *Sparse) Abs() Matrix { return s.mapVals(math.Abs) }
+
+// Sqr returns the element-wise square, preserving sparsity.
+func (s *Sparse) Sqr() Matrix { return s.mapVals(func(v float64) float64 { return v * v }) }
+
+func (s *Sparse) mapVals(f func(float64) float64) *Sparse {
+	out := &Sparse{rows: s.rows, cols: s.cols,
+		rowPtr: append([]int(nil), s.rowPtr...),
+		colIdx: append([]int(nil), s.colIdx...),
+		val:    make([]float64, len(s.val)),
+	}
+	for i, v := range s.val {
+		out.val[i] = f(v)
+	}
+	return out
+}
+
+// Transposed returns an explicit CSR transpose of s.
+func (s *Sparse) Transposed() *Sparse {
+	var entries []Triplet
+	for i := 0; i < s.rows; i++ {
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			entries = append(entries, Triplet{Row: s.colIdx[k], Col: i, Val: s.val[k]})
+		}
+	}
+	return NewSparse(s.cols, s.rows, entries)
+}
+
+// RowNNZ returns the (column, value) pairs of row i.
+func (s *Sparse) RowNNZ(i int) ([]int, []float64) {
+	return s.colIdx[s.rowPtr[i]:s.rowPtr[i+1]], s.val[s.rowPtr[i]:s.rowPtr[i+1]]
+}

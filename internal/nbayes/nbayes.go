@@ -1,0 +1,160 @@
+// Package nbayes implements the Naive-Bayes-classifier case study of
+// paper §9.3: fitting a multinomial Naive Bayes model for a binary label
+// from the 2k+1 histograms (the label histogram and each predictor's
+// histogram conditioned on each label value), where the histograms are
+// estimated by differentially-private EKTELO plans.
+package nbayes
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// Model is a fitted multinomial Naive Bayes classifier for a binary
+// label. shape[0] must be 2 (the label); shape[1:] are predictor domain
+// sizes.
+type Model struct {
+	shape    []int
+	logPrior [2]float64
+	// logCond[i][y*ni + v] = log p(X_i = v | Y = y).
+	logCond [][]float64
+}
+
+// Fit builds a model from a label histogram (length 2) and one joint
+// (label, predictor) histogram per predictor, flattened label-major
+// (length 2·nᵢ). Negative noisy counts are clamped and Laplace smoothing
+// (+1) keeps probabilities finite (the Multinomial model of the paper's
+// reference [24]).
+func Fit(shape []int, labelHist []float64, jointHists [][]float64) *Model {
+	if shape[0] != 2 {
+		panic("nbayes: label domain must be binary")
+	}
+	if len(labelHist) != 2 || len(jointHists) != len(shape)-1 {
+		panic("nbayes: histogram arity mismatch")
+	}
+	m := &Model{shape: append([]int(nil), shape...)}
+	var total float64
+	var cl [2]float64
+	for y := 0; y < 2; y++ {
+		cl[y] = math.Max(labelHist[y], 0) + 1
+		total += cl[y]
+	}
+	for y := 0; y < 2; y++ {
+		m.logPrior[y] = math.Log(cl[y] / total)
+	}
+	for i, joint := range jointHists {
+		ni := shape[i+1]
+		if len(joint) != 2*ni {
+			panic(fmt.Sprintf("nbayes: joint histogram %d has %d cells, want %d", i, len(joint), 2*ni))
+		}
+		lc := make([]float64, 2*ni)
+		for y := 0; y < 2; y++ {
+			var mass float64
+			for v := 0; v < ni; v++ {
+				mass += math.Max(joint[y*ni+v], 0) + 1
+			}
+			for v := 0; v < ni; v++ {
+				lc[y*ni+v] = math.Log((math.Max(joint[y*ni+v], 0) + 1) / mass)
+			}
+		}
+		m.logCond = append(m.logCond, lc)
+	}
+	return m
+}
+
+// Score returns the log-odds log p(Y=1|x) − log p(Y=0|x) of a predictor
+// row (without the label).
+func (m *Model) Score(predictors []int) float64 {
+	if len(predictors) != len(m.shape)-1 {
+		panic("nbayes: predictor arity mismatch")
+	}
+	s := m.logPrior[1] - m.logPrior[0]
+	for i, v := range predictors {
+		ni := m.shape[i+1]
+		s += m.logCond[i][ni+v] - m.logCond[i][v]
+	}
+	return s
+}
+
+// AUC computes the area under the ROC curve of scores against binary
+// labels, with average ranks for ties. It equals the probability that a
+// random positive outranks a random negative.
+func AUC(scores []float64, labels []int) float64 {
+	n := len(scores)
+	if n != len(labels) {
+		panic("nbayes: AUC length mismatch")
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[order[j]] == scores[order[i]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average 1-based rank of the tie group
+		for k := i; k < j; k++ {
+			ranks[order[k]] = avg
+		}
+		i = j
+	}
+	var pos, neg, sumPos float64
+	for i, l := range labels {
+		if l == 1 {
+			pos++
+			sumPos += ranks[i]
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	return (sumPos - pos*(pos+1)/2) / (pos * neg)
+}
+
+// HistWorkload builds the measurement/workload matrix of the 2k+1
+// histograms over the full (label × predictors) domain: the label
+// marginal followed by each (label, predictor) joint marginal, all as
+// Kronecker products of Identity/Total factors (paper Example 7.5).
+func HistWorkload(shape []int) mat.Matrix {
+	blocks := []mat.Matrix{marginalPair(shape, 0, -1)}
+	for i := 1; i < len(shape); i++ {
+		blocks = append(blocks, marginalPair(shape, 0, i))
+	}
+	return mat.VStack(blocks...)
+}
+
+// SplitHists slices stacked histogram answers back into the label
+// histogram and the per-predictor joints.
+func SplitHists(shape []int, answers []float64) (label []float64, joints [][]float64) {
+	label = append([]float64(nil), answers[:2]...)
+	off := 2
+	for i := 1; i < len(shape); i++ {
+		sz := 2 * shape[i]
+		joints = append(joints, append([]float64(nil), answers[off:off+sz]...))
+		off += sz
+	}
+	if off != len(answers) {
+		panic(fmt.Sprintf("nbayes: SplitHists consumed %d of %d answers", off, len(answers)))
+	}
+	return label, joints
+}
+
+func marginalPair(shape []int, a, b int) mat.Matrix {
+	factors := make([]mat.Matrix, len(shape))
+	for k, s := range shape {
+		if k == a || k == b {
+			factors[k] = mat.Identity(s)
+		} else {
+			factors[k] = mat.Total(s)
+		}
+	}
+	return mat.Kron(factors...)
+}

@@ -1,0 +1,124 @@
+package solver
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/vec"
+)
+
+// LSMR solves min_x ‖Ax − y‖₂ with the algorithm of Fong & Saunders
+// (SIAM J. Sci. Comput. 2011) — the iterative method the paper's §7.6
+// uses. Like CGLS it touches A only through MatVec/TMatVec; unlike CGLS
+// it is analytically equivalent to MINRES on the normal equations, so
+// the estimate ‖Aᵀr_k‖ decreases monotonically, giving a more reliable
+// stopping rule on ill-conditioned systems. From x₀ = 0 it converges to
+// the minimum-norm least-squares solution.
+func LSMR(a mat.Matrix, y []float64, opts Options) Result {
+	rows, cols := a.Dims()
+	if len(y) != rows {
+		panic("solver: LSMR rhs length mismatch")
+	}
+	x := make([]float64, cols)
+	res := Result{X: x}
+
+	// b for the bidiagonalization is the residual of the starting point.
+	u := vec.Clone(y)
+	if opts.X0 != nil {
+		copy(x, opts.X0)
+		ax := make([]float64, rows)
+		a.MatVec(ax, x)
+		vec.Axpy(-1, ax, u)
+	}
+	beta := vec.Norm2(u)
+	if beta > 0 {
+		vec.Scale(1/beta, u)
+	}
+	v := make([]float64, cols)
+	a.TMatVec(v, u)
+	alpha := vec.Norm2(v)
+	if alpha > 0 {
+		vec.Scale(1/alpha, v)
+	}
+	normAr0 := alpha * beta
+	if normAr0 == 0 { // x0 is already optimal
+		res.Converged = true
+		return res
+	}
+
+	// Initialization per Fong & Saunders, Algorithm 1.
+	zetaBar := alpha * beta
+	alphaBar := alpha
+	rho := 1.0
+	rhoBar := 1.0
+	cBar := 1.0
+	sBar := 0.0
+	h := vec.Clone(v)
+	hBar := make([]float64, cols)
+
+	tol := opts.tol()
+	maxIter := opts.maxIter(cols)
+	tmpRow := make([]float64, rows)
+	tmpCol := make([]float64, cols)
+
+	for k := 1; k <= maxIter; k++ {
+		// Continue the bidiagonalization:
+		// β_{k+1} u_{k+1} = A v_k − α_k u_k
+		a.MatVec(tmpRow, v)
+		for i := range u {
+			u[i] = tmpRow[i] - alpha*u[i]
+		}
+		beta = vec.Norm2(u)
+		if beta > 0 {
+			vec.Scale(1/beta, u)
+		}
+		// α_{k+1} v_{k+1} = Aᵀ u_{k+1} − β_{k+1} v_k
+		a.TMatVec(tmpCol, u)
+		for i := range v {
+			v[i] = tmpCol[i] - beta*v[i]
+		}
+		alphaNext := vec.Norm2(v)
+		if alphaNext > 0 {
+			vec.Scale(1/alphaNext, v)
+		}
+
+		// First plane rotation, eliminating β_{k+1}.
+		rhoOld := rho
+		rho = math.Hypot(alphaBar, beta)
+		c := alphaBar / rho
+		s := beta / rho
+		theta := s * alphaNext
+		alphaBar = c * alphaNext
+
+		// Second plane rotation.
+		rhoBarOld := rhoBar
+		thetaBar := sBar * rho
+		rhoTemp := cBar * rho
+		rhoBar = math.Hypot(cBar*rho, theta)
+		cBar = rhoTemp / rhoBar
+		sBar = theta / rhoBar
+		zeta := cBar * zetaBar
+		zetaBar = -sBar * zetaBar
+
+		// Update h̄, x and h.
+		coefHBar := thetaBar * rho / (rhoOld * rhoBarOld)
+		for i := range hBar {
+			hBar[i] = h[i] - coefHBar*hBar[i]
+		}
+		step := zeta / (rho * rhoBar)
+		vec.Axpy(step, hBar, x)
+		coefH := theta / rho
+		for i := range h {
+			h[i] = v[i] - coefH*h[i]
+		}
+
+		alpha = alphaNext
+		res.Iterations = k
+		res.Residual = math.Abs(zetaBar) // estimate of ‖Aᵀr_k‖
+		if res.Residual <= tol*normAr0 {
+			res.Converged = true
+			break
+		}
+	}
+	return res
+}

@@ -1,0 +1,266 @@
+// Package solver implements the iterative inference engines of EKTELO
+// §7.6 on top of the implicit-matrix contract (mat-vec and transpose
+// mat-vec only): conjugate-gradient least squares (CGLS, the stand-in for
+// LSMR), FISTA projected-gradient non-negative least squares (the
+// stand-in for L-BFGS-B), the multiplicative-weights update, plus a
+// direct dense normal-equations solver and the tree-based least-squares
+// method of Hay et al. used as baselines in the paper's Figure 5.
+package solver
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/vec"
+)
+
+// Options configures the iterative solvers. The zero value selects
+// sensible defaults.
+type Options struct {
+	// MaxIter bounds the number of iterations; 0 means 2*cols+100.
+	MaxIter int
+	// Tol is the relative residual tolerance; 0 means 1e-10.
+	Tol float64
+	// X0 optionally warm-starts the solve; it is not modified.
+	X0 []float64
+}
+
+func (o Options) maxIter(cols int) int {
+	if o.MaxIter > 0 {
+		return o.MaxIter
+	}
+	return 2*cols + 100
+}
+
+func (o Options) tol() float64 {
+	if o.Tol > 0 {
+		return o.Tol
+	}
+	return 1e-10
+}
+
+// Result reports how a solve terminated.
+type Result struct {
+	X          []float64
+	Iterations int
+	Residual   float64 // final ‖Aᵀ(Ax−y)‖₂ (CGLS) or ‖Ax−y‖₂ gradient proxy
+	Converged  bool
+}
+
+// CGLS solves min_x ‖Ax − y‖₂ by conjugate gradients on the normal
+// equations, touching A only through MatVec and TMatVec. It belongs to
+// the same Krylov family as LSMR used in the paper and has the identical
+// O(k·Time(A)) cost model.
+func CGLS(a mat.Matrix, y []float64, opts Options) Result {
+	rows, cols := a.Dims()
+	if len(y) != rows {
+		panic("solver: CGLS rhs length mismatch")
+	}
+	x := make([]float64, cols)
+	if opts.X0 != nil {
+		copy(x, opts.X0)
+	}
+	r := make([]float64, rows) // r = y - A x
+	a.MatVec(r, x)
+	for i := range r {
+		r[i] = y[i] - r[i]
+	}
+	s := make([]float64, cols) // s = Aᵀ r
+	a.TMatVec(s, r)
+	p := vec.Clone(s)
+	q := make([]float64, rows)
+	gamma := vec.Dot(s, s)
+	norm0 := math.Sqrt(gamma)
+	tol := opts.tol()
+	maxIter := opts.maxIter(cols)
+
+	res := Result{X: x}
+	if norm0 == 0 {
+		res.Converged = true
+		return res
+	}
+	for k := 0; k < maxIter; k++ {
+		a.MatVec(q, p)
+		qq := vec.Dot(q, q)
+		if qq == 0 {
+			break
+		}
+		alpha := gamma / qq
+		vec.Axpy(alpha, p, x)
+		vec.Axpy(-alpha, q, r)
+		a.TMatVec(s, r)
+		gammaNew := vec.Dot(s, s)
+		res.Iterations = k + 1
+		res.Residual = math.Sqrt(gammaNew)
+		if res.Residual <= tol*norm0 {
+			res.Converged = true
+			break
+		}
+		beta := gammaNew / gamma
+		for i := range p {
+			p[i] = s[i] + beta*p[i]
+		}
+		gamma = gammaNew
+	}
+	return res
+}
+
+// LeastSquares solves min_x ‖Ax − y‖₂ and returns the estimate
+// (paper Definition 5.1), using LSMR as in the paper's §7.6. Weights,
+// if non-nil, scale each measurement row: rows with smaller noise get
+// proportionally larger weight.
+func LeastSquares(a mat.Matrix, y []float64, weights []float64, opts Options) []float64 {
+	if weights != nil {
+		a = mat.RowScaled(weights, a)
+		wy := make([]float64, len(y))
+		for i := range y {
+			wy[i] = weights[i] * y[i]
+		}
+		y = wy
+	}
+	return LSMR(a, y, opts).X
+}
+
+// PowerIterL estimates the largest eigenvalue of AᵀA (the Lipschitz
+// constant of the least-squares gradient) by power iteration.
+func PowerIterL(a mat.Matrix, iters int) float64 {
+	rows, cols := a.Dims()
+	if cols == 0 || rows == 0 {
+		return 0
+	}
+	v := make([]float64, cols)
+	for i := range v {
+		// Deterministic non-degenerate start vector.
+		v[i] = 1 + float64(i%7)/7
+	}
+	tmp := make([]float64, rows)
+	next := make([]float64, cols)
+	lambda := 0.0
+	for k := 0; k < iters; k++ {
+		a.MatVec(tmp, v)
+		a.TMatVec(next, tmp)
+		lambda = vec.Norm2(next)
+		if lambda == 0 {
+			return 0
+		}
+		for i := range v {
+			v[i] = next[i] / lambda
+		}
+	}
+	return lambda
+}
+
+// NNLS solves min_{x≥0} ‖Ax − y‖₂ (paper Definition 5.2) by FISTA
+// projected gradient with step 1/L, touching A only through mat-vec
+// products. It substitutes for the paper's L-BFGS-B (see DESIGN.md §5).
+func NNLS(a mat.Matrix, y []float64, weights []float64, opts Options) []float64 {
+	if weights != nil {
+		a = mat.RowScaled(weights, a)
+		wy := make([]float64, len(y))
+		for i := range y {
+			wy[i] = weights[i] * y[i]
+		}
+		y = wy
+	}
+	rows, cols := a.Dims()
+	if len(y) != rows {
+		panic("solver: NNLS rhs length mismatch")
+	}
+	lip := PowerIterL(a, 30)
+	if lip == 0 {
+		return make([]float64, cols)
+	}
+	step := 1 / lip
+	x := make([]float64, cols)
+	if opts.X0 != nil {
+		copy(x, opts.X0)
+		vec.ClampNonNeg(x)
+	}
+	z := vec.Clone(x) // momentum iterate
+	xPrev := vec.Clone(x)
+	grad := make([]float64, cols)
+	resid := make([]float64, rows)
+	t := 1.0
+	maxIter := opts.maxIter(cols)
+	tol := opts.tol()
+	var gradNorm0 float64
+	for k := 0; k < maxIter; k++ {
+		// grad = Aᵀ(Az − y)
+		a.MatVec(resid, z)
+		for i := range resid {
+			resid[i] -= y[i]
+		}
+		a.TMatVec(grad, resid)
+		gn := vec.Norm2(grad)
+		if k == 0 {
+			gradNorm0 = gn
+			if gradNorm0 == 0 {
+				return x
+			}
+		}
+		copy(xPrev, x)
+		for i := range x {
+			v := z[i] - step*grad[i]
+			if v < 0 {
+				v = 0
+			}
+			x[i] = v
+		}
+		tNext := (1 + math.Sqrt(1+4*t*t)) / 2
+		mom := (t - 1) / tNext
+		for i := range z {
+			z[i] = x[i] + mom*(x[i]-xPrev[i])
+		}
+		t = tNext
+		// Converged when the projected step is tiny relative to the initial
+		// gradient scale.
+		var diff float64
+		for i := range x {
+			d := x[i] - xPrev[i]
+			diff += d * d
+		}
+		if math.Sqrt(diff) <= tol*step*gradNorm0 {
+			break
+		}
+	}
+	return x
+}
+
+// MultWeights applies the multiplicative-weights update rule of MWEM
+// (paper §5.5, Table 1 row MW): starting from estimate xHat with total
+// mass preserved, for each of iters passes and each measurement row, the
+// estimate is reweighted by exp(q·(answer − q·xHat)/(2·total)) and
+// renormalized.
+//
+// The measurement matrix is touched only through Row extraction
+// (Mᵀeᵢ), matching the primitive-method contract.
+func MultWeights(a mat.Matrix, y []float64, xHat []float64, iters int) []float64 {
+	rows, cols := a.Dims()
+	if len(y) != rows || len(xHat) != cols {
+		panic("solver: MultWeights dimension mismatch")
+	}
+	x := vec.Clone(xHat)
+	total := vec.Sum(x)
+	if total <= 0 {
+		return x
+	}
+	for it := 0; it < iters; it++ {
+		for i := 0; i < rows; i++ {
+			q := mat.Row(a, i)
+			est := vec.Dot(q, x)
+			errV := y[i] - est
+			// Multiplicative update; the 2*total damping follows MWEM.
+			for j := range x {
+				if q[j] != 0 {
+					x[j] *= math.Exp(q[j] * errV / (2 * total))
+				}
+			}
+			// Renormalize to preserve total mass.
+			s := vec.Sum(x)
+			if s > 0 {
+				vec.Scale(total/s, x)
+			}
+		}
+	}
+	return x
+}
