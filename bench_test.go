@@ -7,6 +7,7 @@ package repro
 // numbers.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core/partition"
@@ -135,6 +136,77 @@ func BenchmarkMatVecKronMarginals(b *testing.B) {
 	// All-2-way-marginal style Kronecker over a 64x64x64 domain.
 	m := mat.Kron(mat.Identity(64), mat.Identity(64), mat.Total(64))
 	benchMatVec(b, m)
+}
+
+// ---------------------------------------------------------------------
+// Engine benchmarks: serial vs parallel mat-vec on ≥ 2^20-cell matrices
+// (the acceptance scale for the shared compute engine). Each family runs
+// at parallelism 1 and 4 so the speedup is read directly off the
+// sub-benchmark ratio; allocations are reported and must be 0 on the
+// steady state.
+// ---------------------------------------------------------------------
+
+func benchMatVecParallel(b *testing.B, m mat.Matrix) {
+	b.Helper()
+	r, c := m.Dims()
+	x := make([]float64, c)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	dst := make([]float64, r)
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			mat.SetParallelism(p)
+			defer mat.SetParallelism(0)
+			m.MatVec(dst, x) // warm pools
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.MatVec(dst, x)
+			}
+		})
+	}
+}
+
+// BenchmarkMatVecEngine runs the engine benchmark shapes shared with
+// `ektelo-bench -exp matvec` (experiments.MatVecCases: 2^20-cell
+// Kronecker, stacked H2 union, CSR H2, 2^22-cell dense), so testing.B
+// and the BENCH_N.json record always measure the same matrices.
+func BenchmarkMatVecEngine(b *testing.B) {
+	for _, c := range experiments.MatVecCases() {
+		b.Run(c.Name, func(b *testing.B) {
+			benchMatVecParallel(b, c.Build())
+		})
+	}
+}
+
+// BenchmarkLSMRWorkspace measures the Fig. 5 hot path with the
+// workspace-backed steady state: 0 allocs/op in the iteration loop.
+func BenchmarkLSMRWorkspace(b *testing.B) {
+	m := solver.TreeMatrix(benchN, 2)
+	r, _ := m.Dims()
+	rng := noise.NewRand(3)
+	y := make([]float64, r)
+	noise.LaplaceVec(rng, y, 1)
+	ws := mat.NewWorkspace()
+	opts := solver.Options{MaxIter: 50, Tol: 1e-8, Work: ws}
+	solver.LSMR(m, y, opts) // warm the workspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.LSMR(m, y, opts)
+	}
+}
+
+// BenchmarkGramKronFast measures the structure-aware Gram against the
+// generic cols·matvec construction it replaces (Gram(A⊗B) =
+// Gram(A)⊗Gram(B)).
+func BenchmarkGramKronFast(b *testing.B) {
+	m := mat.Kron(mat.Prefix(64), mat.Prefix(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.Gram(m)
+	}
 }
 
 // BenchmarkSensitivityImplicit measures the automatic sensitivity

@@ -3,24 +3,34 @@
 //
 // Usage:
 //
-//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|all [-full]
+//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|matvec|all [-full] [-json FILE] [-par N,M]
 //
 // Without -full the quick configurations run (small domains, seconds);
 // with -full the paper-scale configurations run (up to the 1.4M-cell
-// Census domain; minutes).
+// Census domain; minutes). The matvec experiment benchmarks the shared
+// parallel mat-vec engine and, with -json, records the results (e.g.
+// BENCH_1.json) so the perf trajectory is tracked in-repo.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+var (
+	jsonOut = flag.String("json", "", "write the matvec engine benchmark report to this file as JSON")
+	parList = flag.String("par", "4", "comma-separated parallelism levels for the matvec experiment (1 is always included)")
+)
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table4, table5, table6, fig3, fig4a, fig4b, fig5, all")
+	exp := flag.String("exp", "all", "experiment to run: table4, table5, table6, fig3, fig4a, fig4b, fig5, matvec, all")
 	full := flag.Bool("full", false, "run the paper-scale configuration instead of the quick one")
 	flag.Parse()
 
@@ -32,8 +42,9 @@ func main() {
 		"fig4a":  runFig4a,
 		"fig4b":  runFig4b,
 		"fig5":   runFig5,
+		"matvec": runMatVec,
 	}
-	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6"}
+	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6", "matvec"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -123,5 +134,37 @@ func runFig5(full bool) {
 		cfg = experiments.FullFig5()
 	}
 	fmt.Print(experiments.Fig5String(experiments.Fig5(cfg)))
+	done()
+}
+
+func runMatVec(bool) {
+	done := banner("Mat-vec engine: serial vs parallel on 2^20-cell matrices")
+	var levels []int
+	for _, f := range strings.Split(*parList, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad -par entry %q\n", f)
+			os.Exit(2)
+		}
+		levels = append(levels, n)
+	}
+	rep := experiments.MatVecBench(levels)
+	fmt.Print(experiments.MatVecBenchString(rep))
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
 	done()
 }

@@ -5,6 +5,14 @@
 // The library lives under internal/ (see DESIGN.md for the system
 // inventory); runnable entry points are the examples/ programs and
 // cmd/ektelo-bench, which regenerates every table and figure of the
-// paper's evaluation. The root-level bench_test.go exposes one
-// testing.B benchmark per experiment.
+// paper's evaluation plus the mat-vec engine benchmark
+// (-exp matvec -json BENCH_1.json) that records the repo's performance
+// trajectory. The root-level bench_test.go exposes one testing.B
+// benchmark per experiment and serial-vs-parallel engine benchmarks.
+//
+// Every plan bottoms out in internal/mat's implicit mat-vec kernels;
+// those run on a shared parallel, zero-allocation compute engine (see
+// the mat package docs: SetParallelism, Workspace, structure-aware
+// Gram), so solver and inference throughput scales with cores without
+// per-iteration garbage.
 package repro

@@ -10,6 +10,7 @@ package inference
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/mat"
 	"repro/internal/solver"
@@ -25,6 +26,12 @@ type Measurements struct {
 	ys     [][]float64
 	scales []float64
 }
+
+// wsPool shares solver workspaces across inference calls. A Workspace
+// is not safe for concurrent use, so each solve checks one out for its
+// duration; concurrent solves on the same Measurements each get their
+// own.
+var wsPool = sync.Pool{New: func() any { return mat.NewWorkspace() }}
 
 // NewMeasurements returns an empty measurement log over a root domain of
 // the given size.
@@ -140,7 +147,20 @@ func (ms *Measurements) LeastSquares(opts solver.Options) []float64 {
 	if !ms.uniformNoise() {
 		w = ms.Weights()
 	}
+	opts, done := solverOpts(opts)
+	defer done()
 	return solver.LeastSquares(ms.Matrix(), ms.Answers(), w, opts)
+}
+
+// solverOpts attaches a pooled workspace to opts when the caller did not
+// supply one; done returns it to the pool.
+func solverOpts(opts solver.Options) (solver.Options, func()) {
+	if opts.Work != nil {
+		return opts, func() {}
+	}
+	ws := wsPool.Get().(*mat.Workspace)
+	opts.Work = ws
+	return opts, func() { wsPool.Put(ws) }
 }
 
 // NNLS returns the non-negative least-squares estimate (paper
@@ -150,6 +170,8 @@ func (ms *Measurements) NNLS(opts solver.Options) []float64 {
 	if !ms.uniformNoise() {
 		w = ms.Weights()
 	}
+	opts, done := solverOpts(opts)
+	defer done()
 	return solver.NNLS(ms.Matrix(), ms.Answers(), w, opts)
 }
 

@@ -53,15 +53,21 @@ func HDMMScore(w, a mat.Matrix, sampleRows int, rng *rand.Rand) float64 {
 	}
 	var frob float64
 	at := mat.T(a)
+	// One workspace and row buffer serve every sampled-row solve.
+	ws := mat.NewWorkspace()
+	basis := make([]float64, wr)
+	q := make([]float64, wc)
 	for s := 0; s < rows; s++ {
 		i := s
 		if rows < wr {
 			i = rng.IntN(wr)
 		}
-		q := mat.Row(w, i)
+		basis[i] = 1
+		w.TMatVec(q, basis)
+		basis[i] = 0
 		// Minimum-norm z with zA = q  ⇔  Aᵀ zᵀ = qᵀ solved by CGLS, whose
 		// limit from x₀ = 0 is the pseudo-inverse solution.
-		res := solver.CGLS(at, q, solver.Options{MaxIter: 500, Tol: 1e-9})
+		res := solver.CGLS(at, q, solver.Options{MaxIter: 500, Tol: 1e-9, Work: ws})
 		nz := vec.Norm2(res.X)
 		frob += nz * nz
 	}

@@ -15,6 +15,7 @@ import (
 // that share a column count.
 type VStackMat struct {
 	blocks []Matrix
+	offs   []int // row offset of each block, len(blocks)+1
 	rows   int
 	cols   int
 }
@@ -27,15 +28,18 @@ func VStack(blocks ...Matrix) *VStackMat {
 		panic("mat: VStack of zero blocks")
 	}
 	_, c := blocks[0].Dims()
+	offs := make([]int, len(blocks)+1)
 	rows := 0
-	for _, b := range blocks {
+	for i, b := range blocks {
 		br, bc := b.Dims()
 		if bc != c {
 			panic(fmt.Sprintf("mat: VStack column mismatch %d vs %d", bc, c))
 		}
+		offs[i] = rows
 		rows += br
 	}
-	return &VStackMat{blocks: blocks, rows: rows, cols: c}
+	offs[len(blocks)] = rows
+	return &VStackMat{blocks: blocks, offs: offs, rows: rows, cols: c}
 }
 
 // Blocks returns the stacked sub-matrices.
@@ -44,33 +48,79 @@ func (m *VStackMat) Blocks() []Matrix { return m.blocks }
 // Dims returns the stacked dimensions.
 func (m *VStackMat) Dims() (int, int) { return m.rows, m.cols }
 
-// MatVec evaluates each block on x into its row segment.
+// MatVec evaluates each block on x into its row segment. Blocks write
+// disjoint segments of dst, so the parallel path hands whole blocks to
+// the engine's workers.
 func (m *VStackMat) MatVec(dst, x []float64) {
 	checkMatVec(m, dst, x)
-	off := 0
-	for _, b := range m.blocks {
-		br, _ := b.Dims()
-		b.MatVec(dst[off:off+br], x)
-		off += br
+	if len(m.blocks) > 1 && parallelizable(m.estWork()) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x = vstackMatVecKernel, m, dst, x
+		parRun(t, len(m.blocks), 1)
+		t.release()
+		return
+	}
+	vstackMatVecRange(m, dst, x, 0, len(m.blocks))
+}
+
+func vstackMatVecKernel(t *task, _, lo, hi int) {
+	vstackMatVecRange(t.m.(*VStackMat), t.dst, t.x, lo, hi)
+}
+
+func vstackMatVecRange(m *VStackMat, dst, x []float64, lo, hi int) {
+	for bi := lo; bi < hi; bi++ {
+		m.blocks[bi].MatVec(dst[m.offs[bi]:m.offs[bi+1]], x)
 	}
 }
 
-// TMatVec accumulates Σᵢ Bᵢᵀ xᵢ over the row segments.
+// TMatVec accumulates Σᵢ Bᵢᵀ xᵢ over the row segments. Workers evaluate
+// disjoint block subsets into private accumulators that the engine
+// merges; block results land in pooled scratch, so the steady state
+// allocates nothing.
 func (m *VStackMat) TMatVec(dst, x []float64) {
 	checkTMatVec(m, dst, x)
+	// Zeroing and merging the accumulators costs O(workers·cols); only go
+	// parallel when the stacked work clearly dominates it (mirrors the
+	// Sparse.TMatVec guard).
+	if len(m.blocks) > 1 && parallelizable(m.estWork()) && m.estWork() >= 8*m.cols {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x = vstackTMatVecKernel, m, dst, x
+		t.auxLen = m.cols
+		parRun(t, len(m.blocks), 1)
+		t.release()
+		return
+	}
 	for j := range dst {
 		dst[j] = 0
 	}
-	tmp := make([]float64, m.cols)
-	off := 0
-	for _, b := range m.blocks {
-		br, _ := b.Dims()
-		b.TMatVec(tmp, x[off:off+br])
-		for j, v := range tmp {
+	vstackTMatVecRange(m, dst, x, 0, len(m.blocks))
+}
+
+func vstackTMatVecKernel(t *task, worker, lo, hi int) {
+	buf := t.dst
+	if worker > 0 {
+		buf = t.aux[worker-1]
+	}
+	vstackTMatVecRange(t.m.(*VStackMat), buf, t.x, lo, hi)
+}
+
+// vstackTMatVecRange adds Σ Bᵢᵀ xᵢ over blocks [lo, hi) into dst, which
+// the caller must have zeroed.
+func vstackTMatVecRange(m *VStackMat, dst, x []float64, lo, hi int) {
+	s := getScratch(m.cols)
+	for bi := lo; bi < hi; bi++ {
+		m.blocks[bi].TMatVec(s.buf, x[m.offs[bi]:m.offs[bi+1]])
+		for j, v := range s.buf {
 			dst[j] += v
 		}
-		off += br
 	}
+	s.put()
+}
+
+// estWork estimates the flop count of one stacked mat-vec: implicit
+// blocks cost about O(rows + cols) each.
+func (m *VStackMat) estWork() int {
+	return m.rows + len(m.blocks)*m.cols
 }
 
 // Abs stacks the children's absolute values.
@@ -126,22 +176,24 @@ func (m *ProductMat) Dims() (int, int) {
 	return ar, bc
 }
 
-// MatVec computes dst = A(Bx).
+// MatVec computes dst = A(Bx) through a pooled intermediate.
 func (m *ProductMat) MatVec(dst, x []float64) {
 	checkMatVec(m, dst, x)
 	br, _ := m.b.Dims()
-	tmp := make([]float64, br)
-	m.b.MatVec(tmp, x)
-	m.a.MatVec(dst, tmp)
+	s := getScratch(br)
+	m.b.MatVec(s.buf, x)
+	m.a.MatVec(dst, s.buf)
+	s.put()
 }
 
-// TMatVec computes dst = Bᵀ(Aᵀx).
+// TMatVec computes dst = Bᵀ(Aᵀx) through a pooled intermediate.
 func (m *ProductMat) TMatVec(dst, x []float64) {
 	checkTMatVec(m, dst, x)
 	_, ac := m.a.Dims()
-	tmp := make([]float64, ac)
-	m.a.TMatVec(tmp, x)
-	m.b.TMatVec(dst, tmp)
+	s := getScratch(ac)
+	m.a.TMatVec(s.buf, x)
+	m.b.TMatVec(dst, s.buf)
+	s.put()
 }
 
 // Abs returns the product itself when it is declared binary, and a dense
@@ -193,51 +245,126 @@ func (m *KroneckerMat) Factors() (Matrix, Matrix) { return m.a, m.b }
 
 // MatVec computes (A⊗B)x by reshaping x into an n_A×n_B matrix X and
 // evaluating vec(A·(X·Bᵀ)ᵀ... concretely: Z[j1,:] = B·X[j1,:] for each j1,
-// then dst[:,i2] = A·Z[:,i2] for each i2.
+// then dst[:,i2] = A·Z[:,i2] for each i2. Both phases are data-parallel
+// over the outer factor's index and run through the engine; the Z buffer
+// and the per-worker column scratch come from the pool.
 func (m *KroneckerMat) MatVec(dst, x []float64) {
 	checkMatVec(m, dst, x)
 	ar, ac := m.a.Dims()
 	br, bc := m.b.Dims()
-	// Step 1: apply B to each of the ac rows of X (row j1 = x[j1*bc:(j1+1)*bc]).
-	z := make([]float64, ac*br) // z[j1*br + i2]
-	for j1 := 0; j1 < ac; j1++ {
-		m.b.MatVec(z[j1*br:(j1+1)*br], x[j1*bc:(j1+1)*bc])
+	z := getScratch(ac * br) // z[j1*br + i2]
+	// Phase 1: apply B to each of the ac rows of X (row j1 = x[j1*bc:(j1+1)*bc]).
+	if parallelizable(ac * (br + bc)) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.z = kronRowsKernel, m, dst, x, z.buf
+		parRun(t, ac, grainRows(br+bc))
+		t.release()
+	} else {
+		kronRowsRange(m, z.buf, x, 0, ac)
 	}
-	// Step 2: apply A down each of the br columns of Z.
-	colIn := make([]float64, ac)
-	colOut := make([]float64, ar)
-	for i2 := 0; i2 < br; i2++ {
-		for j1 := 0; j1 < ac; j1++ {
-			colIn[j1] = z[j1*br+i2]
-		}
-		m.a.MatVec(colOut, colIn)
-		for i1 := 0; i1 < ar; i1++ {
-			dst[i1*br+i2] = colOut[i1]
-		}
+	// Phase 2: apply A down each of the br columns of Z.
+	if parallelizable(br * (ar + ac)) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.z = kronColsKernel, m, dst, x, z.buf
+		parRun(t, br, grainRows(ar+ac))
+		t.release()
+	} else {
+		kronColsRange(m, dst, z.buf, 0, br)
+	}
+	z.put()
+}
+
+func kronRowsKernel(t *task, _, lo, hi int) {
+	kronRowsRange(t.m.(*KroneckerMat), t.z, t.x, lo, hi)
+}
+
+func kronRowsRange(m *KroneckerMat, z, x []float64, lo, hi int) {
+	_, bc := m.b.Dims()
+	br, _ := m.b.Dims()
+	for j1 := lo; j1 < hi; j1++ {
+		m.b.MatVec(z[j1*br:(j1+1)*br], x[j1*bc:(j1+1)*bc])
 	}
 }
 
+func kronColsKernel(t *task, _, lo, hi int) {
+	kronColsRange(t.m.(*KroneckerMat), t.dst, t.z, lo, hi)
+}
+
+func kronColsRange(m *KroneckerMat, dst, z []float64, lo, hi int) {
+	ar, ac := m.a.Dims()
+	br, _ := m.b.Dims()
+	in := getScratch(ac)
+	out := getScratch(ar)
+	for i2 := lo; i2 < hi; i2++ {
+		for j1 := 0; j1 < ac; j1++ {
+			in.buf[j1] = z[j1*br+i2]
+		}
+		m.a.MatVec(out.buf, in.buf)
+		for i1 := 0; i1 < ar; i1++ {
+			dst[i1*br+i2] = out.buf[i1]
+		}
+	}
+	in.put()
+	out.put()
+}
+
 // TMatVec computes (A⊗B)ᵀx = (Aᵀ⊗Bᵀ)x by the same trick with the
-// transposed factors.
+// transposed factors, parallelized the same way.
 func (m *KroneckerMat) TMatVec(dst, x []float64) {
 	checkTMatVec(m, dst, x)
 	ar, ac := m.a.Dims()
 	br, bc := m.b.Dims()
-	z := make([]float64, ar*bc) // z[i1*bc + j2] = Bᵀ applied to row i1 of X
-	for i1 := 0; i1 < ar; i1++ {
+	z := getScratch(ar * bc) // z[i1*bc + j2] = Bᵀ applied to row i1 of X
+	if parallelizable(ar * (br + bc)) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.z = kronTRowsKernel, m, dst, x, z.buf
+		parRun(t, ar, grainRows(br+bc))
+		t.release()
+	} else {
+		kronTRowsRange(m, z.buf, x, 0, ar)
+	}
+	if parallelizable(bc * (ar + ac)) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.z = kronTColsKernel, m, dst, x, z.buf
+		parRun(t, bc, grainRows(ar+ac))
+		t.release()
+	} else {
+		kronTColsRange(m, dst, z.buf, 0, bc)
+	}
+	z.put()
+}
+
+func kronTRowsKernel(t *task, _, lo, hi int) {
+	kronTRowsRange(t.m.(*KroneckerMat), t.z, t.x, lo, hi)
+}
+
+func kronTRowsRange(m *KroneckerMat, z, x []float64, lo, hi int) {
+	br, bc := m.b.Dims()
+	for i1 := lo; i1 < hi; i1++ {
 		m.b.TMatVec(z[i1*bc:(i1+1)*bc], x[i1*br:(i1+1)*br])
 	}
-	colIn := make([]float64, ar)
-	colOut := make([]float64, ac)
-	for j2 := 0; j2 < bc; j2++ {
+}
+
+func kronTColsKernel(t *task, _, lo, hi int) {
+	kronTColsRange(t.m.(*KroneckerMat), t.dst, t.z, lo, hi)
+}
+
+func kronTColsRange(m *KroneckerMat, dst, z []float64, lo, hi int) {
+	ar, ac := m.a.Dims()
+	_, bc := m.b.Dims()
+	in := getScratch(ar)
+	out := getScratch(ac)
+	for j2 := lo; j2 < hi; j2++ {
 		for i1 := 0; i1 < ar; i1++ {
-			colIn[i1] = z[i1*bc+j2]
+			in.buf[i1] = z[i1*bc+j2]
 		}
-		m.a.TMatVec(colOut, colIn)
+		m.a.TMatVec(out.buf, in.buf)
 		for j1 := 0; j1 < ac; j1++ {
-			dst[j1*bc+j2] = colOut[j1]
+			dst[j1*bc+j2] = out.buf[j1]
 		}
 	}
+	in.put()
+	out.put()
 }
 
 // Abs distributes over Kronecker products: |A⊗B| = |A|⊗|B|.
@@ -378,11 +505,12 @@ func (s *rowScaledMat) MatVec(dst, x []float64) {
 }
 
 func (s *rowScaledMat) TMatVec(dst, x []float64) {
-	tmp := make([]float64, len(x))
+	t := getScratch(len(x))
 	for i, w := range s.w {
-		tmp[i] = x[i] * w
+		t.buf[i] = x[i] * w
 	}
-	s.m.TMatVec(dst, tmp)
+	s.m.TMatVec(dst, t.buf)
+	t.put()
 }
 
 // Abs scales the child's absolute value rows by |w|.

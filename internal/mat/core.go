@@ -219,7 +219,8 @@ func (m *WaveletMat) MatVec(dst, x []float64) {
 	checkMatVec(m, dst, x)
 	c, signed := m.coeffs()
 	copy(dst, x)
-	tmp := make([]float64, m.n)
+	s := getScratch(m.n)
+	tmp := s.buf
 	for length := m.n; length > 1; length /= 2 {
 		half := length / 2
 		for i := 0; i < half; i++ {
@@ -233,6 +234,7 @@ func (m *WaveletMat) MatVec(dst, x []float64) {
 		}
 		copy(dst[:length], tmp[:length])
 	}
+	s.put()
 }
 
 // TMatVec applies the transposed transform (the reversed composition of
@@ -241,7 +243,8 @@ func (m *WaveletMat) TMatVec(dst, x []float64) {
 	checkTMatVec(m, dst, x)
 	c, signed := m.coeffs()
 	copy(dst, x)
-	tmp := make([]float64, m.n)
+	s := getScratch(m.n)
+	tmp := s.buf
 	for length := 2; length <= m.n; length *= 2 {
 		half := length / 2
 		for i := 0; i < half; i++ {
@@ -256,6 +259,7 @@ func (m *WaveletMat) TMatVec(dst, x []float64) {
 		}
 		copy(dst[:length], tmp[:length])
 	}
+	s.put()
 }
 
 // Abs returns the element-wise absolute value as another implicit wavelet.

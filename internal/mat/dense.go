@@ -60,10 +60,26 @@ func (d *Dense) RowView(i int) []float64 { return d.data[i*d.cols : (i+1)*d.cols
 // Data returns the backing row-major slice (not a copy).
 func (d *Dense) Data() []float64 { return d.data }
 
-// MatVec computes dst = D*x.
+// MatVec computes dst = D*x, splitting the rows across the engine's
+// goroutines when the matrix is large enough.
 func (d *Dense) MatVec(dst, x []float64) {
 	checkMatVec(d, dst, x)
-	for i := 0; i < d.rows; i++ {
+	if parallelizable(d.rows * d.cols) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x = denseMatVecKernel, d, dst, x
+		parRun(t, d.rows, grainRows(d.cols))
+		t.release()
+		return
+	}
+	denseMatVecRange(d, dst, x, 0, d.rows)
+}
+
+func denseMatVecKernel(t *task, _, lo, hi int) {
+	denseMatVecRange(t.m.(*Dense), t.dst, t.x, lo, hi)
+}
+
+func denseMatVecRange(d *Dense, dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		row := d.data[i*d.cols : (i+1)*d.cols]
 		var s float64
 		for j, v := range row {
@@ -73,13 +89,37 @@ func (d *Dense) MatVec(dst, x []float64) {
 	}
 }
 
-// TMatVec computes dst = Dᵀ*x.
+// TMatVec computes dst = Dᵀ*x. The parallel path splits the rows across
+// workers, each accumulating into a private buffer that the engine merges
+// into dst.
 func (d *Dense) TMatVec(dst, x []float64) {
 	checkTMatVec(d, dst, x)
+	if parallelizable(d.rows*d.cols) && d.rows >= 4 {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x = denseTMatVecKernel, d, dst, x
+		t.auxLen = d.cols
+		parRun(t, d.rows, grainRows(d.cols))
+		t.release()
+		return
+	}
 	for j := range dst {
 		dst[j] = 0
 	}
-	for i := 0; i < d.rows; i++ {
+	denseTMatVecRange(d, dst, x, 0, d.rows)
+}
+
+func denseTMatVecKernel(t *task, worker, lo, hi int) {
+	buf := t.dst
+	if worker > 0 {
+		buf = t.aux[worker-1]
+	}
+	denseTMatVecRange(t.m.(*Dense), buf, t.x, lo, hi)
+}
+
+// denseTMatVecRange accumulates rows [lo, hi) of Dᵀx into dst, which the
+// caller must have zeroed.
+func denseTMatVecRange(d *Dense, dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
@@ -89,6 +129,19 @@ func (d *Dense) TMatVec(dst, x []float64) {
 			dst[j] += xi * v
 		}
 	}
+}
+
+// grainRows converts the engine's per-chunk flop grain into a row count
+// for kernels whose per-row cost is rowCost flops.
+func grainRows(rowCost int) int {
+	if rowCost <= 0 {
+		return parGrain
+	}
+	g := parGrain / rowCost
+	if g < 1 {
+		g = 1
+	}
+	return g
 }
 
 // Abs returns the element-wise absolute value as a new dense matrix.

@@ -1,0 +1,161 @@
+package mat
+
+import "repro/internal/vec"
+
+// This file computes Gram matrices G = MᵀM with structure-aware fast
+// paths. The generic fallback costs cols·(Time(M) + Time(Mᵀ)); the fast
+// paths exploit the combinator algebra instead:
+//
+//	Gram(A⊗B)   = Gram(A) ⊗ Gram(B)        (expanded densely)
+//	Gram(VStack) = Σ Gram(blockᵢ)
+//	Gram(c·M)    = c²·Gram(M)
+//	Gram(CSR)    = row-wise outer products, O(Σ nnz(rowᵢ)²)
+//	Gram(Dense)  = row-wise rank-1 updates, cache-contiguous
+//
+// solver.DirectLS and the strategy-scoring layers call Gram on exactly
+// these shapes, so the dispatch removes the O(cols·matvec) bottleneck
+// the paper's Figure 5 attributes to direct inference.
+
+// Gram returns MᵀM as a dense matrix, dispatching to a structure-aware
+// fast path when one applies.
+func Gram(m Matrix) *Dense {
+	switch t := m.(type) {
+	case *IdentityMat:
+		g := NewDense(t.n, t.n, nil)
+		for i := 0; i < t.n; i++ {
+			g.data[i*t.n+i] = 1
+		}
+		return g
+	case *DiagMat:
+		n := len(t.d)
+		g := NewDense(n, n, nil)
+		for i, v := range t.d {
+			g.data[i*n+i] = v * v
+		}
+		return g
+	case *ScaledMat:
+		g := Gram(t.m)
+		c2 := t.c * t.c
+		for i := range g.data {
+			g.data[i] *= c2
+		}
+		return g
+	case *TransposeMat:
+		// Gram(Mᵀ) = MMᵀ has no combinator shortcut; fall through to the
+		// generic path unless the child is dense.
+		if d, ok := t.m.(*Dense); ok {
+			return denseRowGram(d)
+		}
+	case *Sparse:
+		return sparseGram(t)
+	case *Dense:
+		return denseGram(t)
+	case *VStackMat:
+		g := Gram(t.blocks[0])
+		for _, b := range t.blocks[1:] {
+			gb := Gram(b)
+			for i, v := range gb.data {
+				g.data[i] += v
+			}
+		}
+		return g
+	case *KroneckerMat:
+		return denseKron(Gram(t.a), Gram(t.b))
+	}
+	return gramGeneric(m)
+}
+
+// gramGeneric computes MᵀM column by column through the primitive
+// methods: cols mat-vec plus transpose mat-vec pairs.
+func gramGeneric(m Matrix) *Dense {
+	r, c := m.Dims()
+	g := NewDense(c, c, nil)
+	ej := getScratch(c)
+	tmp := getScratch(r)
+	vec.Zero(ej.buf)
+	for j := 0; j < c; j++ {
+		ej.buf[j] = 1
+		m.MatVec(tmp.buf, ej.buf)
+		ej.buf[j] = 0
+		m.TMatVec(g.data[j*c:(j+1)*c], tmp.buf)
+	}
+	ej.put()
+	tmp.put()
+	return g
+}
+
+// sparseGram computes SᵀS directly from the CSR structure: each row
+// contributes the outer product of its nonzeros, O(Σ nnz(rowᵢ)²) total.
+func sparseGram(s *Sparse) *Dense {
+	g := NewDense(s.cols, s.cols, nil)
+	for i := 0; i < s.rows; i++ {
+		lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+		for k1 := lo; k1 < hi; k1++ {
+			base := s.colIdx[k1] * s.cols
+			v1 := s.val[k1]
+			for k2 := lo; k2 < hi; k2++ {
+				g.data[base+s.colIdx[k2]] += v1 * s.val[k2]
+			}
+		}
+	}
+	return g
+}
+
+// denseGram computes DᵀD by rank-1 row updates; every inner loop walks
+// contiguous memory in both the source row and the output row.
+func denseGram(d *Dense) *Dense {
+	g := NewDense(d.cols, d.cols, nil)
+	for i := 0; i < d.rows; i++ {
+		row := d.data[i*d.cols : (i+1)*d.cols]
+		for j1, v1 := range row {
+			if v1 == 0 {
+				continue
+			}
+			out := g.data[j1*d.cols : (j1+1)*d.cols]
+			for j2, v2 := range row {
+				out[j2] += v1 * v2
+			}
+		}
+	}
+	return g
+}
+
+// denseRowGram computes DDᵀ (the Gram of the transpose) densely.
+func denseRowGram(d *Dense) *Dense {
+	g := NewDense(d.rows, d.rows, nil)
+	for i1 := 0; i1 < d.rows; i1++ {
+		r1 := d.data[i1*d.cols : (i1+1)*d.cols]
+		for i2 := i1; i2 < d.rows; i2++ {
+			r2 := d.data[i2*d.cols : (i2+1)*d.cols]
+			var s float64
+			for j, v := range r1 {
+				s += v * r2[j]
+			}
+			g.data[i1*d.rows+i2] = s
+			g.data[i2*d.rows+i1] = s
+		}
+	}
+	return g
+}
+
+// denseKron expands the Kronecker product of two dense matrices.
+func denseKron(a, b *Dense) *Dense {
+	out := NewDense(a.rows*b.rows, a.cols*b.cols, nil)
+	oc := out.cols
+	for i1 := 0; i1 < a.rows; i1++ {
+		for j1 := 0; j1 < a.cols; j1++ {
+			va := a.data[i1*a.cols+j1]
+			if va == 0 {
+				continue
+			}
+			for i2 := 0; i2 < b.rows; i2++ {
+				dst := out.data[(i1*b.rows+i2)*oc+j1*b.cols:]
+				src := b.data[i2*b.cols : (i2+1)*b.cols]
+				for j2, vb := range src {
+					dst[j2] = va * vb
+				}
+			}
+		}
+	}
+	return out
+}

@@ -8,6 +8,33 @@
 // Suffix, Wavelet) are stored implicitly in O(1) space; combinators
 // (VStack/union, Product, Kronecker) delegate to their children so that
 // composed matrices inherit the children's cost model (paper Tables 2, 3).
+//
+// # Compute engine
+//
+// The data-parallel matrices — Dense (row blocks), Sparse (CSR row
+// blocks; transpose via per-worker accumulators), VStack (block
+// parallel) and Kronecker (outer-factor blocks) — execute large mat-vecs
+// on a shared goroutine engine configured with SetParallelism (default
+// runtime.GOMAXPROCS). Below a work threshold kernels stay on their
+// serial loops, so small matrices pay no coordination cost; nested
+// parallelism degrades to serial instead of deadlocking. The practical
+// cost model therefore refines the paper's Tables 2-3 to
+// Time(M)/min(P, blocks) plus an O(P·cols) merge for transpose
+// accumulation.
+//
+// # Allocation discipline
+//
+// Steady-state MatVec/TMatVec perform zero heap allocations for every
+// matrix in the package: combinator temporaries come from an internal
+// sync.Pool, and the engine's dispatch path is allocation-free by
+// construction. Callers that run solver-style loops can additionally
+// reuse their own buffers across calls through the explicit Workspace
+// free-list (a nil *Workspace falls back to plain allocation).
+//
+// Gram computes MᵀM with structure-aware fast paths — Gram(A⊗B) =
+// Gram(A)⊗Gram(B), direct CSR accumulation, block sums for VStack —
+// bypassing the generic cols·matvec construction wherever the operand
+// shape allows.
 package mat
 
 import (
@@ -127,42 +154,41 @@ func Row(m Matrix, i int) []float64 {
 	return TMul(m, vec.Basis(r, i))
 }
 
-// Materialize converts m into an explicit dense matrix by multiplying with
-// the columns of the identity (paper §7.3, materialize). Intended for tests
-// and small matrices only.
+// Materialize converts m into an explicit dense matrix using only the
+// primitive methods (paper §7.3, materialize). When the matrix is wider
+// than tall it extracts rows (Mᵀeᵢ) straight into the row-major backing
+// slice, so every write is contiguous; otherwise it extracts columns
+// through a buffer and scatters, paying the stride once per element
+// rather than recomputing. Intended for tests and small matrices only.
 func Materialize(m Matrix) *Dense {
 	r, c := m.Dims()
 	d := NewDense(r, c, nil)
-	x := make([]float64, c)
-	col := make([]float64, r)
-	for j := 0; j < c; j++ {
-		x[j] = 1
-		m.MatVec(col, x)
-		x[j] = 0
+	if r < c {
+		// Row extraction: r transpose mat-vecs with row-contiguous writes.
+		e := getScratch(r)
+		vec.Zero(e.buf)
 		for i := 0; i < r; i++ {
-			d.data[i*c+j] = col[i]
+			e.buf[i] = 1
+			m.TMatVec(d.data[i*c:(i+1)*c], e.buf)
+			e.buf[i] = 0
+		}
+		e.put()
+		return d
+	}
+	e := getScratch(c)
+	col := getScratch(r)
+	vec.Zero(e.buf)
+	for j := 0; j < c; j++ {
+		e.buf[j] = 1
+		m.MatVec(col.buf, e.buf)
+		e.buf[j] = 0
+		for i, v := range col.buf {
+			d.data[i*c+j] = v
 		}
 	}
+	e.put()
+	col.put()
 	return d
-}
-
-// Gram returns MᵀM as a dense matrix. It requires c mat-vec products and a
-// transpose mat-vec each, so it is intended for modest column counts.
-func Gram(m Matrix) *Dense {
-	_, c := m.Dims()
-	g := NewDense(c, c, nil)
-	ej := make([]float64, c)
-	r, _ := m.Dims()
-	tmp := make([]float64, r)
-	col := make([]float64, c)
-	for j := 0; j < c; j++ {
-		ej[j] = 1
-		m.MatVec(tmp, ej)
-		m.TMatVec(col, tmp)
-		ej[j] = 0
-		copy(g.data[j*c:(j+1)*c], col)
-	}
-	return g
 }
 
 // Equal reports whether a and b have the same dimensions and materialize to

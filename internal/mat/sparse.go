@@ -3,7 +3,7 @@ package mat
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Sparse is a compressed-sparse-row (CSR) matrix: only nonzero entries are
@@ -32,13 +32,18 @@ func NewSparse(rows, cols int, entries []Triplet) *Sparse {
 	}
 	sorted := make([]Triplet, len(entries))
 	copy(sorted, entries)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Row != sorted[j].Row {
-			return sorted[i].Row < sorted[j].Row
+	slices.SortFunc(sorted, func(a, b Triplet) int {
+		if a.Row != b.Row {
+			return a.Row - b.Row
 		}
-		return sorted[i].Col < sorted[j].Col
+		return a.Col - b.Col
 	})
 	s := &Sparse{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+	s.colIdx = make([]int, 0, len(sorted))
+	s.val = make([]float64, 0, len(sorted))
+	// Single pass over the sorted run: coincident coordinates are merged
+	// by summation, exact zeros are dropped, and row end offsets are
+	// recorded as each row's run closes.
 	for k := 0; k < len(sorted); {
 		t := sorted[k]
 		v := t.Val
@@ -96,10 +101,26 @@ func (s *Sparse) Dims() (int, int) { return s.rows, s.cols }
 // NNZ returns the number of stored nonzero entries.
 func (s *Sparse) NNZ() int { return len(s.val) }
 
-// MatVec computes dst = S*x in O(nnz).
+// MatVec computes dst = S*x in O(nnz), splitting the CSR rows across the
+// engine's goroutines when there is enough work.
 func (s *Sparse) MatVec(dst, x []float64) {
 	checkMatVec(s, dst, x)
-	for i := 0; i < s.rows; i++ {
+	if parallelizable(len(s.val)) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x = sparseMatVecKernel, s, dst, x
+		parRun(t, s.rows, grainRows(s.avgRowNNZ()))
+		t.release()
+		return
+	}
+	sparseMatVecRange(s, dst, x, 0, s.rows)
+}
+
+func sparseMatVecKernel(t *task, _, lo, hi int) {
+	sparseMatVecRange(t.m.(*Sparse), t.dst, t.x, lo, hi)
+}
+
+func sparseMatVecRange(s *Sparse, dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var acc float64
 		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
 			acc += s.val[k] * x[s.colIdx[k]]
@@ -108,13 +129,39 @@ func (s *Sparse) MatVec(dst, x []float64) {
 	}
 }
 
-// TMatVec computes dst = Sᵀ*x in O(nnz).
+// TMatVec computes dst = Sᵀ*x in O(nnz). The parallel path splits the
+// rows across workers, each scattering into a private accumulator that
+// the engine merges into dst, so no two goroutines write one column.
 func (s *Sparse) TMatVec(dst, x []float64) {
 	checkTMatVec(s, dst, x)
+	// Merging costs workers·cols adds; only profitable when the scatter
+	// work clearly dominates it.
+	if parallelizable(len(s.val)) && len(s.val) >= 4*s.cols {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x = sparseTMatVecKernel, s, dst, x
+		t.auxLen = s.cols
+		parRun(t, s.rows, grainRows(s.avgRowNNZ()))
+		t.release()
+		return
+	}
 	for j := range dst {
 		dst[j] = 0
 	}
-	for i := 0; i < s.rows; i++ {
+	sparseTMatVecRange(s, dst, x, 0, s.rows)
+}
+
+func sparseTMatVecKernel(t *task, worker, lo, hi int) {
+	buf := t.dst
+	if worker > 0 {
+		buf = t.aux[worker-1]
+	}
+	sparseTMatVecRange(t.m.(*Sparse), buf, t.x, lo, hi)
+}
+
+// sparseTMatVecRange accumulates rows [lo, hi) of Sᵀx into dst, which
+// the caller must have zeroed.
+func sparseTMatVecRange(s *Sparse, dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
@@ -123,6 +170,13 @@ func (s *Sparse) TMatVec(dst, x []float64) {
 			dst[s.colIdx[k]] += xi * s.val[k]
 		}
 	}
+}
+
+func (s *Sparse) avgRowNNZ() int {
+	if s.rows == 0 {
+		return 1
+	}
+	return len(s.val)/s.rows + 1
 }
 
 // Abs returns the element-wise absolute value, preserving sparsity.

@@ -1,0 +1,104 @@
+package mat
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// decodeTriplets turns fuzz bytes into a triplet list over a rows×cols
+// domain, deliberately generating duplicates, zeros and cancelling pairs.
+func decodeTriplets(data []byte, rows, cols int) []Triplet {
+	var out []Triplet
+	for k := 0; k+2 < len(data); k += 3 {
+		t := Triplet{
+			Row: int(data[k]) % rows,
+			Col: int(data[k+1]) % cols,
+			Val: float64(int(data[k+2]) - 128),
+		}
+		out = append(out, t)
+		if data[k+2]%5 == 0 { // exact duplicate coordinate
+			out = append(out, Triplet{Row: t.Row, Col: t.Col, Val: 1})
+		}
+		if data[k+2]%7 == 0 { // cancelling pair sums to zero
+			out = append(out, Triplet{Row: t.Row, Col: t.Col, Val: -t.Val - 1})
+			out = append(out, Triplet{Row: t.Row, Col: t.Col, Val: -1})
+		}
+	}
+	return out
+}
+
+// denseFromTriplets is the reference construction: accumulate into an
+// explicit dense matrix.
+func denseFromTriplets(rows, cols int, tri []Triplet) *Dense {
+	d := NewDense(rows, cols, nil)
+	for _, t := range tri {
+		d.Set(t.Row, t.Col, d.At(t.Row, t.Col)+t.Val)
+	}
+	return d
+}
+
+func checkSparseAgainstDense(t *testing.T, rows, cols int, tri []Triplet) {
+	t.Helper()
+	s := NewSparse(rows, cols, tri)
+	want := denseFromTriplets(rows, cols, tri)
+	if !Equal(s, want, 0) {
+		t.Fatalf("CSR disagrees with dense reference for %d triplets", len(tri))
+	}
+	// Structural invariants: sorted strictly increasing columns per row,
+	// no stored zeros, monotone rowPtr.
+	for i := 0; i < rows; i++ {
+		if s.rowPtr[i] > s.rowPtr[i+1] {
+			t.Fatalf("rowPtr not monotone at row %d", i)
+		}
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			if s.val[k] == 0 {
+				t.Fatalf("stored zero at row %d", i)
+			}
+			if k > s.rowPtr[i] && s.colIdx[k] <= s.colIdx[k-1] {
+				t.Fatalf("columns not strictly increasing in row %d", i)
+			}
+		}
+	}
+	// CSR mat-vec must match the dense mat-vec too.
+	x := make([]float64, cols)
+	for j := range x {
+		x[j] = float64(j%5) - 2
+	}
+	if !vec.AllClose(Mul(s, x), Mul(want, x), 1e-12, 1e-12) {
+		t.Fatal("CSR MatVec disagrees with dense reference")
+	}
+}
+
+// FuzzNewSparse checks that CSR construction (sort, duplicate merge,
+// zero dropping) matches the dense reference for arbitrary coordinate
+// soups. The seed corpus runs under plain `go test`.
+func FuzzNewSparse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 130, 0, 0, 126, 1, 2, 128})
+	f.Add([]byte{7, 7, 135, 7, 7, 121, 7, 7, 128, 3, 1, 140})
+	seed := make([]byte, 300)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := range seed {
+		seed[i] = byte(rng.IntN(256))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkSparseAgainstDense(t, 8, 11, decodeTriplets(data, 8, 11))
+	})
+}
+
+// TestNewSparseRandomizedAgainstDense complements the fuzz seeds with
+// larger randomized instances.
+func TestNewSparseRandomizedAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.IntN(40), 1+rng.IntN(40)
+		tri := make([]Triplet, rng.IntN(300))
+		for i := range tri {
+			tri[i] = Triplet{Row: rng.IntN(rows), Col: rng.IntN(cols), Val: float64(rng.IntN(9) - 4)}
+		}
+		checkSparseAgainstDense(t, rows, cols, tri)
+	}
+}

@@ -1,0 +1,87 @@
+package mat
+
+import "sync"
+
+// This file provides the two buffer-reuse mechanisms that make
+// steady-state mat-vecs allocation-free (the per-call allocations the
+// paper's cost model ignores dominate wall time once matrices are
+// implicit):
+//
+//   - a package-private sync.Pool of scratch vectors used by the
+//     combinator kernels (Product, Kronecker, VStack, RowScaled,
+//     Wavelet), so that composed mat-vecs stop allocating temporaries on
+//     every call without changing the Matrix interface;
+//   - an exported Workspace, an explicit free-list the iterative solvers
+//     and inference layer thread through their loops to reuse buffers
+//     across calls. A nil *Workspace is valid and simply allocates.
+
+// scratchVec wraps a reusable buffer; pooling a pointer type keeps
+// sync.Pool round trips allocation-free.
+type scratchVec struct{ buf []float64 }
+
+var vecPool = sync.Pool{New: func() any { return new(scratchVec) }}
+
+// getScratch returns a scratch vector with len n. Contents are
+// unspecified; kernels that accumulate must zero it first.
+func getScratch(n int) *scratchVec {
+	s := vecPool.Get().(*scratchVec)
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	s.buf = s.buf[:n]
+	return s
+}
+
+// put returns the scratch vector to the pool.
+func (s *scratchVec) put() { vecPool.Put(s) }
+
+// Workspace is an explicit buffer free-list for callers that run many
+// mat-vec-shaped operations in a loop (LSMR iterations, per-round MWEM
+// inference, HDMM scoring). Get returns a buffer of the requested
+// length, reusing a previously Put buffer when one is large enough; on
+// the steady state a balanced Get/Put sequence performs no allocations.
+//
+// A nil *Workspace is valid: Get allocates and Put is a no-op, so APIs
+// can accept an optional workspace without branching. A Workspace is not
+// safe for concurrent use.
+type Workspace struct {
+	free [][]float64
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Get returns a []float64 of length n with unspecified contents.
+func (w *Workspace) Get(n int) []float64 {
+	if w != nil {
+		for i := len(w.free) - 1; i >= 0; i-- {
+			if cap(w.free[i]) >= n {
+				b := w.free[i][:n]
+				last := len(w.free) - 1
+				w.free[i] = w.free[last]
+				w.free[last] = nil
+				w.free = w.free[:last]
+				return b
+			}
+		}
+	}
+	return make([]float64, n)
+}
+
+// GetZero returns a zeroed []float64 of length n.
+func (w *Workspace) GetZero(n int) []float64 {
+	b := w.Get(n)
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// Put returns a buffer obtained from Get for reuse. Putting a buffer
+// that is still referenced elsewhere is a caller bug.
+func (w *Workspace) Put(b []float64) {
+	if w == nil || cap(b) == 0 {
+		return
+	}
+	w.free = append(w.free, b)
+}

@@ -1,0 +1,89 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/noise"
+)
+
+// TestLSMRIterationLoopAllocFree asserts the acceptance criterion that
+// the LSMR iteration loop performs zero allocations: with a warm
+// workspace, total allocations per solve must not grow with the
+// iteration count (the fixed per-solve cost is the returned solution
+// plus the workspace bookkeeping, independent of iterations).
+func TestLSMRIterationLoopAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses its cache under the race detector")
+	}
+	m := TreeMatrix(1<<12, 2)
+	r, _ := m.Dims()
+	rng := noise.NewRand(42)
+	y := make([]float64, r)
+	noise.LaplaceVec(rng, y, 1)
+	ws := mat.NewWorkspace()
+	solve := func(iters int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			LSMR(m, y, Options{MaxIter: iters, Tol: 0, Work: ws})
+		})
+	}
+	solve(4) // warm the workspace and the mat-layer pools
+	short := solve(4)
+	long := solve(64)
+	if long > short {
+		t.Errorf("LSMR allocations grow with iterations: %v at 4 iters vs %v at 64", short, long)
+	}
+}
+
+// TestCGLSIterationLoopAllocFree is the same assertion for CGLS, which
+// the selection layer calls hundreds of times per HDMM score.
+func TestCGLSIterationLoopAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses its cache under the race detector")
+	}
+	m := TreeMatrix(1<<12, 2)
+	r, _ := m.Dims()
+	rng := noise.NewRand(43)
+	y := make([]float64, r)
+	noise.LaplaceVec(rng, y, 1)
+	ws := mat.NewWorkspace()
+	solve := func(iters int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			CGLS(m, y, Options{MaxIter: iters, Tol: 0, Work: ws})
+		})
+	}
+	solve(4)
+	short := solve(4)
+	long := solve(64)
+	if long > short {
+		t.Errorf("CGLS allocations grow with iterations: %v at 4 iters vs %v at 64", short, long)
+	}
+}
+
+// TestSolversWithWorkspaceMatchNoWorkspace pins workspace-backed solves
+// to the allocation-per-call behavior.
+func TestSolversWithWorkspaceMatchNoWorkspace(t *testing.T) {
+	m := TreeMatrix(256, 2)
+	r, _ := m.Dims()
+	rng := noise.NewRand(44)
+	y := make([]float64, r)
+	noise.LaplaceVec(rng, y, 1)
+	ws := mat.NewWorkspace()
+	for name, run := range map[string]func(Options) []float64{
+		"LSMR": func(o Options) []float64 { return LSMR(m, y, o).X },
+		"CGLS": func(o Options) []float64 { return CGLS(m, y, o).X },
+		"NNLS": func(o Options) []float64 { return NNLS(m, y, nil, o) },
+	} {
+		plain := run(Options{MaxIter: 100, Tol: 1e-10})
+		// Two workspace runs: the second reuses the first's buffers and
+		// must still match the workspace-free solve bit for bit.
+		run(Options{MaxIter: 100, Tol: 1e-10, Work: ws})
+		reused := run(Options{MaxIter: 100, Tol: 1e-10, Work: ws})
+		for i := range plain {
+			if plain[i] != reused[i] {
+				t.Errorf("%s: workspace-backed solve diverged at %d: %v vs %v", name, i, plain[i], reused[i])
+				break
+			}
+		}
+	}
+}

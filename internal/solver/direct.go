@@ -10,11 +10,22 @@ import (
 // DirectLS solves min_x ‖Ax − y‖₂ by forming the normal equations
 // AᵀAx = Aᵀy densely and factoring with Cholesky. This is the "direct"
 // baseline of the paper's Figure 5: cubic in the domain size, practical
-// only for small n.
+// only for small n. The Gram matrix is built through mat.Gram's
+// structure-aware fast paths (Kronecker factoring, direct CSR), so for
+// the paper's strategies the normal-equation assembly is no longer the
+// O(cols·matvec) bottleneck.
 func DirectLS(a mat.Matrix, y []float64) []float64 {
+	return DirectLSW(a, y, nil)
+}
+
+// DirectLSW is DirectLS with an optional workspace reused across solves
+// for everything except the returned solution.
+func DirectLSW(a mat.Matrix, y []float64, ws *mat.Workspace) []float64 {
 	_, cols := a.Dims()
 	g := mat.Gram(a) // cols × cols dense
-	rhs := mat.TMul(a, y)
+	rhs := ws.Get(cols)
+	a.TMatVec(rhs, y)
+	defer ws.Put(rhs)
 	// Tiny ridge for rank-deficient measurement sets keeps the factor
 	// stable without visibly biasing well-posed solves.
 	ridge := 1e-12 * (1 + maxDiag(g))
@@ -25,7 +36,7 @@ func DirectLS(a mat.Matrix, y []float64) []float64 {
 	if err != nil {
 		panic(fmt.Sprintf("solver: DirectLS factorization failed: %v", err))
 	}
-	return cholSolve(l, rhs)
+	return cholSolve(l, rhs, ws)
 }
 
 func maxDiag(g *mat.Dense) float64 {
@@ -69,10 +80,11 @@ func cholesky(g *mat.Dense) (*mat.Dense, error) {
 }
 
 // cholSolve solves LLᵀx = b given the lower Cholesky factor.
-func cholSolve(l *mat.Dense, b []float64) []float64 {
+func cholSolve(l *mat.Dense, b []float64, ws *mat.Workspace) []float64 {
 	n, _ := l.Dims()
 	// Forward substitution: L z = b.
-	z := make([]float64, n)
+	z := ws.Get(n)
+	defer ws.Put(z)
 	for i := 0; i < n; i++ {
 		sum := b[i]
 		li := l.RowView(i)

@@ -19,22 +19,27 @@ func LSMR(a mat.Matrix, y []float64, opts Options) Result {
 	if len(y) != rows {
 		panic("solver: LSMR rhs length mismatch")
 	}
+	ws := opts.Work
 	x := make([]float64, cols)
 	res := Result{X: x}
 
 	// b for the bidiagonalization is the residual of the starting point.
-	u := vec.Clone(y)
+	u := ws.Get(rows)
+	copy(u, y)
+	defer ws.Put(u)
 	if opts.X0 != nil {
 		copy(x, opts.X0)
-		ax := make([]float64, rows)
+		ax := ws.Get(rows)
 		a.MatVec(ax, x)
 		vec.Axpy(-1, ax, u)
+		ws.Put(ax)
 	}
 	beta := vec.Norm2(u)
 	if beta > 0 {
 		vec.Scale(1/beta, u)
 	}
-	v := make([]float64, cols)
+	v := ws.Get(cols)
+	defer ws.Put(v)
 	a.TMatVec(v, u)
 	alpha := vec.Norm2(v)
 	if alpha > 0 {
@@ -53,13 +58,20 @@ func LSMR(a mat.Matrix, y []float64, opts Options) Result {
 	rhoBar := 1.0
 	cBar := 1.0
 	sBar := 0.0
-	h := vec.Clone(v)
-	hBar := make([]float64, cols)
+	h := ws.Get(cols)
+	copy(h, v)
+	hBar := ws.GetZero(cols)
 
 	tol := opts.tol()
 	maxIter := opts.maxIter(cols)
-	tmpRow := make([]float64, rows)
-	tmpCol := make([]float64, cols)
+	tmpRow := ws.Get(rows)
+	tmpCol := ws.Get(cols)
+	defer func() {
+		ws.Put(h)
+		ws.Put(hBar)
+		ws.Put(tmpRow)
+		ws.Put(tmpCol)
+	}()
 
 	for k := 1; k <= maxIter; k++ {
 		// Continue the bidiagonalization:

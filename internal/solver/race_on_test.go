@@ -1,0 +1,7 @@
+//go:build race
+
+package solver
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under it (sync.Pool bypasses its cache there).
+const raceEnabled = true

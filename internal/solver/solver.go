@@ -23,6 +23,11 @@ type Options struct {
 	Tol float64
 	// X0 optionally warm-starts the solve; it is not modified.
 	X0 []float64
+	// Work, when non-nil, supplies the solver's internal vectors so that
+	// repeated solves (MWEM rounds, HDMM scoring, per-epsilon trials)
+	// reuse buffers instead of allocating. The returned solution is never
+	// taken from the workspace.
+	Work *mat.Workspace
 }
 
 func (o Options) maxIter(cols int) int {
@@ -56,19 +61,27 @@ func CGLS(a mat.Matrix, y []float64, opts Options) Result {
 	if len(y) != rows {
 		panic("solver: CGLS rhs length mismatch")
 	}
+	ws := opts.Work
 	x := make([]float64, cols)
 	if opts.X0 != nil {
 		copy(x, opts.X0)
 	}
-	r := make([]float64, rows) // r = y - A x
+	r := ws.Get(rows) // r = y - A x
 	a.MatVec(r, x)
 	for i := range r {
 		r[i] = y[i] - r[i]
 	}
-	s := make([]float64, cols) // s = Aᵀ r
+	s := ws.Get(cols) // s = Aᵀ r
 	a.TMatVec(s, r)
-	p := vec.Clone(s)
-	q := make([]float64, rows)
+	p := ws.Get(cols)
+	copy(p, s)
+	q := ws.Get(rows)
+	defer func() {
+		ws.Put(r)
+		ws.Put(s)
+		ws.Put(p)
+		ws.Put(q)
+	}()
 	gamma := vec.Dot(s, s)
 	norm0 := math.Sqrt(gamma)
 	tol := opts.tol()
@@ -112,10 +125,11 @@ func CGLS(a mat.Matrix, y []float64, opts Options) Result {
 func LeastSquares(a mat.Matrix, y []float64, weights []float64, opts Options) []float64 {
 	if weights != nil {
 		a = mat.RowScaled(weights, a)
-		wy := make([]float64, len(y))
+		wy := opts.Work.Get(len(y))
 		for i := range y {
 			wy[i] = weights[i] * y[i]
 		}
+		defer opts.Work.Put(wy)
 		y = wy
 	}
 	return LSMR(a, y, opts).X
@@ -154,12 +168,14 @@ func PowerIterL(a mat.Matrix, iters int) float64 {
 // projected gradient with step 1/L, touching A only through mat-vec
 // products. It substitutes for the paper's L-BFGS-B (see DESIGN.md §5).
 func NNLS(a mat.Matrix, y []float64, weights []float64, opts Options) []float64 {
+	ws := opts.Work
 	if weights != nil {
 		a = mat.RowScaled(weights, a)
-		wy := make([]float64, len(y))
+		wy := ws.Get(len(y))
 		for i := range y {
 			wy[i] = weights[i] * y[i]
 		}
+		defer ws.Put(wy)
 		y = wy
 	}
 	rows, cols := a.Dims()
@@ -176,10 +192,18 @@ func NNLS(a mat.Matrix, y []float64, weights []float64, opts Options) []float64 
 		copy(x, opts.X0)
 		vec.ClampNonNeg(x)
 	}
-	z := vec.Clone(x) // momentum iterate
-	xPrev := vec.Clone(x)
-	grad := make([]float64, cols)
-	resid := make([]float64, rows)
+	z := ws.Get(cols) // momentum iterate
+	copy(z, x)
+	xPrev := ws.Get(cols)
+	copy(xPrev, x)
+	grad := ws.Get(cols)
+	resid := ws.Get(rows)
+	defer func() {
+		ws.Put(z)
+		ws.Put(xPrev)
+		ws.Put(grad)
+		ws.Put(resid)
+	}()
 	t := 1.0
 	maxIter := opts.maxIter(cols)
 	tol := opts.tol()
@@ -232,8 +256,9 @@ func NNLS(a mat.Matrix, y []float64, weights []float64, opts Options) []float64 
 // estimate is reweighted by exp(q·(answer − q·xHat)/(2·total)) and
 // renormalized.
 //
-// The measurement matrix is touched only through Row extraction
-// (Mᵀeᵢ), matching the primitive-method contract.
+// The measurement matrix is touched only through row extraction
+// (Mᵀeᵢ), matching the primitive-method contract; the basis and row
+// buffers are reused across the row loop.
 func MultWeights(a mat.Matrix, y []float64, xHat []float64, iters int) []float64 {
 	rows, cols := a.Dims()
 	if len(y) != rows || len(xHat) != cols {
@@ -244,9 +269,13 @@ func MultWeights(a mat.Matrix, y []float64, xHat []float64, iters int) []float64
 	if total <= 0 {
 		return x
 	}
+	basis := make([]float64, rows)
+	q := make([]float64, cols)
 	for it := 0; it < iters; it++ {
 		for i := 0; i < rows; i++ {
-			q := mat.Row(a, i)
+			basis[i] = 1
+			a.TMatVec(q, basis)
+			basis[i] = 0
 			est := vec.Dot(q, x)
 			errV := y[i] - est
 			// Multiplicative update; the 2*total damping follows MWEM.

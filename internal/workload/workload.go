@@ -67,7 +67,7 @@ func RandomRange2D(h, w, k int, rng *rand.Rand) *mat.RangeQueriesMat {
 // AllRange returns the workload of all n(n+1)/2 range queries over [0,n).
 // Use only for modest n.
 func AllRange(n int) *mat.RangeQueriesMat {
-	var ranges []mat.Range1D
+	ranges := make([]mat.Range1D, 0, n*(n+1)/2)
 	for lo := 0; lo < n; lo++ {
 		for hi := lo; hi < n; hi++ {
 			ranges = append(ranges, mat.Range1D{Lo: lo, Hi: hi})
