@@ -209,6 +209,109 @@ func BenchmarkGramKronFast(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Blocked Gram and multi-RHS (MatMat) benchmarks. The Gram shapes are
+// shared with `ektelo-bench -exp gram` (experiments.GramCases), so
+// testing.B and the BENCH_N.json record always measure the same
+// matrices; blocked-vs-column speedups are read off the sub-benchmark
+// ratio. Allocations are reported and must be 0 on the GramInto and
+// MatMat steady states for Dense and CSR.
+// ---------------------------------------------------------------------
+
+func benchGramCase(b *testing.B, name string) {
+	b.Helper()
+	for _, c := range experiments.GramCases() {
+		if c.Name != name {
+			continue
+		}
+		m := c.Build()
+		_, cols := m.Dims()
+		g := mat.NewDense(cols, cols, nil)
+		b.Run("blocked", func(b *testing.B) {
+			mat.SetParallelism(1)
+			defer mat.SetParallelism(0)
+			mat.GramInto(g, m) // warm pools
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mat.GramInto(g, m)
+			}
+		})
+		b.Run("columns", func(b *testing.B) {
+			mat.SetParallelism(1)
+			defer mat.SetParallelism(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mat.GramColumns(m)
+			}
+		})
+		return
+	}
+	b.Fatalf("unknown gram case %q", name)
+}
+
+func BenchmarkGramDense(b *testing.B)  { benchGramCase(b, "dense_2048x2048") }
+func BenchmarkGramSparse(b *testing.B) { benchGramCase(b, "csr_rangequeries_2048") }
+func BenchmarkGramKron(b *testing.B)   { benchGramCase(b, "kron_prefix2_64") }
+
+// benchMatMat compares k separate MatVecs against one k-wide MatMat on
+// the same matrix, reporting both so the batching win is the ratio.
+func benchMatMat(b *testing.B, m mat.Matrix, k int) {
+	b.Helper()
+	r, c := m.Dims()
+	x := make([]float64, c*k)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	dst := make([]float64, r*k)
+	xc := make([]float64, c)
+	yc := make([]float64, r)
+	b.Run(fmt.Sprintf("matvec_x%d", k), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for col := 0; col < k; col++ {
+				for j := 0; j < c; j++ {
+					xc[j] = x[j*k+col]
+				}
+				m.MatVec(yc, xc)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("matmat_k%d", k), func(b *testing.B) {
+		mat.MatMat(m, dst, x, k) // warm pools
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mat.MatMat(m, dst, x, k)
+		}
+	})
+}
+
+func BenchmarkMatMatDense(b *testing.B) {
+	n := 1 << 10
+	d := mat.NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d.Set(i, j, float64((i+j)%5)-2)
+		}
+	}
+	benchMatMat(b, d, 8)
+}
+
+func BenchmarkMatMatSparse(b *testing.B) {
+	n := 1 << 16
+	h2 := mat.VStack(mat.Identity(n), mat.RangeQueries(n, mat.HierarchicalRanges(n, 2)))
+	s, ok := mat.ToSparse(h2, 0)
+	if !ok {
+		b.Fatal("sparse conversion failed")
+	}
+	benchMatMat(b, s, 8)
+}
+
+func BenchmarkMatMatKron(b *testing.B) {
+	benchMatMat(b, mat.Kron(mat.Prefix(1<<9), mat.Wavelet(1<<9)), 8)
+}
+
 // BenchmarkSensitivityImplicit measures the automatic sensitivity
 // computation that VectorLaplace performs on every call.
 func BenchmarkSensitivityImplicit(b *testing.B) {

@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|matvec|all [-full] [-json FILE] [-par N,M]
+//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|matvec|gram|all [-full] [-json FILE] [-par N,M]
 //
 // Without -full the quick configurations run (small domains, seconds);
 // with -full the paper-scale configurations run (up to the 1.4M-cell
 // Census domain; minutes). The matvec experiment benchmarks the shared
-// parallel mat-vec engine and, with -json, records the results (e.g.
-// BENCH_1.json) so the perf trajectory is tracked in-repo.
+// parallel mat-vec engine, and the gram experiment benchmarks the
+// blocked Gram kernels against the column-at-a-time baseline; with
+// -json either records its report (e.g. BENCH_1.json, BENCH_2.json) so
+// the perf trajectory is tracked in-repo.
 package main
 
 import (
@@ -25,8 +27,8 @@ import (
 )
 
 var (
-	jsonOut = flag.String("json", "", "write the matvec engine benchmark report to this file as JSON")
-	parList = flag.String("par", "4", "comma-separated parallelism levels for the matvec experiment (1 is always included)")
+	jsonOut = flag.String("json", "", "write the matvec/gram benchmark report to this file as JSON")
+	parList = flag.String("par", "4", "comma-separated parallelism levels for the matvec and gram experiments (1 is always included)")
 )
 
 func main() {
@@ -43,10 +45,17 @@ func main() {
 		"fig4b":  runFig4b,
 		"fig5":   runFig5,
 		"matvec": runMatVec,
+		"gram":   runGram,
 	}
-	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6", "matvec"}
+	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6", "matvec", "gram"}
 
 	if *exp == "all" {
+		// matvec and gram would write the same -json file in turn, the
+		// later clobbering the earlier; require a specific experiment.
+		if *jsonOut != "" {
+			fmt.Fprintln(os.Stderr, "-json requires a single benchmark experiment (matvec or gram), not -exp all")
+			os.Exit(2)
+		}
 		for _, name := range order {
 			runners[name](*full)
 		}
@@ -137,8 +146,8 @@ func runFig5(full bool) {
 	done()
 }
 
-func runMatVec(bool) {
-	done := banner("Mat-vec engine: serial vs parallel on 2^20-cell matrices")
+// parLevels parses the -par flag.
+func parLevels() []int {
 	var levels []int
 	for _, f := range strings.Split(*parList, ",") {
 		f = strings.TrimSpace(f)
@@ -152,19 +161,38 @@ func runMatVec(bool) {
 		}
 		levels = append(levels, n)
 	}
-	rep := experiments.MatVecBench(levels)
-	fmt.Print(experiments.MatVecBenchString(rep))
-	if *jsonOut != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "marshal report: %v\n", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *jsonOut)
+	return levels
+}
+
+// writeJSONReport writes a benchmark report to -json when set.
+func writeJSONReport(rep any) {
+	if *jsonOut == "" {
+		return
 	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal report: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *jsonOut)
+}
+
+func runMatVec(bool) {
+	done := banner("Mat-vec engine: serial vs parallel on 2^20-cell matrices")
+	rep := experiments.MatVecBench(parLevels())
+	fmt.Print(experiments.MatVecBenchString(rep))
+	writeJSONReport(rep)
+	done()
+}
+
+func runGram(bool) {
+	done := banner("Blocked Gram: panel kernels vs column-at-a-time baseline")
+	rep := experiments.GramBench(parLevels())
+	fmt.Print(experiments.GramBenchString(rep))
+	writeJSONReport(rep)
 	done()
 }

@@ -6,13 +6,22 @@
 // inventory); runnable entry points are the examples/ programs and
 // cmd/ektelo-bench, which regenerates every table and figure of the
 // paper's evaluation plus the mat-vec engine benchmark
-// (-exp matvec -json BENCH_1.json) that records the repo's performance
+// (-exp matvec -json BENCH_1.json) and the blocked-Gram benchmark
+// (-exp gram -json BENCH_2.json) that record the repo's performance
 // trajectory. The root-level bench_test.go exposes one testing.B
-// benchmark per experiment and serial-vs-parallel engine benchmarks.
+// benchmark per experiment, serial-vs-parallel engine benchmarks, and
+// blocked-vs-column Gram and batched-vs-looped MatMat comparisons.
 //
 // Every plan bottoms out in internal/mat's implicit mat-vec kernels;
 // those run on a shared parallel, zero-allocation compute engine (see
 // the mat package docs: SetParallelism, Workspace, structure-aware
 // Gram), so solver and inference throughput scales with cores without
-// per-iteration garbage.
+// per-iteration garbage. On top of the single-vector kernels sits a
+// batched multi-RHS tier (mat.MatMat/TMatMat over row-major panels)
+// that the hot consumers ride: blocked symmetric Gram builds
+// (mat.GramInto), block-CGLS strategy scoring (solver.CGLSMulti +
+// selection.HDMMScore), subspace power iteration (solver.PowerIterLW),
+// and two-column workload answering (mat.Mul2) in MWEM selection and
+// the error metrics — each one pass of memory traffic over the matrix
+// per k right-hand sides instead of k passes.
 package repro

@@ -176,9 +176,13 @@ func (ms *Measurements) NNLS(opts solver.Options) []float64 {
 }
 
 // MultWeights runs multiplicative-weights inference starting from xInit
-// (typically a uniform vector with a known or estimated total mass).
+// (typically a uniform vector with a known or estimated total mass). The
+// update loop's basis and row buffers come from a pooled workspace, so
+// per-round plan loops (MWEM) stay allocation-free inside the passes.
 func (ms *Measurements) MultWeights(xInit []float64, iters int) []float64 {
-	return solver.MultWeights(ms.Matrix(), ms.Answers(), xInit, iters)
+	ws := wsPool.Get().(*mat.Workspace)
+	defer wsPool.Put(ws)
+	return solver.MultWeightsW(ms.Matrix(), ms.Answers(), xInit, iters, ws)
 }
 
 // defaultSolverOptions is the shared default for convenience wrappers.

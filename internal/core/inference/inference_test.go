@@ -177,3 +177,23 @@ func TestAnswersCopiedNotAliased(t *testing.T) {
 		t.Fatal("Add aliased the caller's answer slice")
 	}
 }
+
+func TestMul2MatchesPerEstimate(t *testing.T) {
+	ms := NewMeasurements(6)
+	ms.Add(mat.Prefix(6), make([]float64, 6), 1)
+	ms.Add(mat.Total(6), make([]float64, 1), 2)
+	w := ms.Matrix()
+	x1 := []float64{3, 1, 4, 1, 5, 9}
+	x2 := []float64{-2, 6, 0, 3, -5, 8}
+	got := mat.Mul2(w, x1, x2)
+	if len(got) != ms.Len()*2 {
+		t.Fatalf("answer panel length %d, want %d", len(got), ms.Len()*2)
+	}
+	w1 := mat.Mul(w, x1)
+	w2 := mat.Mul(w, x2)
+	for i := range w1 {
+		if got[2*i] != w1[i] || got[2*i+1] != w2[i] {
+			t.Fatalf("row %d: (%v,%v) != (%v,%v)", i, got[2*i], got[2*i+1], w1[i], w2[i])
+		}
+	}
+}

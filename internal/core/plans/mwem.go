@@ -53,6 +53,9 @@ func MWEM(h *kernel.Handle, w *mat.RangeQueriesMat, eps float64, cfg MWEMConfig)
 		ms.AddExact(mat.Total(n), []float64{cfg.Total})
 	}
 
+	// One workspace serves every round's inference so the per-round solver
+	// loops reuse their buffers across the T rounds.
+	ws := mat.NewWorkspace()
 	for t := 1; t <= cfg.Rounds; t++ {
 		sel, err := h.WorstApprox(w, xEst, epsSelect, 1)
 		if err != nil {
@@ -73,7 +76,7 @@ func MWEM(h *kernel.Handle, w *mat.RangeQueriesMat, eps float64, cfg MWEMConfig)
 			// Warm-starting from the current estimate keeps the uniform
 			// prior on unmeasured directions (the measurement system is
 			// underdetermined until late rounds).
-			xEst = ms.NNLS(solver.Options{MaxIter: 800, X0: xEst})
+			xEst = ms.NNLS(solver.Options{MaxIter: 800, X0: xEst, Work: ws})
 		} else {
 			xEst = ms.MultWeights(xEst, cfg.MWIters)
 		}

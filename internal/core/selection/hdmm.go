@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/solver"
-	"repro/internal/vec"
 )
 
 // This file implements HDMM-lite (paper plan #13), a scoped version of
@@ -34,9 +33,15 @@ func HDMMCandidates(n int) map[string]mat.Matrix {
 	return c
 }
 
+// hdmmPanel is the number of sampled workload rows solved per batched
+// CGLS block: each solver iteration then makes one MatMat/TMatMat pass
+// over the strategy instead of one per sampled row.
+const hdmmPanel = 32
+
 // HDMMScore estimates the matrix-mechanism expected total squared error
 // of strategy a for workload w, sampling at most sampleRows workload rows
-// for the Frobenius term.
+// for the Frobenius term. The sampled rows are extracted as basis panels
+// (one TMatMat per panel) and solved in batches through CGLSMulti.
 func HDMMScore(w, a mat.Matrix, sampleRows int, rng *rand.Rand) float64 {
 	wr, wc := w.Dims()
 	_, ac := a.Dims()
@@ -53,23 +58,33 @@ func HDMMScore(w, a mat.Matrix, sampleRows int, rng *rand.Rand) float64 {
 	}
 	var frob float64
 	at := mat.T(a)
-	// One workspace and row buffer serve every sampled-row solve.
+	// One workspace serves every panel's basis extraction and block solve.
 	ws := mat.NewWorkspace()
-	basis := make([]float64, wr)
-	q := make([]float64, wc)
-	for s := 0; s < rows; s++ {
-		i := s
-		if rows < wr {
-			i = rng.IntN(wr)
+	for s0 := 0; s0 < rows; s0 += hdmmPanel {
+		k := rows - s0
+		if k > hdmmPanel {
+			k = hdmmPanel
 		}
-		basis[i] = 1
-		w.TMatVec(q, basis)
-		basis[i] = 0
-		// Minimum-norm z with zA = q  ⇔  Aᵀ zᵀ = qᵀ solved by CGLS, whose
-		// limit from x₀ = 0 is the pseudo-inverse solution.
-		res := solver.CGLS(at, q, solver.Options{MaxIter: 500, Tol: 1e-9, Work: ws})
-		nz := vec.Norm2(res.X)
-		frob += nz * nz
+		basis := ws.GetZero(wr * k)
+		for c := 0; c < k; c++ {
+			i := s0 + c
+			if rows < wr {
+				i = rng.IntN(wr)
+			}
+			basis[i*k+c] = 1
+		}
+		q := ws.Get(wc * k) // column c = sampled workload row
+		mat.TMatMat(w, q, basis, k)
+		// Minimum-norm z with zA = q  ⇔  Aᵀ zᵀ = qᵀ solved by block CGLS,
+		// whose limit from x₀ = 0 is the pseudo-inverse solution; the
+		// Frobenius contribution is the squared norm of every solution
+		// column, i.e. of the whole panel.
+		res := solver.CGLSMulti(at, q, k, solver.Options{MaxIter: 500, Tol: 1e-9, Work: ws})
+		for _, v := range res.X {
+			frob += v * v
+		}
+		ws.Put(basis)
+		ws.Put(q)
 	}
 	if rows > 0 && rows < wr {
 		frob *= float64(wr) / float64(rows)

@@ -61,10 +61,16 @@ func PrivBayesSelect(h *kernel.Handle, shape []int, eps float64, nRecords float6
 	if d > 1 {
 		perRound := eps / float64(d-1)
 		sens := MISensitivity(nRecords)
+		// One workspace serves every round's candidate scoring: the
+		// mutual-information joint/marginal tables and the score vector are
+		// reused across the O(d²) candidate evaluations instead of being
+		// reallocated per pair.
+		ws := mat.NewWorkspace()
+		type pair struct{ child, parent int }
+		cands := make([]pair, 0, d*d)
 		for len(picked) < d {
 			// Candidate (child, parent) pairs with parent already picked.
-			type pair struct{ child, parent int }
-			var cands []pair
+			cands = cands[:0]
 			for c := 0; c < d; c++ {
 				if picked[c] {
 					continue
@@ -73,13 +79,17 @@ func PrivBayesSelect(h *kernel.Handle, shape []int, eps float64, nRecords float6
 					cands = append(cands, pair{child: c, parent: p})
 				}
 			}
+			var scores []float64
 			idx, err := h.NoisyMax(func(x []float64) []float64 {
-				scores := make([]float64, len(cands))
+				scores = ws.Get(len(cands))
 				for i, pr := range cands {
-					scores[i] = mutualInformation(x, shape, pr.child, pr.parent)
+					scores[i] = mutualInformationW(x, shape, pr.child, pr.parent, ws)
 				}
 				return scores
 			}, perRound, sens)
+			if scores != nil {
+				ws.Put(scores)
+			}
 			if err != nil {
 				return nil, net, err
 			}
@@ -119,9 +129,17 @@ func marginalMatrix(shape []int, a, b int) mat.Matrix {
 // mutualInformation computes the empirical mutual information between
 // attributes a and b of the contingency vector x with the given shape.
 func mutualInformation(x []float64, shape []int, a, b int) float64 {
+	return mutualInformationW(x, shape, a, b, nil)
+}
+
+// mutualInformationW is mutualInformation with an optional workspace
+// supplying the joint and marginal tables, so PrivBayes's per-round
+// candidate sweeps reuse them across pairs.
+func mutualInformationW(x []float64, shape []int, a, b int, ws *mat.Workspace) float64 {
 	strides := rowMajorStrides(shape)
 	na, nb := shape[a], shape[b]
-	joint := make([]float64, na*nb)
+	joint := ws.GetZero(na * nb)
+	defer ws.Put(joint)
 	var total float64
 	for idx, v := range x {
 		if v == 0 {
@@ -135,8 +153,12 @@ func mutualInformation(x []float64, shape []int, a, b int) float64 {
 	if total == 0 {
 		return 0
 	}
-	margA := make([]float64, na)
-	margB := make([]float64, nb)
+	margA := ws.GetZero(na)
+	margB := ws.GetZero(nb)
+	defer func() {
+		ws.Put(margA)
+		ws.Put(margB)
+	}()
 	for va := 0; va < na; va++ {
 		for vb := 0; vb < nb; vb++ {
 			margA[va] += joint[va*nb+vb]

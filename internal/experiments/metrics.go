@@ -18,16 +18,20 @@ import (
 )
 
 // L2PerQuery is the root-mean-squared per-query error of an estimate
-// against the truth under a workload.
+// against the truth under a workload, answered as one two-column panel
+// product (a single pass over the workload instead of two mat-vecs).
 func L2PerQuery(w mat.Matrix, xhat, x []float64) float64 {
-	a := mat.Mul(w, xhat)
-	b := mat.Mul(w, x)
+	r, _ := w.Dims()
+	if r == 0 {
+		return 0
+	}
+	out := mat.Mul2(w, xhat, x)
 	var s float64
-	for i := range a {
-		d := a[i] - b[i]
+	for i := 0; i < r; i++ {
+		d := out[2*i] - out[2*i+1]
 		s += d * d
 	}
-	return math.Sqrt(s / float64(len(a)))
+	return math.Sqrt(s / float64(r))
 }
 
 // ScaledL2PerQuery normalizes L2PerQuery by the dataset scale (record

@@ -475,11 +475,13 @@ func (h *Handle) WorstApprox(w mat.Matrix, est []float64, eps, rowSens float64) 
 		return 0, ErrBudgetExceeded
 	}
 	h.k.history = append(h.k.history, QueryRecord{Source: h.id, Epsilon: eps, Kind: "WorstApprox"})
-	truth := mat.Mul(w, n.vector)
-	approx := mat.Mul(w, est)
-	scores := make([]float64, len(truth))
+	// Answer the whole workload on both vectors at once: a two-column
+	// panel product is one pass over W instead of two full mat-vecs.
+	rows, _ := w.Dims()
+	out := mat.Mul2(w, n.vector, est)
+	scores := make([]float64, rows)
 	for i := range scores {
-		d := truth[i] - approx[i]
+		d := out[2*i] - out[2*i+1]
 		if d < 0 {
 			d = -d
 		}

@@ -123,6 +123,70 @@ func (m *VStackMat) estWork() int {
 	return m.rows + len(m.blocks)*m.cols
 }
 
+// MatMat hands each block the full input panel; block outputs are
+// disjoint contiguous row panels of dst, so the parallel path distributes
+// whole blocks across the engine's workers.
+func (m *VStackMat) MatMat(dst, x []float64, k int) {
+	checkMatMat(m, dst, x, k)
+	if len(m.blocks) > 1 && parallelizable(m.estWork()*k) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.k = vstackMatMatKernel, m, dst, x, k
+		parRun(t, len(m.blocks), 1)
+		t.release()
+		return
+	}
+	vstackMatMatRange(m, dst, x, k, 0, len(m.blocks))
+}
+
+func vstackMatMatKernel(t *task, _, lo, hi int) {
+	vstackMatMatRange(t.m.(*VStackMat), t.dst, t.x, t.k, lo, hi)
+}
+
+func vstackMatMatRange(m *VStackMat, dst, x []float64, k, lo, hi int) {
+	for bi := lo; bi < hi; bi++ {
+		MatMat(m.blocks[bi], dst[m.offs[bi]*k:m.offs[bi+1]*k], x, k)
+	}
+}
+
+// TMatMat accumulates Σᵢ Bᵢᵀ·Xᵢ over the row-panel segments through
+// pooled scratch panels; workers merge private cols×k accumulators.
+func (m *VStackMat) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(m, dst, x, k)
+	if len(m.blocks) > 1 && parallelizable(m.estWork()*k) && m.estWork()*k >= 8*m.cols*k {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.k = vstackTMatMatKernel, m, dst, x, k
+		t.auxLen = m.cols * k
+		parRun(t, len(m.blocks), 1)
+		t.release()
+		return
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	vstackTMatMatRange(m, dst, x, k, 0, len(m.blocks))
+}
+
+func vstackTMatMatKernel(t *task, worker, lo, hi int) {
+	buf := t.dst
+	if worker > 0 {
+		buf = t.aux[worker-1]
+	}
+	vstackTMatMatRange(t.m.(*VStackMat), buf, t.x, t.k, lo, hi)
+}
+
+// vstackTMatMatRange adds Σ Bᵢᵀ·Xᵢ over blocks [lo, hi) into dst, which
+// the caller must have zeroed.
+func vstackTMatMatRange(m *VStackMat, dst, x []float64, k, lo, hi int) {
+	s := getScratch(m.cols * k)
+	for bi := lo; bi < hi; bi++ {
+		TMatMat(m.blocks[bi], s.buf, x[m.offs[bi]*k:m.offs[bi+1]*k], k)
+		for j, v := range s.buf {
+			dst[j] += v
+		}
+	}
+	s.put()
+}
+
 // Abs stacks the children's absolute values.
 func (m *VStackMat) Abs() Matrix {
 	out := make([]Matrix, len(m.blocks))
@@ -193,6 +257,26 @@ func (m *ProductMat) TMatVec(dst, x []float64) {
 	s := getScratch(ac)
 	m.a.TMatVec(s.buf, x)
 	m.b.TMatVec(dst, s.buf)
+	s.put()
+}
+
+// MatMat computes dst = A·(B·X) through a pooled intermediate panel.
+func (m *ProductMat) MatMat(dst, x []float64, k int) {
+	checkMatMat(m, dst, x, k)
+	br, _ := m.b.Dims()
+	s := getScratch(br * k)
+	MatMat(m.b, s.buf, x, k)
+	MatMat(m.a, dst, s.buf, k)
+	s.put()
+}
+
+// TMatMat computes dst = Bᵀ·(Aᵀ·X) through a pooled intermediate panel.
+func (m *ProductMat) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(m, dst, x, k)
+	_, ac := m.a.Dims()
+	s := getScratch(ac * k)
+	TMatMat(m.a, s.buf, x, k)
+	TMatMat(m.b, dst, s.buf, k)
 	s.put()
 }
 
@@ -367,6 +451,128 @@ func kronTColsRange(m *KroneckerMat, dst, z []float64, lo, hi int) {
 	out.put()
 }
 
+// MatMat evaluates (A⊗B)·X by the vec-trick on whole panels: phase 1
+// applies B to each contiguous bc×k sub-panel of X (a child MatMat, so
+// the factor's batched kernel is reused), phase 2 gathers the ac×k panel
+// of each inner index, applies A, and scatters the result rows. Both
+// phases are data-parallel over the outer factor's index and run through
+// the engine, mirroring the MatVec kernels.
+func (m *KroneckerMat) MatMat(dst, x []float64, k int) {
+	checkMatMat(m, dst, x, k)
+	ar, ac := m.a.Dims()
+	br, bc := m.b.Dims()
+	z := getScratch(ac * br * k) // z row (j1*br + i2) holds B·X panel rows
+	if parallelizable(ac * (br + bc) * k) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.z, t.k = kronMatMatRowsKernel, m, dst, x, z.buf, k
+		parRun(t, ac, grainRows((br+bc)*k))
+		t.release()
+	} else {
+		kronMatMatRowsRange(m, z.buf, x, k, 0, ac)
+	}
+	if parallelizable(br * (ar + ac) * k) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.z, t.k = kronMatMatColsKernel, m, dst, x, z.buf, k
+		parRun(t, br, grainRows((ar+ac)*k))
+		t.release()
+	} else {
+		kronMatMatColsRange(m, dst, z.buf, k, 0, br)
+	}
+	z.put()
+}
+
+func kronMatMatRowsKernel(t *task, _, lo, hi int) {
+	kronMatMatRowsRange(t.m.(*KroneckerMat), t.z, t.x, t.k, lo, hi)
+}
+
+func kronMatMatRowsRange(m *KroneckerMat, z, x []float64, k, lo, hi int) {
+	br, bc := m.b.Dims()
+	for j1 := lo; j1 < hi; j1++ {
+		MatMat(m.b, z[j1*br*k:(j1+1)*br*k], x[j1*bc*k:(j1+1)*bc*k], k)
+	}
+}
+
+func kronMatMatColsKernel(t *task, _, lo, hi int) {
+	kronMatMatColsRange(t.m.(*KroneckerMat), t.dst, t.z, t.k, lo, hi)
+}
+
+func kronMatMatColsRange(m *KroneckerMat, dst, z []float64, k, lo, hi int) {
+	ar, ac := m.a.Dims()
+	br, _ := m.b.Dims()
+	in := getScratch(ac * k)
+	out := getScratch(ar * k)
+	for i2 := lo; i2 < hi; i2++ {
+		for j1 := 0; j1 < ac; j1++ {
+			copy(in.buf[j1*k:(j1+1)*k], z[(j1*br+i2)*k:(j1*br+i2+1)*k])
+		}
+		MatMat(m.a, out.buf, in.buf, k)
+		for i1 := 0; i1 < ar; i1++ {
+			copy(dst[(i1*br+i2)*k:(i1*br+i2+1)*k], out.buf[i1*k:(i1+1)*k])
+		}
+	}
+	in.put()
+	out.put()
+}
+
+// TMatMat evaluates (A⊗B)ᵀ·X = (Aᵀ⊗Bᵀ)·X by the same trick with the
+// transposed factors, parallelized the same way.
+func (m *KroneckerMat) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(m, dst, x, k)
+	ar, ac := m.a.Dims()
+	br, bc := m.b.Dims()
+	z := getScratch(ar * bc * k) // z row (i1*bc + j2) holds Bᵀ·X panel rows
+	if parallelizable(ar * (br + bc) * k) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.z, t.k = kronTMatMatRowsKernel, m, dst, x, z.buf, k
+		parRun(t, ar, grainRows((br+bc)*k))
+		t.release()
+	} else {
+		kronTMatMatRowsRange(m, z.buf, x, k, 0, ar)
+	}
+	if parallelizable(bc * (ar + ac) * k) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.z, t.k = kronTMatMatColsKernel, m, dst, x, z.buf, k
+		parRun(t, bc, grainRows((ar+ac)*k))
+		t.release()
+	} else {
+		kronTMatMatColsRange(m, dst, z.buf, k, 0, bc)
+	}
+	z.put()
+}
+
+func kronTMatMatRowsKernel(t *task, _, lo, hi int) {
+	kronTMatMatRowsRange(t.m.(*KroneckerMat), t.z, t.x, t.k, lo, hi)
+}
+
+func kronTMatMatRowsRange(m *KroneckerMat, z, x []float64, k, lo, hi int) {
+	br, bc := m.b.Dims()
+	for i1 := lo; i1 < hi; i1++ {
+		TMatMat(m.b, z[i1*bc*k:(i1+1)*bc*k], x[i1*br*k:(i1+1)*br*k], k)
+	}
+}
+
+func kronTMatMatColsKernel(t *task, _, lo, hi int) {
+	kronTMatMatColsRange(t.m.(*KroneckerMat), t.dst, t.z, t.k, lo, hi)
+}
+
+func kronTMatMatColsRange(m *KroneckerMat, dst, z []float64, k, lo, hi int) {
+	ar, ac := m.a.Dims()
+	_, bc := m.b.Dims()
+	in := getScratch(ar * k)
+	out := getScratch(ac * k)
+	for j2 := lo; j2 < hi; j2++ {
+		for i1 := 0; i1 < ar; i1++ {
+			copy(in.buf[i1*k:(i1+1)*k], z[(i1*bc+j2)*k:(i1*bc+j2+1)*k])
+		}
+		TMatMat(m.a, out.buf, in.buf, k)
+		for j1 := 0; j1 < ac; j1++ {
+			copy(dst[(j1*bc+j2)*k:(j1*bc+j2+1)*k], out.buf[j1*k:(j1+1)*k])
+		}
+	}
+	in.put()
+	out.put()
+}
+
 // Abs distributes over Kronecker products: |A⊗B| = |A|⊗|B|.
 func (m *KroneckerMat) Abs() Matrix { return &KroneckerMat{a: Abs(m.a), b: Abs(m.b)} }
 
@@ -395,6 +601,18 @@ func (t *TransposeMat) MatVec(dst, x []float64) { t.m.TMatVec(dst, x) }
 
 // TMatVec computes dst = Mx via the child's MatVec.
 func (t *TransposeMat) TMatVec(dst, x []float64) { t.m.MatVec(dst, x) }
+
+// MatMat computes dst = Mᵀ·X via the child's batched transpose kernel.
+func (t *TransposeMat) MatMat(dst, x []float64, k int) {
+	checkMatMat(t, dst, x, k)
+	TMatMat(t.m, dst, x, k)
+}
+
+// TMatMat computes dst = M·X via the child's batched kernel.
+func (t *TransposeMat) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(t, dst, x, k)
+	MatMat(t.m, dst, x, k)
+}
 
 // Abs transposes the child's absolute value.
 func (t *TransposeMat) Abs() Matrix { return T(Abs(t.m)) }
@@ -430,6 +648,24 @@ func (s *ScaledMat) TMatVec(dst, x []float64) {
 	}
 }
 
+// MatMat computes dst = c·(M·X).
+func (s *ScaledMat) MatMat(dst, x []float64, k int) {
+	checkMatMat(s, dst, x, k)
+	MatMat(s.m, dst, x, k)
+	for i := range dst {
+		dst[i] *= s.c
+	}
+}
+
+// TMatMat computes dst = c·(Mᵀ·X).
+func (s *ScaledMat) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(s, dst, x, k)
+	TMatMat(s.m, dst, x, k)
+	for i := range dst {
+		dst[i] *= s.c
+	}
+}
+
 // Abs returns |c|·|M|.
 func (s *ScaledMat) Abs() Matrix { return Scaled(math.Abs(s.c), Abs(s.m)) }
 
@@ -458,6 +694,28 @@ func (m *DiagMat) TMatVec(dst, x []float64) {
 	checkTMatVec(m, dst, x)
 	for i, v := range m.d {
 		dst[i] = v * x[i]
+	}
+}
+
+// MatMat scales panel row i by d[i].
+func (m *DiagMat) MatMat(dst, x []float64, k int) {
+	checkMatMat(m, dst, x, k)
+	diagPanel(dst, x, m.d, k)
+}
+
+// TMatMat scales panel row i by d[i] (diagonal matrices are symmetric).
+func (m *DiagMat) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(m, dst, x, k)
+	diagPanel(dst, x, m.d, k)
+}
+
+func diagPanel(dst, x, d []float64, k int) {
+	for i, v := range d {
+		xr := x[i*k : (i+1)*k]
+		o := dst[i*k : (i+1)*k]
+		for t := range o {
+			o[t] = v * xr[t]
+		}
 	}
 }
 
@@ -510,6 +768,35 @@ func (s *rowScaledMat) TMatVec(dst, x []float64) {
 		t.buf[i] = x[i] * w
 	}
 	s.m.TMatVec(dst, t.buf)
+	t.put()
+}
+
+// MatMat evaluates the child panel product, then scales output row i by
+// w[i].
+func (s *rowScaledMat) MatMat(dst, x []float64, k int) {
+	checkMatMat(s, dst, x, k)
+	MatMat(s.m, dst, x, k)
+	for i, w := range s.w {
+		o := dst[i*k : (i+1)*k]
+		for t := range o {
+			o[t] *= w
+		}
+	}
+}
+
+// TMatMat scales input panel row i by w[i] into pooled scratch, then
+// evaluates the child's transpose panel product.
+func (s *rowScaledMat) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(s, dst, x, k)
+	t := getScratch(len(s.w) * k)
+	for i, w := range s.w {
+		xr := x[i*k : (i+1)*k]
+		o := t.buf[i*k : (i+1)*k]
+		for c := range o {
+			o[c] = w * xr[c]
+		}
+	}
+	TMatMat(s.m, dst, t.buf, k)
 	t.put()
 }
 

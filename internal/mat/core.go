@@ -33,6 +33,18 @@ func (m *IdentityMat) TMatVec(dst, x []float64) {
 	copy(dst, x)
 }
 
+// MatMat copies the panel (identity on every column).
+func (m *IdentityMat) MatMat(dst, x []float64, k int) {
+	checkMatMat(m, dst, x, k)
+	copy(dst, x)
+}
+
+// TMatMat copies the panel.
+func (m *IdentityMat) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(m, dst, x, k)
+	copy(dst, x)
+}
+
 // Abs returns the identity itself (a no-op, paper §7.4).
 func (m *IdentityMat) Abs() Matrix { return m }
 
@@ -81,6 +93,36 @@ func (m *OnesMat) TMatVec(dst, x []float64) {
 	}
 }
 
+// MatMat broadcasts the per-column sums of the panel to every output row.
+func (m *OnesMat) MatMat(dst, x []float64, k int) {
+	checkMatMat(m, dst, x, k)
+	onesPanel(dst, x, k)
+}
+
+// TMatMat broadcasts the per-column sums of the panel.
+func (m *OnesMat) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(m, dst, x, k)
+	onesPanel(dst, x, k)
+}
+
+// onesPanel sets every row of dst to the column sums of x.
+func onesPanel(dst, x []float64, k int) {
+	s := getScratch(k)
+	for t := range s.buf {
+		s.buf[t] = 0
+	}
+	for i := 0; i+k <= len(x); i += k {
+		xr := x[i : i+k]
+		for t, v := range xr {
+			s.buf[t] += v
+		}
+	}
+	for i := 0; i+k <= len(dst); i += k {
+		copy(dst[i:i+k], s.buf)
+	}
+	s.put()
+}
+
 // Abs is a no-op for the all-ones matrix.
 func (m *OnesMat) Abs() Matrix { return m }
 
@@ -123,6 +165,51 @@ func (m *PrefixMat) TMatVec(dst, x []float64) {
 	}
 }
 
+// MatMat computes running prefix sums down the panel rows; the k-wide
+// inner loop keeps the recurrence independent per column.
+func (m *PrefixMat) MatMat(dst, x []float64, k int) {
+	checkMatMat(m, dst, x, k)
+	prefixPanel(dst, x, m.n, k)
+}
+
+// TMatMat computes suffix sums down the panel rows (Prefixᵀ = Suffix).
+func (m *PrefixMat) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(m, dst, x, k)
+	suffixPanel(dst, x, m.n, k)
+}
+
+// prefixPanel sets dst row i to the sum of x rows 0..i.
+func prefixPanel(dst, x []float64, n, k int) {
+	if n == 0 {
+		return
+	}
+	copy(dst[:k], x[:k])
+	for i := 1; i < n; i++ {
+		prev := dst[(i-1)*k : i*k]
+		cur := dst[i*k : (i+1)*k]
+		xr := x[i*k : (i+1)*k]
+		for t := range cur {
+			cur[t] = prev[t] + xr[t]
+		}
+	}
+}
+
+// suffixPanel sets dst row i to the sum of x rows i..n-1.
+func suffixPanel(dst, x []float64, n, k int) {
+	if n == 0 {
+		return
+	}
+	copy(dst[(n-1)*k:n*k], x[(n-1)*k:n*k])
+	for i := n - 2; i >= 0; i-- {
+		next := dst[(i+1)*k : (i+2)*k]
+		cur := dst[i*k : (i+1)*k]
+		xr := x[i*k : (i+1)*k]
+		for t := range cur {
+			cur[t] = next[t] + xr[t]
+		}
+	}
+}
+
 // Abs is a no-op (binary matrix).
 func (m *PrefixMat) Abs() Matrix { return m }
 
@@ -162,6 +249,18 @@ func (m *SuffixMat) TMatVec(dst, x []float64) {
 		acc += v
 		dst[i] = acc
 	}
+}
+
+// MatMat computes suffix sums down the panel rows.
+func (m *SuffixMat) MatMat(dst, x []float64, k int) {
+	checkMatMat(m, dst, x, k)
+	suffixPanel(dst, x, m.n, k)
+}
+
+// TMatMat computes prefix sums down the panel rows (Suffixᵀ = Prefix).
+func (m *SuffixMat) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(m, dst, x, k)
+	prefixPanel(dst, x, m.n, k)
 }
 
 // Abs is a no-op (binary matrix).
@@ -258,6 +357,71 @@ func (m *WaveletMat) TMatVec(dst, x []float64) {
 			}
 		}
 		copy(dst[:length], tmp[:length])
+	}
+	s.put()
+}
+
+// MatMat applies the fast Haar decomposition to every panel column at
+// once: the stage butterflies operate on contiguous k-wide rows.
+func (m *WaveletMat) MatMat(dst, x []float64, k int) {
+	checkMatMat(m, dst, x, k)
+	c, signed := m.coeffs()
+	copy(dst, x)
+	s := getScratch(m.n * k)
+	tmp := s.buf
+	for length := m.n; length > 1; length /= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			a := dst[2*i*k : (2*i+1)*k]
+			b := dst[(2*i+1)*k : (2*i+2)*k]
+			lo := tmp[i*k : (i+1)*k]
+			hi := tmp[(half+i)*k : (half+i+1)*k]
+			if signed {
+				for t := range a {
+					lo[t] = c * (a[t] + b[t])
+					hi[t] = c * (a[t] - b[t])
+				}
+			} else {
+				for t := range a {
+					v := c * (a[t] + b[t])
+					lo[t] = v
+					hi[t] = v
+				}
+			}
+		}
+		copy(dst[:length*k], tmp[:length*k])
+	}
+	s.put()
+}
+
+// TMatMat applies the transposed transform to every panel column at once.
+func (m *WaveletMat) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(m, dst, x, k)
+	c, signed := m.coeffs()
+	copy(dst, x)
+	s := getScratch(m.n * k)
+	tmp := s.buf
+	for length := 2; length <= m.n; length *= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			a := dst[i*k : (i+1)*k]
+			d := dst[(half+i)*k : (half+i+1)*k]
+			even := tmp[2*i*k : (2*i+1)*k]
+			odd := tmp[(2*i+1)*k : (2*i+2)*k]
+			if signed {
+				for t := range a {
+					even[t] = c * (a[t] + d[t])
+					odd[t] = c * (a[t] - d[t])
+				}
+			} else {
+				for t := range a {
+					v := c * (a[t] + d[t])
+					even[t] = v
+					odd[t] = v
+				}
+			}
+		}
+		copy(dst[:length*k], tmp[:length*k])
 	}
 	s.put()
 }

@@ -131,6 +131,141 @@ func denseTMatVecRange(d *Dense, dst, x []float64, lo, hi int) {
 	}
 }
 
+// MatMat computes the panel product dst = D·X (X cols×k row-major). Rows
+// are processed four at a time so each panel row of X loaded from memory
+// feeds four accumulator rows, and the inner loop is a contiguous k-wide
+// multiply-add that auto-vectorizes.
+func (d *Dense) MatMat(dst, x []float64, k int) {
+	checkMatMat(d, dst, x, k)
+	if parallelizable(d.rows * d.cols * k) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.k = denseMatMatKernel, d, dst, x, k
+		parRun(t, d.rows, grainRows(d.cols*k))
+		t.release()
+		return
+	}
+	denseMatMatRange(d, dst, x, k, 0, d.rows)
+}
+
+func denseMatMatKernel(t *task, _, lo, hi int) {
+	denseMatMatRange(t.m.(*Dense), t.dst, t.x, t.k, lo, hi)
+}
+
+func denseMatMatRange(d *Dense, dst, x []float64, k, lo, hi int) {
+	c := d.cols
+	i := lo
+	for ; i+3 < hi; i += 4 {
+		r0 := d.data[i*c : (i+1)*c]
+		r1 := d.data[(i+1)*c : (i+2)*c]
+		r2 := d.data[(i+2)*c : (i+3)*c]
+		r3 := d.data[(i+3)*c : (i+4)*c]
+		o0 := dst[i*k : (i+1)*k]
+		o1 := dst[(i+1)*k : (i+2)*k]
+		o2 := dst[(i+2)*k : (i+3)*k]
+		o3 := dst[(i+3)*k : (i+4)*k]
+		for t := range o0 {
+			o0[t], o1[t], o2[t], o3[t] = 0, 0, 0, 0
+		}
+		for j := 0; j < c; j++ {
+			v0, v1, v2, v3 := r0[j], r1[j], r2[j], r3[j]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			xr := x[j*k : (j+1)*k]
+			for t, xv := range xr {
+				o0[t] += v0 * xv
+				o1[t] += v1 * xv
+				o2[t] += v2 * xv
+				o3[t] += v3 * xv
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		row := d.data[i*c : (i+1)*c]
+		o := dst[i*k : (i+1)*k]
+		for t := range o {
+			o[t] = 0
+		}
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			xr := x[j*k : (j+1)*k]
+			for t, xv := range xr {
+				o[t] += v * xv
+			}
+		}
+	}
+}
+
+// TMatMat computes dst = Dᵀ·X (X rows×k). The kernel walks four source
+// rows at a time so each k-wide output row written back absorbs four
+// contributions per pass; the parallel path gives each worker a private
+// cols×k accumulator panel merged by the engine.
+func (d *Dense) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(d, dst, x, k)
+	if parallelizable(d.rows*d.cols*k) && d.rows >= 4 {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.k = denseTMatMatKernel, d, dst, x, k
+		t.auxLen = d.cols * k
+		parRun(t, d.rows, grainRows(d.cols*k))
+		t.release()
+		return
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	denseTMatMatRange(d, dst, x, k, 0, d.rows)
+}
+
+func denseTMatMatKernel(t *task, worker, lo, hi int) {
+	buf := t.dst
+	if worker > 0 {
+		buf = t.aux[worker-1]
+	}
+	denseTMatMatRange(t.m.(*Dense), buf, t.x, t.k, lo, hi)
+}
+
+// denseTMatMatRange accumulates rows [lo, hi) of Dᵀ·X into dst, which
+// the caller must have zeroed.
+func denseTMatMatRange(d *Dense, dst, x []float64, k, lo, hi int) {
+	c := d.cols
+	i := lo
+	for ; i+3 < hi; i += 4 {
+		r0 := d.data[i*c : (i+1)*c]
+		r1 := d.data[(i+1)*c : (i+2)*c]
+		r2 := d.data[(i+2)*c : (i+3)*c]
+		r3 := d.data[(i+3)*c : (i+4)*c]
+		x0 := x[i*k : (i+1)*k]
+		x1 := x[(i+1)*k : (i+2)*k]
+		x2 := x[(i+2)*k : (i+3)*k]
+		x3 := x[(i+3)*k : (i+4)*k]
+		for j := 0; j < c; j++ {
+			v0, v1, v2, v3 := r0[j], r1[j], r2[j], r3[j]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			o := dst[j*k : (j+1)*k]
+			for t := range o {
+				o[t] += v0*x0[t] + v1*x1[t] + v2*x2[t] + v3*x3[t]
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		row := d.data[i*c : (i+1)*c]
+		xr := x[i*k : (i+1)*k]
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			o := dst[j*k : (j+1)*k]
+			for t := range o {
+				o[t] += v * xr[t]
+			}
+		}
+	}
+}
+
 // grainRows converts the engine's per-chunk flop grain into a row count
 // for kernels whose per-row cost is rowCost flops.
 func grainRows(rowCost int) int {

@@ -82,6 +82,7 @@ type task struct {
 	z      []float64   // intermediate buffer (Kronecker two-phase)
 	aux    [][]float64 // per-helper accumulators; helper w uses aux[w-1]
 	auxLen int         // live length of each accumulator (0: no merge)
+	k      int         // panel width for multi-RHS (MatMat) kernels
 }
 
 var taskPool = sync.Pool{New: func() any { return new(task) }}
@@ -93,6 +94,7 @@ func newTask() *task { return taskPool.Get().(*task) }
 func (t *task) release() {
 	t.fn, t.m, t.dst, t.x, t.z = nil, nil, nil, nil, nil
 	t.auxLen = 0
+	t.k = 0
 	taskPool.Put(t)
 }
 

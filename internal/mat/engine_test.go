@@ -242,7 +242,7 @@ func TestGramFastPaths(t *testing.T) {
 	}
 	for name, m := range cases {
 		got := Gram(m)
-		want := gramGeneric(m)
+		want := GramColumns(m)
 		if !Equal(got, want, 1e-10) {
 			t.Errorf("Gram(%s) fast path disagrees with generic:\ngot\n%v\nwant\n%v", name, got, want)
 		}

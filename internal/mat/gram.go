@@ -6,11 +6,31 @@ import "repro/internal/vec"
 // paths. The generic fallback costs cols·(Time(M) + Time(Mᵀ)); the fast
 // paths exploit the combinator algebra instead:
 //
-//	Gram(A⊗B)   = Gram(A) ⊗ Gram(B)        (expanded densely)
+//	Gram(A⊗B)    = Gram(A) ⊗ Gram(B)       (expanded densely)
 //	Gram(VStack) = Σ Gram(blockᵢ)
 //	Gram(c·M)    = c²·Gram(M)
-//	Gram(CSR)    = row-wise outer products, O(Σ nnz(rowᵢ)²)
-//	Gram(Dense)  = row-wise rank-1 updates, cache-contiguous
+//	Gram(A·B)    = Bᵀ·Gram(A)·B            (A CSR; two TMatMat panel passes)
+//	Gram(CSR)    = symmetric row outer products, O(Σ nnz(rowᵢ)²/2)
+//	Gram(Dense)  = blocked upper-triangular panel product (see below)
+//
+// # Blocked Dense/CSR kernels
+//
+// The Dense kernel is a blocked SYRK: rows are consumed in K-blocks
+// sized to keep the operand block cache-resident (gramKB), and within a
+// block the output is built four Gram rows at a time — each source row
+// streamed from the block feeds four accumulator rows restricted to the
+// upper triangle (j₂ ≥ j₁), an inner loop that is contiguous on every
+// operand and auto-vectorizes. Compared to the row-at-a-time rank-1
+// build this halves the flops (symmetry) and cuts the G traffic from
+// rows·cols² to (rows/KB)·cols²/2; the lower triangle is mirrored once
+// at the end. The CSR kernel applies the same symmetry: each row's
+// sorted nonzeros contribute only their upper outer-product half.
+//
+// Both kernels run through the parallel engine when the estimated work
+// clears the threshold: workers process disjoint row ranges into private
+// partial Grams that the engine merges, and the mirror runs once after
+// the merge. With a caller-provided output (GramInto) and warm pools the
+// Dense and CSR paths perform zero steady-state heap allocations.
 //
 // solver.DirectLS and the strategy-scoring layers call Gram on exactly
 // these shapes, so the dispatch removes the O(cols·matvec) bottleneck
@@ -47,9 +67,13 @@ func Gram(m Matrix) *Dense {
 			return denseRowGram(d)
 		}
 	case *Sparse:
-		return sparseGram(t)
+		g := NewDense(t.cols, t.cols, nil)
+		sparseGramInto(g, t)
+		return g
 	case *Dense:
-		return denseGram(t)
+		g := NewDense(t.cols, t.cols, nil)
+		denseGramInto(g, t)
+		return g
 	case *VStackMat:
 		g := Gram(t.blocks[0])
 		for _, b := range t.blocks[1:] {
@@ -61,13 +85,49 @@ func Gram(m Matrix) *Dense {
 		return g
 	case *KroneckerMat:
 		return denseKron(Gram(t.a), Gram(t.b))
+	case *RangeQueriesMat:
+		return rangeGram(t)
+	case *ProductMat:
+		// Gram(A·B) = Bᵀ·Gram(A)·B when Gram(A) has a direct build (the
+		// range-query construction: A is the sparse corner factor). The
+		// sandwich costs two TMatMat panel passes over B; guard against
+		// inner dimensions that would dwarf the output.
+		if a, ok := t.a.(*Sparse); ok {
+			_, bc := t.b.Dims()
+			if a.cols <= 2*bc {
+				return productGramCSR(a, t.b)
+			}
+		}
 	}
-	return gramGeneric(m)
+	return GramColumns(m)
 }
 
-// gramGeneric computes MᵀM column by column through the primitive
-// methods: cols mat-vec plus transpose mat-vec pairs.
-func gramGeneric(m Matrix) *Dense {
+// GramInto computes g = mᵀm into the caller-provided cols×cols dense
+// matrix, reusing its backing storage. For Dense and CSR operands the
+// blocked kernels write g in place with zero steady-state allocations
+// (the engine's partial-Gram accumulators are pooled); every other
+// matrix type falls back to Gram and copies.
+func GramInto(g *Dense, m Matrix) *Dense {
+	_, c := m.Dims()
+	if g.rows != c || g.cols != c {
+		panic("mat: GramInto output dims mismatch")
+	}
+	switch t := m.(type) {
+	case *Sparse:
+		sparseGramInto(g, t)
+	case *Dense:
+		denseGramInto(g, t)
+	default:
+		copy(g.data, Gram(m).data)
+	}
+	return g
+}
+
+// GramColumns computes MᵀM column by column through the primitive
+// methods: cols mat-vec plus transpose mat-vec pairs. It is the generic
+// fallback and the recorded baseline the blocked kernels are benchmarked
+// against (ektelo-bench -exp gram).
+func GramColumns(m Matrix) *Dense {
 	r, c := m.Dims()
 	g := NewDense(c, c, nil)
 	ej := getScratch(c)
@@ -84,40 +144,261 @@ func gramGeneric(m Matrix) *Dense {
 	return g
 }
 
-// sparseGram computes SᵀS directly from the CSR structure: each row
-// contributes the outer product of its nonzeros, O(Σ nnz(rowᵢ)²) total.
-func sparseGram(s *Sparse) *Dense {
-	g := NewDense(s.cols, s.cols, nil)
+// gramKB returns the K-block row count for the blocked Dense kernel:
+// blocks of about 256 KiB of operand rows stay cache-resident while the
+// four hot Gram rows live in L1.
+func gramKB(cols int) int {
+	if cols <= 0 {
+		return 64
+	}
+	kb := (1 << 15) / cols
+	if kb < 8 {
+		kb = 8
+	}
+	if kb > 256 {
+		kb = 256
+	}
+	return kb
+}
+
+// denseGramInto computes g = dᵀd with the blocked symmetric kernel,
+// parallelizing over row ranges with per-worker partial Grams.
+func denseGramInto(g *Dense, d *Dense) {
+	c := d.cols
+	// Merging per-worker partial Grams costs workers·cols²; only go
+	// parallel when the row work clearly dominates it.
+	if parallelizable(d.rows*c*c/2) && d.rows >= 2*gramKB(c) && d.rows >= 8*Parallelism() {
+		t := newTask()
+		t.fn, t.m, t.dst = denseGramKernel, d, g.data
+		t.auxLen = c * c
+		parRun(t, d.rows, gramKB(c))
+		t.release()
+	} else {
+		vec.Zero(g.data)
+		denseGramRange(d, g.data, 0, d.rows)
+	}
+	gramMirror(g.data, c)
+}
+
+func denseGramKernel(t *task, worker, lo, hi int) {
+	buf := t.dst
+	if worker > 0 {
+		buf = t.aux[worker-1]
+	}
+	denseGramRange(t.m.(*Dense), buf, lo, hi)
+}
+
+// denseGramRange accumulates the upper triangle of Σᵢ rowᵢᵀrowᵢ over
+// rows [lo, hi) into g, which the caller must have zeroed. Rows are
+// consumed in cache-sized K-blocks; within a block the j₁ loop is
+// unrolled four wide so each streamed source row updates four Gram rows.
+func denseGramRange(d *Dense, g []float64, lo, hi int) {
+	c := d.cols
+	if c == 0 {
+		return
+	}
+	kb := gramKB(c)
+	for bs := lo; bs < hi; bs += kb {
+		be := bs + kb
+		if be > hi {
+			be = hi
+		}
+		j1 := 0
+		for ; j1+3 < c; j1 += 4 {
+			g0 := g[j1*c+j1 : (j1+1)*c]
+			g1 := g[(j1+1)*c+j1 : (j1+2)*c]
+			g2 := g[(j1+2)*c+j1 : (j1+3)*c]
+			g3 := g[(j1+3)*c+j1 : (j1+4)*c]
+			for r := bs; r < be; r++ {
+				row := d.data[r*c : (r+1)*c]
+				a0, a1, a2, a3 := row[j1], row[j1+1], row[j1+2], row[j1+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				tail := row[j1:]
+				for t, v := range tail {
+					g0[t] += a0 * v
+					g1[t] += a1 * v
+					g2[t] += a2 * v
+					g3[t] += a3 * v
+				}
+			}
+		}
+		for ; j1 < c; j1++ {
+			g0 := g[j1*c+j1 : (j1+1)*c]
+			for r := bs; r < be; r++ {
+				row := d.data[r*c : (r+1)*c]
+				a0 := row[j1]
+				if a0 == 0 {
+					continue
+				}
+				tail := row[j1:]
+				for t, v := range tail {
+					g0[t] += a0 * v
+				}
+			}
+		}
+	}
+}
+
+// gramMirror copies the upper triangle of the n×n matrix g onto the
+// lower triangle. The 4-wide quads of the blocked kernel also accumulate
+// the few lower-triangle cells inside each diagonal 4×4 block; those
+// carry the same value the mirror writes, so overwriting is sound.
+func gramMirror(g []float64, n int) {
+	for i := 0; i < n; i++ {
+		row := g[i*n : (i+1)*n]
+		for j := i + 1; j < n; j++ {
+			g[j*n+i] = row[j]
+		}
+	}
+}
+
+// sparseGramInto computes g = sᵀs from the CSR structure: each row
+// contributes the upper half of the outer product of its (sorted)
+// nonzeros, O(Σ nnz(rowᵢ)²/2) total, mirrored once at the end. Large
+// matrices split their rows across the engine with per-worker partial
+// Grams.
+func sparseGramInto(g *Dense, s *Sparse) {
+	c := s.cols
+	// The outer-product work is Σ nnz(rowᵢ)²/2 ≈ nnz·avg/2; merging the
+	// per-worker partial Grams costs workers·cols², so the parallel path
+	// must clear that bar by a wide margin to pay off.
+	work := len(s.val) * s.avgRowNNZ() / 2
+	if parallelizable(work) && s.rows >= 4 && work >= 4*Parallelism()*c*c {
+		t := newTask()
+		t.fn, t.m, t.dst = sparseGramKernel, s, g.data
+		t.auxLen = c * c
+		parRun(t, s.rows, grainRows(s.avgRowNNZ()*s.avgRowNNZ()/2+1))
+		t.release()
+	} else {
+		vec.Zero(g.data)
+		sparseGramRange(s, g.data, 0, s.rows)
+	}
+	gramMirror(g.data, c)
+}
+
+func sparseGramKernel(t *task, worker, lo, hi int) {
+	buf := t.dst
+	if worker > 0 {
+		buf = t.aux[worker-1]
+	}
+	sparseGramRange(t.m.(*Sparse), buf, lo, hi)
+}
+
+// sparseGramRange accumulates the upper-triangular row outer products of
+// rows [lo, hi) into g, which the caller must have zeroed. Column
+// indices are sorted within each CSR row, so starting the inner loop at
+// k1 touches only cells with j₂ ≥ j₁.
+func sparseGramRange(s *Sparse, g []float64, lo, hi int) {
+	c := s.cols
+	for i := lo; i < hi; i++ {
+		klo, khi := s.rowPtr[i], s.rowPtr[i+1]
+		for k1 := klo; k1 < khi; k1++ {
+			v1 := s.val[k1]
+			grow := g[s.colIdx[k1]*c:]
+			cols := s.colIdx[k1:khi]
+			vals := s.val[k1:khi]
+			for t, j2 := range cols {
+				grow[j2] += v1 * vals[t]
+			}
+		}
+	}
+}
+
+// productGramCSR computes Gram(A·B) = Bᵀ·Gram(A)·B for a CSR left
+// factor: Gram(A) comes from the direct CSR build, then the sandwich is
+// two TMatMat panel passes over B (C = Bᵀ·G_A, then Bᵀ·Cᵀ, which equals
+// the symmetric result exactly because G_A is mirrored to exact
+// symmetry). This is the DirectLS fast path for RangeQueriesMat
+// strategies, whose implicit form is Sparse·(Prefix⊗...⊗Prefix).
+func productGramCSR(a *Sparse, b Matrix) *Dense {
+	as := a.cols
+	_, bc := b.Dims()
+	ga := Gram(a) // as×as, exactly symmetric
+	cbuf := getScratch(bc * as)
+	TMatMat(b, cbuf.buf, ga.data, as) // C = Bᵀ·G_A (bc×as)
+	ct := getScratch(as * bc)
+	transposeInto(ct.buf, cbuf.buf, bc, as)
+	cbuf.put()
+	g := NewDense(bc, bc, nil)
+	TMatMat(b, g.data, ct.buf, bc) // Bᵀ·Cᵀ = Bᵀ·G_A·B
+	ct.put()
+	return g
+}
+
+// rangeGram computes the Gram of a range-query workload W = S·K (S the
+// ±1 corner factor, K = Prefix⊗...⊗Prefix) without any panel algebra:
+// Gram(W) = Kᵀ·(SᵀS)·K, and because every prefix-row outer product is an
+// all-ones rectangle, sandwiching by K is exactly a suffix sum of SᵀS
+// along each of the 2d index axes:
+//
+//	Gram(W)[a, b] = Σ_{i ⪰ a, j ⪰ b} (SᵀS)[i, j]   (⪰ per dimension)
+//
+// So the build is: scatter the corner outer products (O(m·4^d) entries)
+// into the zeroed n×n output, then run 2d in-place suffix passes — each
+// one streaming pass of contiguous adds over the n² cells. Total cost
+// O(m·4^d + d·n²) with d·n² sequential memory traffic, versus
+// O(n·(n + m·2^d)) for the column build; this is the DirectLS fast path
+// for range-query strategies.
+func rangeGram(rq *RangeQueriesMat) *Dense {
+	s, ok := rq.inner.a.(*Sparse)
+	if !ok {
+		return Gram(rq.inner)
+	}
+	n := s.cols
+	g := NewDense(n, n, nil)
+	// Corner outer products: both halves, so the suffix passes see the
+	// full (symmetric) SᵀS.
 	for i := 0; i < s.rows; i++ {
 		lo, hi := s.rowPtr[i], s.rowPtr[i+1]
 		for k1 := lo; k1 < hi; k1++ {
-			base := s.colIdx[k1] * s.cols
 			v1 := s.val[k1]
+			grow := g.data[s.colIdx[k1]*n:]
 			for k2 := lo; k2 < hi; k2++ {
-				g.data[base+s.colIdx[k2]] += v1 * s.val[k2]
+				grow[s.colIdx[k2]] += v1 * s.val[k2]
 			}
 		}
+	}
+	// Suffix passes over every axis of the 2d-dimensional index space:
+	// the row and column indices each decompose per dimension with
+	// strides in domain cells; the flat n² array has the row axes at
+	// stride·n and the column axes at stride.
+	d := len(rq.shape)
+	stride := 1
+	for k := d - 1; k >= 0; k-- {
+		suffixAxis(g.data, rq.shape[k], stride)   // column-index axis k
+		suffixAxis(g.data, rq.shape[k], stride*n) // row-index axis k
+		stride *= rq.shape[k]
 	}
 	return g
 }
 
-// denseGram computes DᵀD by rank-1 row updates; every inner loop walks
-// contiguous memory in both the source row and the output row.
-func denseGram(d *Dense) *Dense {
-	g := NewDense(d.cols, d.cols, nil)
-	for i := 0; i < d.rows; i++ {
-		row := d.data[i*d.cols : (i+1)*d.cols]
-		for j1, v1 := range row {
-			if v1 == 0 {
-				continue
-			}
-			out := g.data[j1*d.cols : (j1+1)*d.cols]
-			for j2, v2 := range row {
-				out[j2] += v1 * v2
+// suffixAxis replaces x with its suffix sums along the axis of the given
+// size and stride: x[..., i, ...] += x[..., i+1, ...] from high to low.
+// The inner loop is a contiguous stride-length add.
+func suffixAxis(x []float64, size, stride int) {
+	block := size * stride
+	for base := 0; base < len(x); base += block {
+		for idx := size - 2; idx >= 0; idx-- {
+			cur := x[base+idx*stride : base+(idx+1)*stride]
+			next := x[base+(idx+1)*stride : base+(idx+2)*stride]
+			for t, v := range next {
+				cur[t] += v
 			}
 		}
 	}
-	return g
+}
+
+// transposeInto writes the transpose of the r×c row-major matrix src
+// into dst (c×r row-major).
+func transposeInto(dst, src []float64, r, c int) {
+	for i := 0; i < r; i++ {
+		row := src[i*c : (i+1)*c]
+		for j, v := range row {
+			dst[j*r+i] = v
+		}
+	}
 }
 
 // denseRowGram computes DDᵀ (the Gram of the transpose) densely.

@@ -22,19 +22,40 @@
 // Time(M)/min(P, blocks) plus an O(P·cols) merge for transpose
 // accumulation.
 //
+// # Multi-RHS (MatMat) tier
+//
+// MatMat/TMatMat evaluate a matrix against a row-major panel of k
+// right-hand sides in one traversal of the representation (see
+// matmat.go for the layout). Dense and CSR have cache-tiled kernels
+// whose inner loops are contiguous k-wide multiply-adds with four-wide
+// row blocking, structured so the compiler auto-vectorizes them;
+// combinators distribute the panel to their children; everything else
+// falls back to k pooled MatVecs. Batched callers (blocked Gram,
+// Materialize, solver.CGLSMulti, HDMM scoring) therefore pay
+// Time(M)·k flops but only one pass of memory traffic over M.
+//
+// The engine picks the blocked parallel path exactly as for MatVec —
+// estimated flops (now ×k) above the 2^15 threshold and parallelism
+// above one — so small panels keep their serial allocation-free loops.
+//
 // # Allocation discipline
 //
-// Steady-state MatVec/TMatVec perform zero heap allocations for every
-// matrix in the package: combinator temporaries come from an internal
-// sync.Pool, and the engine's dispatch path is allocation-free by
-// construction. Callers that run solver-style loops can additionally
-// reuse their own buffers across calls through the explicit Workspace
-// free-list (a nil *Workspace falls back to plain allocation).
+// Steady-state MatVec/TMatVec and MatMat/TMatMat perform zero heap
+// allocations for every matrix in the package: combinator temporaries
+// come from an internal sync.Pool, and the engine's dispatch path is
+// allocation-free by construction. Callers that run solver-style loops
+// can additionally reuse their own buffers across calls through the
+// explicit Workspace free-list (a nil *Workspace falls back to plain
+// allocation).
 //
 // Gram computes MᵀM with structure-aware fast paths — Gram(A⊗B) =
-// Gram(A)⊗Gram(B), direct CSR accumulation, block sums for VStack —
-// bypassing the generic cols·matvec construction wherever the operand
-// shape allows.
+// Gram(A)⊗Gram(B), blocked symmetric Dense/CSR kernels routed through
+// the parallel engine with per-worker partial Grams, VStack block sums,
+// and the Bᵀ·Gram(A)·B sandwich for CSR-led products — bypassing the
+// generic cols·matvec construction wherever the operand shape allows
+// (see gram.go for the blocked kernels' cost model). GramInto reuses a
+// caller-provided output for allocation-free steady state on Dense and
+// CSR.
 package mat
 
 import (
@@ -154,40 +175,63 @@ func Row(m Matrix, i int) []float64 {
 	return TMul(m, vec.Basis(r, i))
 }
 
+// materializePanel is the basis-panel width Materialize extracts with:
+// wide enough to amortize each matrix traversal over many columns,
+// narrow enough that the k-wide kernel rows stay in L1.
+const materializePanel = 32
+
 // Materialize converts m into an explicit dense matrix using only the
-// primitive methods (paper §7.3, materialize). When the matrix is wider
-// than tall it extracts rows (Mᵀeᵢ) straight into the row-major backing
-// slice, so every write is contiguous; otherwise it extracts columns
-// through a buffer and scatters, paying the stride once per element
-// rather than recomputing. Intended for tests and small matrices only.
+// primitive methods (paper §7.3, materialize), evaluated panel-wise
+// through the batched MatMat tier: M·E for basis panels E of up to
+// materializePanel columns when the matrix is at least as tall as wide
+// (each panel is one pass over M's representation instead of one per
+// column), and Mᵀ·E row-basis panels otherwise. Intended for tests and
+// small matrices only.
 func Materialize(m Matrix) *Dense {
 	r, c := m.Dims()
 	d := NewDense(r, c, nil)
-	if r < c {
-		// Row extraction: r transpose mat-vecs with row-contiguous writes.
-		e := getScratch(r)
-		vec.Zero(e.buf)
-		for i := 0; i < r; i++ {
-			e.buf[i] = 1
-			m.TMatVec(d.data[i*c:(i+1)*c], e.buf)
-			e.buf[i] = 0
-		}
-		e.put()
+	if r == 0 || c == 0 {
 		return d
 	}
-	e := getScratch(c)
-	col := getScratch(r)
-	vec.Zero(e.buf)
-	for j := 0; j < c; j++ {
-		e.buf[j] = 1
-		m.MatVec(col.buf, e.buf)
-		e.buf[j] = 0
-		for i, v := range col.buf {
-			d.data[i*c+j] = v
+	if r < c {
+		// Row extraction: Mᵀ applied to panels of row basis vectors.
+		for i0 := 0; i0 < r; i0 += materializePanel {
+			k := min(materializePanel, r-i0)
+			e := getScratch(r * k)
+			vec.Zero(e.buf)
+			for q := 0; q < k; q++ {
+				e.buf[(i0+q)*k+q] = 1
+			}
+			p := getScratch(c * k) // p[j*k+q] = M[i0+q][j]
+			TMatMat(m, p.buf, e.buf, k)
+			for q := 0; q < k; q++ {
+				row := d.data[(i0+q)*c : (i0+q+1)*c]
+				for j := range row {
+					row[j] = p.buf[j*k+q]
+				}
+			}
+			e.put()
+			p.put()
 		}
+		return d
 	}
-	e.put()
-	col.put()
+	// Column extraction: M applied to panels of column basis vectors,
+	// copied into the row-major backing slice segment by segment.
+	for j0 := 0; j0 < c; j0 += materializePanel {
+		k := min(materializePanel, c-j0)
+		e := getScratch(c * k)
+		vec.Zero(e.buf)
+		for q := 0; q < k; q++ {
+			e.buf[(j0+q)*k+q] = 1
+		}
+		p := getScratch(r * k)
+		MatMat(m, p.buf, e.buf, k)
+		for i := 0; i < r; i++ {
+			copy(d.data[i*c+j0:i*c+j0+k], p.buf[i*k:(i+1)*k])
+		}
+		e.put()
+		p.put()
+	}
 	return d
 }
 

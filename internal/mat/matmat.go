@@ -1,0 +1,148 @@
+package mat
+
+import "fmt"
+
+// This file defines the batched multi-right-hand-side (multi-RHS) tier of
+// the compute engine: MatMat and TMatMat evaluate a matrix against a
+// *panel* of k vectors at once instead of one vector at a time.
+//
+// # Panel layout
+//
+// A panel is a row-major rows×k slice: row i occupies x[i*k : (i+1)*k]
+// and holds the i-th component of each of the k right-hand sides (column
+// c of the panel is the c-th RHS). The layout makes every kernel's inner
+// loop a contiguous length-k run over the panel row, which
+//
+//   - amortizes each matrix-element (or CSR entry) load over k flops,
+//   - turns the scattered writes of transpose kernels into contiguous
+//     k-wide axpys, and
+//   - auto-vectorizes: the inner loops carry no cross-iteration
+//     dependence and walk unit-stride memory on every operand.
+//
+// # Cost model
+//
+// MatMat(M, k) costs Time(M)·k flops but performs one pass over M's
+// representation instead of k, so for memory-bound operands (Dense rows,
+// CSR entries) throughput approaches k× a single MatVec until the panel
+// stops fitting in registers/L1. Structured matrices (Kron, VStack,
+// Product, Prefix, Wavelet, ...) distribute the panel to their children
+// and inherit the same amortization. Matrices without a native kernel
+// fall back to k pooled MatVecs through a gather/scatter shim, which is
+// never slower than the caller looping MatVec itself.
+
+// MatMater is implemented by matrices with a native batched kernel
+// computing dst = M·X for a cols×k row-major panel X into the rows×k
+// panel dst.
+type MatMater interface {
+	MatMat(dst, x []float64, k int)
+}
+
+// TMatMater is implemented by matrices with a native batched transpose
+// kernel computing dst = Mᵀ·X for a rows×k panel X into the cols×k
+// panel dst.
+type TMatMater interface {
+	TMatMat(dst, x []float64, k int)
+}
+
+// checkMatMat panics if the panel dimensions do not match m's.
+func checkMatMat(m Matrix, dst, x []float64, k int) {
+	r, c := m.Dims()
+	if k < 1 || len(x) != c*k || len(dst) != r*k {
+		panic(fmt.Sprintf("mat: MatMat dims %dx%d k=%d with len(x)=%d len(dst)=%d", r, c, k, len(x), len(dst)))
+	}
+}
+
+// checkTMatMat panics if the panel dimensions do not match mᵀ's.
+func checkTMatMat(m Matrix, dst, x []float64, k int) {
+	r, c := m.Dims()
+	if k < 1 || len(x) != r*k || len(dst) != c*k {
+		panic(fmt.Sprintf("mat: TMatMat dims %dx%d k=%d with len(x)=%d len(dst)=%d", r, c, k, len(x), len(dst)))
+	}
+}
+
+// MatMat computes dst = M·X for a cols×k row-major panel X, dispatching
+// to the operand's native batched kernel when it has one and to the
+// column-by-column MatVec fallback otherwise. k = 1 degenerates to a
+// plain MatVec.
+func MatMat(m Matrix, dst, x []float64, k int) {
+	checkMatMat(m, dst, x, k)
+	if k == 1 {
+		m.MatVec(dst, x)
+		return
+	}
+	if mm, ok := m.(MatMater); ok {
+		mm.MatMat(dst, x, k)
+		return
+	}
+	matMatGeneric(m, dst, x, k)
+}
+
+// TMatMat computes dst = Mᵀ·X for a rows×k row-major panel X, with the
+// same dispatch as MatMat.
+func TMatMat(m Matrix, dst, x []float64, k int) {
+	checkTMatMat(m, dst, x, k)
+	if k == 1 {
+		m.TMatVec(dst, x)
+		return
+	}
+	if mm, ok := m.(TMatMater); ok {
+		mm.TMatMat(dst, x, k)
+		return
+	}
+	tMatMatGeneric(m, dst, x, k)
+}
+
+// Mul2 answers m on two vectors at once — one two-column panel product,
+// a single pass over m instead of two mat-vecs — returning the rows×2
+// row-major panel (row i holds [m·x1]ᵢ, [m·x2]ᵢ). It serves the
+// compare-two-estimates loops (MWEM worst-approximated selection,
+// per-query error metrics).
+func Mul2(m Matrix, x1, x2 []float64) []float64 {
+	r, c := m.Dims()
+	xp := make([]float64, c*2)
+	for j := 0; j < c; j++ {
+		xp[2*j] = x1[j]
+		xp[2*j+1] = x2[j]
+	}
+	out := make([]float64, r*2)
+	MatMat(m, out, xp, 2)
+	return out
+}
+
+// matMatGeneric evaluates the panel one column at a time through MatVec,
+// gathering and scattering through pooled scratch. It is the correctness
+// fallback for matrices without a native batched kernel.
+func matMatGeneric(m Matrix, dst, x []float64, k int) {
+	r, c := m.Dims()
+	xc := getScratch(c)
+	yc := getScratch(r)
+	for col := 0; col < k; col++ {
+		for j := 0; j < c; j++ {
+			xc.buf[j] = x[j*k+col]
+		}
+		m.MatVec(yc.buf, xc.buf)
+		for i := 0; i < r; i++ {
+			dst[i*k+col] = yc.buf[i]
+		}
+	}
+	xc.put()
+	yc.put()
+}
+
+// tMatMatGeneric is the transpose analogue of matMatGeneric.
+func tMatMatGeneric(m Matrix, dst, x []float64, k int) {
+	r, c := m.Dims()
+	xc := getScratch(r)
+	yc := getScratch(c)
+	for col := 0; col < k; col++ {
+		for i := 0; i < r; i++ {
+			xc.buf[i] = x[i*k+col]
+		}
+		m.TMatVec(yc.buf, xc.buf)
+		for j := 0; j < c; j++ {
+			dst[j*k+col] = yc.buf[j]
+		}
+	}
+	xc.put()
+	yc.put()
+}

@@ -102,6 +102,12 @@ func (m *RangeQueriesMat) MatVec(dst, x []float64) { m.inner.MatVec(dst, x) }
 // TMatVec evaluates the transpose.
 func (m *RangeQueriesMat) TMatVec(dst, x []float64) { m.inner.TMatVec(dst, x) }
 
+// MatMat evaluates the range queries against a whole panel at once.
+func (m *RangeQueriesMat) MatMat(dst, x []float64, k int) { m.inner.MatMat(dst, x, k) }
+
+// TMatMat evaluates the transpose against a whole panel at once.
+func (m *RangeQueriesMat) TMatMat(dst, x []float64, k int) { m.inner.TMatMat(dst, x, k) }
+
 // Abs is a no-op: the materialized matrix is 0/1.
 func (m *RangeQueriesMat) Abs() Matrix { return m }
 

@@ -172,6 +172,83 @@ func sparseTMatVecRange(s *Sparse, dst, x []float64, lo, hi int) {
 	}
 }
 
+// MatMat computes the panel product dst = S·X (X cols×k). Each stored
+// entry is loaded once and feeds a contiguous k-wide multiply-add, so the
+// CSR traversal cost is amortized over the whole panel.
+func (s *Sparse) MatMat(dst, x []float64, k int) {
+	checkMatMat(s, dst, x, k)
+	if parallelizable(len(s.val) * k) {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.k = sparseMatMatKernel, s, dst, x, k
+		parRun(t, s.rows, grainRows(s.avgRowNNZ()*k))
+		t.release()
+		return
+	}
+	sparseMatMatRange(s, dst, x, k, 0, s.rows)
+}
+
+func sparseMatMatKernel(t *task, _, lo, hi int) {
+	sparseMatMatRange(t.m.(*Sparse), t.dst, t.x, t.k, lo, hi)
+}
+
+func sparseMatMatRange(s *Sparse, dst, x []float64, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		o := dst[i*k : (i+1)*k]
+		for t := range o {
+			o[t] = 0
+		}
+		for kk := s.rowPtr[i]; kk < s.rowPtr[i+1]; kk++ {
+			v := s.val[kk]
+			xr := x[s.colIdx[kk]*k : (s.colIdx[kk]+1)*k]
+			for t, xv := range xr {
+				o[t] += v * xv
+			}
+		}
+	}
+}
+
+// TMatMat computes dst = Sᵀ·X (X rows×k). The scatter of the transpose
+// becomes a contiguous k-wide axpy per stored entry; the parallel path
+// gives each worker a private cols×k accumulator panel.
+func (s *Sparse) TMatMat(dst, x []float64, k int) {
+	checkTMatMat(s, dst, x, k)
+	if parallelizable(len(s.val)*k) && len(s.val) >= 4*s.cols {
+		t := newTask()
+		t.fn, t.m, t.dst, t.x, t.k = sparseTMatMatKernel, s, dst, x, k
+		t.auxLen = s.cols * k
+		parRun(t, s.rows, grainRows(s.avgRowNNZ()*k))
+		t.release()
+		return
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	sparseTMatMatRange(s, dst, x, k, 0, s.rows)
+}
+
+func sparseTMatMatKernel(t *task, worker, lo, hi int) {
+	buf := t.dst
+	if worker > 0 {
+		buf = t.aux[worker-1]
+	}
+	sparseTMatMatRange(t.m.(*Sparse), buf, t.x, t.k, lo, hi)
+}
+
+// sparseTMatMatRange accumulates rows [lo, hi) of Sᵀ·X into dst, which
+// the caller must have zeroed.
+func sparseTMatMatRange(s *Sparse, dst, x []float64, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		xr := x[i*k : (i+1)*k]
+		for kk := s.rowPtr[i]; kk < s.rowPtr[i+1]; kk++ {
+			v := s.val[kk]
+			o := dst[s.colIdx[kk]*k : (s.colIdx[kk]+1)*k]
+			for t := range o {
+				o[t] += v * xr[t]
+			}
+		}
+	}
+}
+
 func (s *Sparse) avgRowNNZ() int {
 	if s.rows == 0 {
 		return 1

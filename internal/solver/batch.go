@@ -1,0 +1,179 @@
+package solver
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// This file implements batched multi-right-hand-side solves on top of
+// the mat package's MatMat tier. A block solve runs k independent Krylov
+// recurrences in lockstep: the two matrix applications per iteration
+// become one MatMat and one TMatMat over a rows×k panel (one pass over
+// the matrix instead of k), and every vector update becomes a k-wide
+// contiguous loop with per-column coefficients, which auto-vectorizes.
+// Each column follows exactly the arithmetic of a scalar CGLS solve on
+// its own right-hand side — converged columns freeze (zero step) while
+// the rest keep iterating — so results match the one-at-a-time path to
+// the last bit for matrices whose panel kernels accumulate in MatVec
+// order (Dense, CSR, and the combinators built from them).
+
+// MultiResult reports a batched multi-RHS solve. X is the cols×k
+// row-major solution panel (column c solves the c-th right-hand side).
+type MultiResult struct {
+	X          []float64
+	K          int
+	Iterations int
+	Converged  bool // every column converged
+}
+
+// CGLSMulti solves min ‖A·x_c − y_c‖₂ for the k right-hand sides packed
+// in the rows×k row-major panel y, sharing each iteration's matrix
+// applications across columns via MatMat/TMatMat. opts.X0 is ignored
+// (batched solves start from zero, the pseudo-inverse limit); MaxIter,
+// Tol and Work behave as in CGLS, applied per column.
+func CGLSMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
+	rows, cols := a.Dims()
+	if k < 1 {
+		panic("solver: CGLSMulti needs k >= 1")
+	}
+	if len(y) != rows*k {
+		panic("solver: CGLSMulti rhs panel length mismatch")
+	}
+	ws := opts.Work
+	x := make([]float64, cols*k)
+	res := MultiResult{X: x, K: k}
+
+	r := ws.Get(rows * k) // residual panel: y - A·X = y (X starts at zero)
+	copy(r, y)
+	s := ws.Get(cols * k) // s = Aᵀ·R
+	mat.TMatMat(a, s, r, k)
+	p := ws.Get(cols * k)
+	copy(p, s)
+	q := ws.Get(rows * k)
+	gamma := ws.Get(k)
+	gammaNew := ws.Get(k)
+	qq := ws.Get(k)
+	alpha := ws.Get(k)
+	beta := ws.Get(k)
+	norm0 := ws.Get(k)
+	defer func() {
+		ws.Put(r)
+		ws.Put(s)
+		ws.Put(p)
+		ws.Put(q)
+		ws.Put(gamma)
+		ws.Put(gammaNew)
+		ws.Put(qq)
+		ws.Put(alpha)
+		ws.Put(beta)
+		ws.Put(norm0)
+	}()
+
+	colDots(s, s, k, gamma)
+	done := make([]bool, k)
+	active := 0
+	for c := 0; c < k; c++ {
+		norm0[c] = math.Sqrt(gamma[c])
+		if norm0[c] == 0 {
+			done[c] = true // zero gradient: the zero solution is optimal
+		} else {
+			active++
+		}
+	}
+	tol := opts.tol()
+	maxIter := opts.maxIter(cols)
+
+	for it := 0; it < maxIter && active > 0; it++ {
+		mat.MatMat(a, q, p, k)
+		colDots(q, q, k, qq)
+		for c := 0; c < k; c++ {
+			if done[c] || qq[c] == 0 {
+				alpha[c] = 0
+				if !done[c] {
+					done[c] = true
+					active--
+				}
+				continue
+			}
+			alpha[c] = gamma[c] / qq[c]
+		}
+		colAxpy(alpha, p, x, k)
+		colAxmy(alpha, q, r, k)
+		mat.TMatMat(a, s, r, k)
+		colDots(s, s, k, gammaNew)
+		res.Iterations = it + 1
+		for c := 0; c < k; c++ {
+			if done[c] {
+				beta[c] = 0
+				continue
+			}
+			if math.Sqrt(gammaNew[c]) <= tol*norm0[c] {
+				done[c] = true
+				active--
+				beta[c] = 0
+				continue
+			}
+			beta[c] = gammaNew[c] / gamma[c]
+		}
+		colXpby(s, beta, p, k)
+		copy(gamma, gammaNew)
+	}
+	res.Converged = active == 0
+	return res
+}
+
+// colDots computes per-column dot products of two rows×k panels:
+// out[c] = Σᵢ a[i,c]·b[i,c], accumulating in row order (the same order
+// vec.Dot uses on an extracted column).
+func colDots(a, b []float64, k int, out []float64) {
+	for c := 0; c < k; c++ {
+		out[c] = 0
+	}
+	for i := 0; i+k <= len(a); i += k {
+		ar := a[i : i+k]
+		br := b[i : i+k]
+		for c, v := range ar {
+			out[c] += v * br[c]
+		}
+	}
+}
+
+// colAxpy computes y[i,c] += coef[c]·x[i,c] over a panel.
+func colAxpy(coef, x, y []float64, k int) {
+	for i := 0; i+k <= len(x); i += k {
+		xr := x[i : i+k]
+		yr := y[i : i+k]
+		for c, v := range xr {
+			yr[c] += coef[c] * v
+		}
+	}
+}
+
+// colAxmy computes y[i,c] -= coef[c]·x[i,c] over a panel.
+func colAxmy(coef, x, y []float64, k int) {
+	for i := 0; i+k <= len(x); i += k {
+		xr := x[i : i+k]
+		yr := y[i : i+k]
+		for c, v := range xr {
+			yr[c] -= coef[c] * v
+		}
+	}
+}
+
+// colXpby computes y[i,c] = x[i,c] + coef[c]·y[i,c] over a panel (the
+// CG direction update).
+func colXpby(x, coef, y []float64, k int) {
+	for i := 0; i+k <= len(x); i += k {
+		xr := x[i : i+k]
+		yr := y[i : i+k]
+		for c, v := range xr {
+			yr[c] = v + coef[c]*yr[c]
+		}
+	}
+}
+
+// colNorms2 returns into out the squared L2 norm of each panel column.
+func colNorms2(a []float64, k int, out []float64) {
+	colDots(a, a, k, out)
+}

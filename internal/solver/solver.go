@@ -136,32 +136,104 @@ func LeastSquares(a mat.Matrix, y []float64, weights []float64, opts Options) []
 }
 
 // PowerIterL estimates the largest eigenvalue of AᵀA (the Lipschitz
-// constant of the least-squares gradient) by power iteration.
+// constant of the least-squares gradient) by blocked subspace iteration.
 func PowerIterL(a mat.Matrix, iters int) float64 {
+	return PowerIterLW(a, iters, nil)
+}
+
+// powerIterBlock is the subspace width of PowerIterL: wide enough that a
+// start vector orthogonal-ish to the top eigenvector cannot stall the
+// estimate, narrow enough that the panels stay cache-resident.
+const powerIterBlock = 4
+
+// PowerIterLW is PowerIterL with an optional workspace reused across
+// calls. It iterates a cols×4 panel V ← AᵀA·V through the batched
+// MatMat tier (one matrix pass per application instead of four), with a
+// modified Gram–Schmidt re-orthonormalization per iteration; the
+// returned estimate is the largest Ritz value max_c ‖AᵀA·v_c‖ over the
+// orthonormal subspace, so a leading start vector that is deficient in
+// the top eigenvector cannot stall the estimate — another column's
+// value takes over. The iteration is deterministic and allocation-free
+// with a warm workspace.
+func PowerIterLW(a mat.Matrix, iters int, ws *mat.Workspace) float64 {
 	rows, cols := a.Dims()
 	if cols == 0 || rows == 0 {
 		return 0
 	}
-	v := make([]float64, cols)
-	for i := range v {
-		// Deterministic non-degenerate start vector.
-		v[i] = 1 + float64(i%7)/7
+	k := powerIterBlock
+	if cols < k {
+		k = cols
 	}
-	tmp := make([]float64, rows)
-	next := make([]float64, cols)
+	v := ws.Get(cols * k)
+	tmp := ws.Get(rows * k)
+	next := ws.Get(cols * k)
+	norms := ws.Get(k)
+	defer func() {
+		ws.Put(v)
+		ws.Put(tmp)
+		ws.Put(next)
+		ws.Put(norms)
+	}()
+	// Deterministic start panel: column c mixes a distinct set of phases
+	// so the columns are linearly independent.
+	for i := 0; i < cols; i++ {
+		for c := 0; c < k; c++ {
+			v[i*k+c] = 1 + float64((i*(2*c+1)+c)%7)/7
+		}
+	}
+	orthonormalizeCols(v, cols, k)
 	lambda := 0.0
-	for k := 0; k < iters; k++ {
-		a.MatVec(tmp, v)
-		a.TMatVec(next, tmp)
-		lambda = vec.Norm2(next)
+	for it := 0; it < iters; it++ {
+		mat.MatMat(a, tmp, v, k)
+		mat.TMatMat(a, next, tmp, k)
+		colNorms2(next, k, norms)
+		// Every column is a unit vector (or zero, if the subspace shrank),
+		// so each ‖AᵀA·v_c‖ is a lower bound on λmax; keep the largest.
+		best := 0.0
+		for _, n2 := range norms[:k] {
+			if n2 > best {
+				best = n2
+			}
+		}
+		lambda = math.Sqrt(best)
 		if lambda == 0 {
 			return 0
 		}
-		for i := range v {
-			v[i] = next[i] / lambda
-		}
+		copy(v, next)
+		orthonormalizeCols(v, cols, k)
 	}
 	return lambda
+}
+
+// orthonormalizeCols runs modified Gram–Schmidt over the k columns of
+// the n×k row-major panel v. Columns that vanish after projection are
+// left at zero (the subspace simply shrinks).
+func orthonormalizeCols(v []float64, n, k int) {
+	for c := 0; c < k; c++ {
+		// Project out the previous columns.
+		for c2 := 0; c2 < c; c2++ {
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += v[i*k+c] * v[i*k+c2]
+			}
+			if dot != 0 {
+				for i := 0; i < n; i++ {
+					v[i*k+c] -= dot * v[i*k+c2]
+				}
+			}
+		}
+		var nn float64
+		for i := 0; i < n; i++ {
+			nn += v[i*k+c] * v[i*k+c]
+		}
+		if nn <= 0 {
+			continue
+		}
+		inv := 1 / math.Sqrt(nn)
+		for i := 0; i < n; i++ {
+			v[i*k+c] *= inv
+		}
+	}
 }
 
 // NNLS solves min_{x≥0} ‖Ax − y‖₂ (paper Definition 5.2) by FISTA
@@ -182,7 +254,7 @@ func NNLS(a mat.Matrix, y []float64, weights []float64, opts Options) []float64 
 	if len(y) != rows {
 		panic("solver: NNLS rhs length mismatch")
 	}
-	lip := PowerIterL(a, 30)
+	lip := PowerIterLW(a, 30, ws)
 	if lip == 0 {
 		return make([]float64, cols)
 	}
@@ -260,6 +332,13 @@ func NNLS(a mat.Matrix, y []float64, weights []float64, opts Options) []float64 
 // (Mᵀeᵢ), matching the primitive-method contract; the basis and row
 // buffers are reused across the row loop.
 func MultWeights(a mat.Matrix, y []float64, xHat []float64, iters int) []float64 {
+	return MultWeightsW(a, y, xHat, iters, nil)
+}
+
+// MultWeightsW is MultWeights with an optional workspace supplying the
+// basis and row buffers, so per-round plan loops (MWEM) reuse them
+// across rounds instead of allocating.
+func MultWeightsW(a mat.Matrix, y []float64, xHat []float64, iters int, ws *mat.Workspace) []float64 {
 	rows, cols := a.Dims()
 	if len(y) != rows || len(xHat) != cols {
 		panic("solver: MultWeights dimension mismatch")
@@ -269,8 +348,12 @@ func MultWeights(a mat.Matrix, y []float64, xHat []float64, iters int) []float64
 	if total <= 0 {
 		return x
 	}
-	basis := make([]float64, rows)
-	q := make([]float64, cols)
+	basis := ws.GetZero(rows)
+	q := ws.Get(cols)
+	defer func() {
+		ws.Put(basis)
+		ws.Put(q)
+	}()
 	for it := 0; it < iters; it++ {
 		for i := 0; i < rows; i++ {
 			basis[i] = 1

@@ -61,12 +61,21 @@ func treeDepth(n, b int) int {
 // returns the consistent leaf estimates. All measurements are assumed to
 // carry equal noise.
 func TreeLS(n, b int, y []float64) []float64 {
+	return TreeLSW(n, b, y, nil)
+}
+
+// TreeLSW is TreeLS with an optional workspace supplying the two
+// node-array passes, so repeated solves (per-epsilon trials, benchmark
+// loops) allocate nothing but the returned leaves. The level bookkeeping
+// lives in fixed stack arrays (a b-ary tree over an int domain has at
+// most 63 levels).
+func TreeLSW(n, b int, y []float64, ws *mat.Workspace) []float64 {
 	k := treeDepth(n, b)
 	if want := TreeNodes(b, k+1); len(y) != want {
 		panic(fmt.Sprintf("solver: TreeLS expects %d measurements, got %d", want, len(y)))
 	}
 	// Level offsets into the BFS array.
-	offsets := make([]int, k+2)
+	var offsets [65]int
 	width := 1
 	for l := 0; l <= k; l++ {
 		offsets[l+1] = offsets[l] + width
@@ -75,7 +84,7 @@ func TreeLS(n, b int, y []float64) []float64 {
 	idx := func(level, j int) int { return offsets[level] + j }
 
 	// Powers of b up to the tree height.
-	pow := make([]float64, k+2)
+	var pow [66]float64
 	pow[0] = 1
 	for i := 1; i <= k+1; i++ {
 		pow[i] = pow[i-1] * float64(b)
@@ -84,7 +93,8 @@ func TreeLS(n, b int, y []float64) []float64 {
 	// Bottom-up pass: z blends each node's own measurement with its
 	// children's aggregated z. A node at level l has height h = k-l+1
 	// (leaves h=1).
-	z := make([]float64, len(y))
+	z := ws.Get(len(y))
+	defer ws.Put(z)
 	for l := k; l >= 0; l-- {
 		h := k - l + 1
 		levelWidth := int(pow[l])
@@ -104,7 +114,8 @@ func TreeLS(n, b int, y []float64) []float64 {
 	}
 
 	// Top-down pass: push consistency down the tree.
-	xbar := make([]float64, len(y))
+	xbar := ws.Get(len(y))
+	defer ws.Put(xbar)
 	xbar[0] = z[0]
 	for l := 0; l < k; l++ {
 		levelWidth := int(pow[l])
