@@ -3,14 +3,16 @@
 //
 // Usage:
 //
-//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|matvec|gram|all [-full] [-json FILE] [-par N,M]
+//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|matvec|gram|serve|all [-full] [-json FILE] [-par N,M]
 //
 // Without -full the quick configurations run (small domains, seconds);
 // with -full the paper-scale configurations run (up to the 1.4M-cell
 // Census domain; minutes). The matvec experiment benchmarks the shared
-// parallel mat-vec engine, and the gram experiment benchmarks the
-// blocked Gram kernels against the column-at-a-time baseline; with
-// -json either records its report (e.g. BENCH_1.json, BENCH_2.json) so
+// parallel mat-vec engine, the gram experiment benchmarks the blocked
+// Gram kernels against the column-at-a-time baseline, and the serve
+// experiment load-tests the ektelo-serve query front end at 1 vs N
+// parallel clients (-par doubles as the client-count list); with -json
+// each records its report (BENCH_1.json, BENCH_2.json, BENCH_3.json) so
 // the perf trajectory is tracked in-repo.
 package main
 
@@ -46,14 +48,15 @@ func main() {
 		"fig5":   runFig5,
 		"matvec": runMatVec,
 		"gram":   runGram,
+		"serve":  runServe,
 	}
-	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6", "matvec", "gram"}
+	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6", "matvec", "gram", "serve"}
 
 	if *exp == "all" {
-		// matvec and gram would write the same -json file in turn, the
-		// later clobbering the earlier; require a specific experiment.
+		// The benchmark experiments would write the same -json file in
+		// turn, the later clobbering the earlier; require a specific one.
 		if *jsonOut != "" {
-			fmt.Fprintln(os.Stderr, "-json requires a single benchmark experiment (matvec or gram), not -exp all")
+			fmt.Fprintln(os.Stderr, "-json requires a single benchmark experiment (matvec, gram or serve), not -exp all")
 			os.Exit(2)
 		}
 		for _, name := range order {
@@ -193,6 +196,14 @@ func runGram(bool) {
 	done := banner("Blocked Gram: panel kernels vs column-at-a-time baseline")
 	rep := experiments.GramBench(parLevels())
 	fmt.Print(experiments.GramBenchString(rep))
+	writeJSONReport(rep)
+	done()
+}
+
+func runServe(bool) {
+	done := banner("Serve front end: requests/sec at 1 vs N parallel clients")
+	rep := experiments.ServeBench(parLevels())
+	fmt.Print(experiments.ServeBenchString(rep))
 	writeJSONReport(rep)
 	done()
 }

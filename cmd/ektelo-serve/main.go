@@ -1,0 +1,114 @@
+// Command ektelo-serve runs the EKTELO query service: an HTTP/JSON
+// front end that keeps per-dataset vectorized state and measurement
+// logs warm inside concurrent protected kernels and answers client
+// range workloads through the batched MatMat/CGLSMulti panel tier.
+//
+// Usage:
+//
+//	ektelo-serve [-addr :8199] [-window 250us] [-replicates 3]
+//	             [-preload name:kind:n:scale:seed:eps ...]
+//
+// The API (see internal/serve):
+//
+//	GET  /v1/plans                     — the Fig. 2 plan registry
+//	GET  /v1/strategies                — measurement strategies
+//	GET  /v1/datasets                  — dataset summaries
+//	POST /v1/datasets                  — create a synthetic dataset
+//	GET  /v1/datasets/{name}           — one dataset's summary
+//	GET  /v1/datasets/{name}/budget    — remaining-budget report
+//	POST /v1/datasets/{name}/measure   — spend budget on a strategy
+//	POST /v1/datasets/{name}/query     — answer a range workload
+//
+// Example session:
+//
+//	ektelo-serve -preload census:piecewise:4096:1000000:7:10 &
+//	curl -s localhost:8199/v1/datasets/census/budget
+//	curl -s -XPOST localhost:8199/v1/datasets/census/measure \
+//	     -d '{"strategy":"hb","eps":1}'
+//	curl -s -XPOST localhost:8199/v1/datasets/census/query \
+//	     -d '{"ranges":[[0,1023],[512,2047]]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8199", "listen address")
+	window := flag.Duration("window", 250*time.Microsecond, "batcher coalescing window")
+	maxBatch := flag.Int("maxbatch", 64, "max client requests per answering panel")
+	replicates := flag.Int("replicates", 3, "bootstrap columns for per-answer error bars (-1 disables)")
+	var preloads preloadList
+	flag.Var(&preloads, "preload", "preload dataset as name:kind:n:scale:seed:eps (repeatable)")
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		BatchWindow: *window,
+		MaxBatch:    *maxBatch,
+		Replicates:  *replicates,
+	})
+	defer s.Close()
+
+	for _, p := range preloads {
+		d, err := s.CreateDataset(p.name, p.kind, p.n, p.scale, p.seed, p.eps)
+		if err != nil {
+			log.Fatalf("preload %s: %v", p.name, err)
+		}
+		sum := d.Summary()
+		log.Printf("preloaded dataset %q: domain %d, ε_total %g", sum.Name, sum.Domain, sum.EpsTotal)
+	}
+
+	log.Printf("ektelo-serve listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}
+
+// preload is one -preload flag value.
+type preload struct {
+	name, kind string
+	n          int
+	scale, eps float64
+	seed       uint64
+}
+
+type preloadList []preload
+
+func (l *preloadList) String() string {
+	parts := make([]string, len(*l))
+	for i, p := range *l {
+		parts[i] = p.name
+	}
+	return strings.Join(parts, ",")
+}
+
+func (l *preloadList) Set(v string) error {
+	f := strings.Split(v, ":")
+	if len(f) != 6 {
+		return fmt.Errorf("want name:kind:n:scale:seed:eps, got %q", v)
+	}
+	n, err := strconv.Atoi(f[2])
+	if err != nil {
+		return fmt.Errorf("bad n %q", f[2])
+	}
+	scale, err := strconv.ParseFloat(f[3], 64)
+	if err != nil {
+		return fmt.Errorf("bad scale %q", f[3])
+	}
+	seed, err := strconv.ParseUint(f[4], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad seed %q", f[4])
+	}
+	eps, err := strconv.ParseFloat(f[5], 64)
+	if err != nil {
+		return fmt.Errorf("bad eps %q", f[5])
+	}
+	*l = append(*l, preload{name: f[0], kind: f[1], n: n, scale: scale, seed: seed, eps: eps})
+	return nil
+}

@@ -3,14 +3,40 @@
 // Computations" (Zhang et al., SIGMOD 2018).
 //
 // The library lives under internal/ (see DESIGN.md for the system
-// inventory); runnable entry points are the examples/ programs and
-// cmd/ektelo-bench, which regenerates every table and figure of the
-// paper's evaluation plus the mat-vec engine benchmark
-// (-exp matvec -json BENCH_1.json) and the blocked-Gram benchmark
-// (-exp gram -json BENCH_2.json) that record the repo's performance
-// trajectory. The root-level bench_test.go exposes one testing.B
-// benchmark per experiment, serial-vs-parallel engine benchmarks, and
-// blocked-vs-column Gram and batched-vs-looped MatMat comparisons.
+// inventory); runnable entry points are the examples/ programs,
+// cmd/ektelo-bench — which regenerates every table and figure of the
+// paper's evaluation plus the engine (-exp matvec), blocked-Gram
+// (-exp gram) and serve-load (-exp serve) benchmarks that record the
+// repo's performance trajectory (BENCH_1..3.json) — and
+// cmd/ektelo-serve, the HTTP/JSON query service.
+//
+// # Architecture: operator layer, session kernel, serve front end
+//
+// Client code expresses algorithms through internal/core/ops, the
+// paper's operator API made first-class: a plan is an ops.Graph of
+// typed operators (transformation, query, query selection, partition
+// selection, inference, plus the I:(…) and TP[…] combinators) executed
+// deterministically against a kernel handle. internal/core/plans builds
+// all twenty Fig. 2 registry plans as graph constructors whose rendered
+// Signature() matches the paper's notation; the classic plan functions
+// are thin wrappers over the graphs.
+//
+// internal/kernel is the service-grade protected kernel: per-client
+// Session objects own independent rand/v2 noise streams while the
+// transformation graph, per-node stability/budget trackers and query
+// history live behind the kernel mutex, so any number of sessions drive
+// one kernel concurrently with linearizable Algorithm 2 accounting (the
+// budget can never be overdrawn by a race, and per-session Consumed()
+// totals partition the root budget exactly).
+//
+// internal/serve (cmd/ektelo-serve) is the query-service front end the
+// ROADMAP's north star describes: per-dataset warm vectorized state and
+// measurement logs, budget spending through per-request kernel
+// sessions, and a per-dataset batcher that coalesces concurrent
+// clients' range workloads into one mat.MatMat panel pass over an
+// estimate panel solved by solver.CGLSMulti (column 0 the LS estimate,
+// the rest parametric-bootstrap replicates that price per-answer error
+// bars into the same solve).
 //
 // Every plan bottoms out in internal/mat's implicit mat-vec kernels;
 // those run on a shared parallel, zero-allocation compute engine (see
@@ -19,7 +45,8 @@
 // per-iteration garbage. On top of the single-vector kernels sits a
 // batched multi-RHS tier (mat.MatMat/TMatMat over row-major panels)
 // that the hot consumers ride: blocked symmetric Gram builds
-// (mat.GramInto), block-CGLS strategy scoring (solver.CGLSMulti +
+// (mat.GramInto), suffix-sum range-workload Grams with engine-parallel
+// axis passes, block-CGLS strategy scoring (solver.CGLSMulti +
 // selection.HDMMScore), subspace power iteration (solver.PowerIterLW),
 // and two-column workload answering (mat.Mul2) in MWEM selection and
 // the error metrics — each one pass of memory traffic over the matrix

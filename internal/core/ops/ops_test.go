@@ -1,0 +1,117 @@
+package ops
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/solver"
+	"repro/internal/vec"
+)
+
+func identitySelect() SelectOp {
+	return SelectOp{Name: "SI", Choose: func(env *Env) (mat.Matrix, error) {
+		return mat.Identity(env.H.Domain()), nil
+	}}
+}
+
+func TestGraphExecuteMeasureInfer(t *testing.T) {
+	x := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	_, h := kernel.InitVectorSeeded(x, 1e9, 1)
+	g := New("toy").Add(identitySelect(), Laplace(1e8), LS(solver.Options{}))
+	got, err := g.Execute(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.AllClose(got, x, 1e-4, 1e-4) {
+		t.Fatalf("near-exact recovery failed: %v", got)
+	}
+}
+
+func TestGraphSignatureRendering(t *testing.T) {
+	body := New("body").Add(identitySelect(), Laplace(1), MW(10))
+	g := New("outer").Add(
+		MetaOp{Do: func(*Env) error { return nil }}, // hidden
+		PartitionOp{Name: "PS", Split: func(*Env) error { return nil }},
+		ForEachOp{Body: New("sub").Add(identitySelect(), Laplace(1))},
+		IterateOp{Rounds: 3, Body: body},
+		LS(solver.Options{}),
+	)
+	want := "PS TP[ SI LM ] I:( SI LM MW ) LS"
+	if got := g.Signature(); got != want {
+		t.Fatalf("signature = %q, want %q", got, want)
+	}
+}
+
+func TestIterateUnrollsInTrace(t *testing.T) {
+	x := make([]float64, 4)
+	_, h := kernel.InitVectorSeeded(x, 1e9, 2)
+	env := NewEnv(h)
+	env.X = make([]float64, 4)
+	g := New("loop").Add(IterateOp{Rounds: 3, Body: New("b").Add(identitySelect(), Laplace(10))})
+	if _, err := g.ExecuteEnv(env); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(env.Trace, " ")
+	want := "I SI LM SI LM SI LM"
+	if got != want {
+		t.Fatalf("trace = %q, want %q", got, want)
+	}
+	if env.Round != 0 {
+		t.Fatalf("Round not restored: %d", env.Round)
+	}
+}
+
+func TestForEachRebindsCursorAndSkips(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	_, h := kernel.InitVectorSeeded(x, 1e9, 3)
+	env := NewEnv(h)
+	env.Subs = h.SplitByPartition([]int{0, 0, 1, 1, 2, 2}, 3)
+	var visited []int
+	g := New("split").Add(ForEachOp{
+		Skip: func(env *Env) bool { return env.SubIndex == 1 },
+		Body: New("b").Add(MetaOp{Do: func(env *Env) error {
+			visited = append(visited, env.SubIndex)
+			if env.H.Domain() != 2 {
+				t.Errorf("sub %d domain %d", env.SubIndex, env.H.Domain())
+			}
+			return nil
+		}}),
+	})
+	if _, err := g.ExecuteEnv(env); err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 2 || visited[0] != 0 || visited[1] != 2 {
+		t.Fatalf("visited %v, want [0 2]", visited)
+	}
+	if env.H != h {
+		t.Fatal("cursor not restored after ForEach")
+	}
+}
+
+func TestGraphErrorsArePropagatedWithContext(t *testing.T) {
+	_, h := kernel.InitVectorSeeded(make([]float64, 4), 0.5, 4)
+	g := New("overdraft").Add(identitySelect(), Laplace(1), LS(solver.Options{}))
+	_, err := g.Execute(h)
+	if !errors.Is(err, kernel.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want budget exceeded", err)
+	}
+	if !strings.Contains(err.Error(), "overdraft") || !strings.Contains(err.Error(), "LM") {
+		t.Fatalf("error lacks plan context: %v", err)
+	}
+}
+
+func TestOutputY(t *testing.T) {
+	x := []float64{7, 7}
+	_, h := kernel.InitVectorSeeded(x, 1e9, 5)
+	g := New("id").Add(identitySelect(), Laplace(1e8), OutputY())
+	got, err := g.Execute(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.AllClose(got, x, 1e-4, 1e-4) {
+		t.Fatalf("OutputY estimate %v", got)
+	}
+}

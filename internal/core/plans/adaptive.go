@@ -1,7 +1,7 @@
 package plans
 
 import (
-	"repro/internal/core/inference"
+	"repro/internal/core/ops"
 	"repro/internal/core/partition"
 	"repro/internal/core/selection"
 	"repro/internal/kernel"
@@ -12,6 +12,25 @@ import (
 // This file holds the data-adaptive partition plans: AHP (plan #8) and
 // DAWA (plan #9), whose signatures are PA/PD → TR → SI/SG → LM → LS.
 
+const partitionVar = "plan.partition"
+
+// reduceByPartitionVar is the TR transformation operator shared by the
+// partition-based plans: it reduces the cursor's domain by the
+// partition a preceding partition-selection operator stored under the
+// given env.Vars key.
+func reduceByPartitionVar(key string) ops.TransformOp {
+	return ops.TransformOp{Name: "TR", Apply: func(env *ops.Env) (*kernel.Handle, error) {
+		p := env.Vars[key].(partition.Partition)
+		return env.H.ReduceByPartition(p.Matrix()), nil
+	}}
+}
+
+// reduceByStoredPartition is reduceByPartitionVar for the adaptive
+// plans' shared partition slot.
+func reduceByStoredPartition() ops.TransformOp {
+	return reduceByPartitionVar(partitionVar)
+}
+
 // AHPConfig parameterizes plan #8.
 type AHPConfig struct {
 	// Rho is the budget fraction spent on the partition-selection stage;
@@ -21,33 +40,47 @@ type AHPConfig struct {
 	Eta float64
 }
 
+func (c *AHPConfig) fill() {
+	if c.Rho <= 0 || c.Rho >= 1 {
+		c.Rho = 0.5
+	}
+	if c.Eta <= 0 {
+		c.Eta = 0.35
+	}
+}
+
+// ahpPartition is the PA partition-selection operator: it buys a noisy
+// copy of the data vector with eps1 and clusters it with AHPpartition.
+func ahpPartition(eps1, eta float64) ops.PartitionOp {
+	return ops.PartitionOp{Name: "PA", Split: func(env *ops.Env) error {
+		noisy, _, err := env.H.VectorLaplace(selection.Identity(env.H.Domain()), eps1)
+		if err != nil {
+			return err
+		}
+		env.Vars[partitionVar] = partition.AHPCluster(noisy, eta, eps1)
+		return nil
+	}}
+}
+
+// AHPGraph is plan #8 as an operator graph ("PA TR SI LM LS").
+func AHPGraph(eps float64, cfg AHPConfig) *ops.Graph {
+	cfg.fill()
+	eps1, eps2 := cfg.Rho*eps, (1-cfg.Rho)*eps
+	return ops.New("AHP").Add(
+		ahpPartition(eps1, cfg.Eta),
+		reduceByStoredPartition(),
+		selectFixed("SI", func(n int) mat.Matrix { return selection.Identity(n) }),
+		ops.Laplace(eps2),
+		ops.LS(solver.Options{}),
+	)
+}
+
 // AHP is plan #8 (Zhang et al.): spend ρ·ε on a noisy copy of the data
 // vector, cluster it with AHPpartition, reduce the domain by the
 // partition, measure the reduced cells with the identity strategy, and
 // infer back to the full domain by least squares.
 func AHP(h *kernel.Handle, eps float64, cfg AHPConfig) ([]float64, error) {
-	if cfg.Rho <= 0 || cfg.Rho >= 1 {
-		cfg.Rho = 0.5
-	}
-	if cfg.Eta <= 0 {
-		cfg.Eta = 0.35
-	}
-	n := h.Domain()
-	eps1, eps2 := cfg.Rho*eps, (1-cfg.Rho)*eps
-
-	noisy, _, err := h.VectorLaplace(selection.Identity(n), eps1)
-	if err != nil {
-		return nil, err
-	}
-	p := partition.AHPCluster(noisy, cfg.Eta, eps1)
-	reduced := h.ReduceByPartition(p.Matrix())
-	y, scale, err := reduced.VectorLaplace(selection.Identity(p.K), eps2)
-	if err != nil {
-		return nil, err
-	}
-	ms := inference.NewMeasurements(n)
-	ms.Add(reduced.MapTo(h, selection.Identity(p.K)), y, scale)
-	return ms.LeastSquares(solver.Options{}), nil
+	return AHPGraph(eps, cfg).Execute(h)
 }
 
 // DAWAConfig parameterizes plan #9.
@@ -62,39 +95,61 @@ type DAWAConfig struct {
 	Workload []mat.Range1D
 }
 
+func (c *DAWAConfig) fill() {
+	if c.Rho <= 0 || c.Rho >= 1 {
+		c.Rho = 0.25
+	}
+	if c.MaxBucket <= 0 {
+		c.MaxBucket = 1024
+	}
+}
+
+// dawaPartition is the PD partition-selection operator: a noisy stage-1
+// copy selects an L1-optimal bucketing.
+func dawaPartition(eps1, eps2 float64, maxBucket int) ops.PartitionOp {
+	return ops.PartitionOp{Name: "PD", Split: func(env *ops.Env) error {
+		noisy, _, err := env.H.VectorLaplace(selection.Identity(env.H.Domain()), eps1)
+		if err != nil {
+			return err
+		}
+		env.Vars[partitionVar] = partition.DawaL1Partition(noisy, eps2, maxBucket)
+		return nil
+	}}
+}
+
+// dawaGreedyH is the SG selection operator over the reduced domain: the
+// workload ranges are re-expressed over the stored partition's buckets.
+func dawaGreedyH(wl []mat.Range1D) ops.SelectOp {
+	return ops.SelectOp{Name: "SG", Choose: func(env *ops.Env) (mat.Matrix, error) {
+		p := env.Vars[partitionVar].(partition.Partition)
+		return selection.GreedyH(p.K, mapRangesToPartition(wl, p)), nil
+	}}
+}
+
+// DAWAGraph is plan #9 as an operator graph ("PD TR SG LM LS"). n is
+// the handle domain, needed to default the workload before execution.
+func DAWAGraph(n int, eps float64, cfg DAWAConfig) *ops.Graph {
+	cfg.fill()
+	eps1, eps2 := cfg.Rho*eps, (1-cfg.Rho)*eps
+	wl := cfg.Workload
+	if wl == nil {
+		wl = identityRanges(n)
+	}
+	return ops.New("DAWA").Add(
+		dawaPartition(eps1, eps2, cfg.MaxBucket),
+		reduceByStoredPartition(),
+		dawaGreedyH(wl),
+		ops.Laplace(eps2),
+		ops.LS(solver.Options{}),
+	)
+}
+
 // DAWA is plan #9 (Li et al.): a noisy stage-1 copy selects an L1-optimal
 // bucketing (PD), the domain is reduced by it (TR), GreedyH selects a
 // weighted hierarchy over the reduced domain (SG), which is measured with
 // Laplace (LM) and inverted by least squares (LS).
 func DAWA(h *kernel.Handle, eps float64, cfg DAWAConfig) ([]float64, error) {
-	if cfg.Rho <= 0 || cfg.Rho >= 1 {
-		cfg.Rho = 0.25
-	}
-	if cfg.MaxBucket <= 0 {
-		cfg.MaxBucket = 1024
-	}
-	n := h.Domain()
-	eps1, eps2 := cfg.Rho*eps, (1-cfg.Rho)*eps
-
-	noisy, _, err := h.VectorLaplace(selection.Identity(n), eps1)
-	if err != nil {
-		return nil, err
-	}
-	p := partition.DawaL1Partition(noisy, eps2, cfg.MaxBucket)
-	reduced := h.ReduceByPartition(p.Matrix())
-
-	wl := cfg.Workload
-	if wl == nil {
-		wl = identityRanges(n)
-	}
-	strategy := selection.GreedyH(p.K, mapRangesToPartition(wl, p))
-	y, scale, err := reduced.VectorLaplace(strategy, eps2)
-	if err != nil {
-		return nil, err
-	}
-	ms := inference.NewMeasurements(n)
-	ms.Add(reduced.MapTo(h, strategy), y, scale)
-	return ms.LeastSquares(solver.Options{}), nil
+	return DAWAGraph(h.Domain(), eps, cfg).Execute(h)
 }
 
 func identityRanges(n int) []mat.Range1D {

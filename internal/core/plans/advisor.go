@@ -3,6 +3,7 @@ package plans
 import (
 	"math/rand/v2"
 
+	"repro/internal/core/ops"
 	"repro/internal/core/selection"
 	"repro/internal/kernel"
 	"repro/internal/mat"
@@ -58,11 +59,25 @@ func ChooseStrategy(w mat.Matrix, candidates []StrategyCandidate, sampleRows int
 	return best, bestName
 }
 
+// AdvisedGraph is the advisor plan as an operator graph ("SAdv LM LS"):
+// the selection operator scores the public candidate menu against the
+// workload (budget-free) and the winner is measured and inverted.
+func AdvisedGraph(w mat.Matrix, eps float64, rng *rand.Rand, opts solver.Options, chosen *string) *ops.Graph {
+	sel := ops.SelectOp{Name: "SAdv", Choose: func(*ops.Env) (mat.Matrix, error) {
+		strategy, name := ChooseStrategy(w, DefaultCandidates(), 0, rng)
+		if chosen != nil {
+			*chosen = name
+		}
+		return strategy, nil
+	}}
+	return measureLSGraph("Advised", sel, eps, opts)
+}
+
 // Advised selects the analytically best data-independent strategy for
 // the workload, measures it once with the full budget, and infers with
 // least squares. It returns the estimate and the chosen strategy name.
 func Advised(h *kernel.Handle, w mat.Matrix, eps float64, rng *rand.Rand, opts solver.Options) ([]float64, string, error) {
-	strategy, name := ChooseStrategy(w, DefaultCandidates(), 0, rng)
-	xhat, err := measureLS(h, strategy, eps, opts)
+	var name string
+	xhat, err := AdvisedGraph(w, eps, rng, opts, &name).Execute(h)
 	return xhat, name, err
 }

@@ -1,8 +1,7 @@
 package plans
 
 import (
-	"repro/internal/core/inference"
-	"repro/internal/core/partition"
+	"repro/internal/core/ops"
 	"repro/internal/core/selection"
 	"repro/internal/kernel"
 	"repro/internal/mat"
@@ -19,12 +18,12 @@ type CDFConfig struct {
 	Solver solver.Options
 }
 
-// CDFEstimator is the paper's Algorithm 1 as a library plan: given a
-// vectorized 1-D handle (e.g. the salary histogram after Where/Select/
-// Vectorize), it runs AHPpartition (ρ·ε) → V-ReduceByPartition →
-// Identity → Vector Laplace ((1−ρ)·ε) → NNLS → Prefix, returning the
-// private empirical-CDF estimate over the handle's domain.
-func CDFEstimator(h *kernel.Handle, eps float64, cfg CDFConfig) ([]float64, error) {
+// CDFGraph is the paper's Algorithm 1 as an operator graph
+// ("PA TR SI LM NLS PRE"): AHPpartition (ρ·ε) → V-ReduceByPartition →
+// Identity selection → Vector Laplace ((1−ρ)·ε) → NNLS → a public
+// Prefix post-transform turning the histogram estimate into an
+// empirical CDF.
+func CDFGraph(eps float64, cfg CDFConfig) *ops.Graph {
 	if cfg.Rho <= 0 || cfg.Rho >= 1 {
 		cfg.Rho = 0.5
 	}
@@ -34,22 +33,25 @@ func CDFEstimator(h *kernel.Handle, eps float64, cfg CDFConfig) ([]float64, erro
 	if cfg.Solver.MaxIter == 0 {
 		cfg.Solver.MaxIter = 600
 	}
-	n := h.Domain()
 	eps1, eps2 := cfg.Rho*eps, (1-cfg.Rho)*eps
+	return ops.New("CDFEstimator").Add(
+		ahpPartition(eps1, cfg.Eta),
+		reduceByStoredPartition(),
+		selectFixed("SI", func(n int) mat.Matrix { return selection.Identity(n) }),
+		ops.Laplace(eps2),
+		ops.NNLS(cfg.Solver),
+		ops.MetaOp{Name: "PRE", Do: func(env *ops.Env) error {
+			env.X = mat.Mul(mat.Prefix(env.Root.Domain()), env.X)
+			return nil
+		}},
+	)
+}
 
-	noisy, _, err := h.VectorLaplace(selection.Identity(n), eps1)
-	if err != nil {
-		return nil, err
-	}
-	p := partition.AHPCluster(noisy, cfg.Eta, eps1)
-	reduced := h.ReduceByPartition(p.Matrix())
-	strategy := selection.Identity(p.K)
-	y, scale, err := reduced.VectorLaplace(strategy, eps2)
-	if err != nil {
-		return nil, err
-	}
-	ms := inference.NewMeasurements(n)
-	ms.Add(reduced.MapTo(h, strategy), y, scale)
-	xhat := ms.NNLS(cfg.Solver)
-	return mat.Mul(mat.Prefix(n), xhat), nil
+// CDFEstimator is the paper's Algorithm 1 as a library plan: given a
+// vectorized 1-D handle (e.g. the salary histogram after Where/Select/
+// Vectorize), it runs AHPpartition (ρ·ε) → V-ReduceByPartition →
+// Identity → Vector Laplace ((1−ρ)·ε) → NNLS → Prefix, returning the
+// private empirical-CDF estimate over the handle's domain.
+func CDFEstimator(h *kernel.Handle, eps float64, cfg CDFConfig) ([]float64, error) {
+	return CDFGraph(eps, cfg).Execute(h)
 }

@@ -1,10 +1,11 @@
 package plans
 
 import (
-	"repro/internal/core/inference"
+	"repro/internal/core/ops"
 	"repro/internal/core/partition"
 	"repro/internal/core/selection"
 	"repro/internal/kernel"
+	"repro/internal/mat"
 	"repro/internal/solver"
 )
 
@@ -16,60 +17,77 @@ type AdaptiveGridConfig struct {
 	NEst float64
 }
 
-// AdaptiveGrid is plan #12 (Qardaji et al.), signature
-// SU LM LS PU TP[SA LM]: a coarse grid of block counts is measured
-// first; the domain is then split by the level-1 cells and each cell
-// receives its own finer grid, sized by the cell's noisy count. Because
-// the level-2 subplans act on disjoint partitions they parallel-compose:
-// total cost is α·ε + (1−α)·ε regardless of the number of cells.
-func AdaptiveGrid(hd *kernel.Handle, height, width int, eps float64, cfg AdaptiveGridConfig) ([]float64, error) {
+const level1Var = "adaptivegrid.level1"
+
+// AdaptiveGridGraph is plan #12 as an operator graph
+// ("SU LM PU TP[ SA LM ] LS"): a coarse grid of block counts is
+// measured first; the domain is then split by the level-1 cells and
+// each non-empty cell receives its own finer grid, sized by the cell's
+// noisy count. Because the level-2 subplans act on disjoint partitions
+// they parallel-compose: total cost is α·ε + (1−α)·ε regardless of the
+// number of cells.
+func AdaptiveGridGraph(height, width int, eps float64, cfg AdaptiveGridConfig) *ops.Graph {
 	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
 		cfg.Alpha = 0.5
-	}
-	if height*width != hd.Domain() {
-		panic("plans: AdaptiveGrid shape does not match domain")
 	}
 	eps1, eps2 := cfg.Alpha*eps, (1-cfg.Alpha)*eps
 	side := height
 	if width < side {
 		side = width
 	}
-
-	// Level 1: block counts of a coarse grid. Measuring the partition
-	// matrix itself keeps level-1 answers and level-2 blocks aligned.
 	g1 := selection.UniformGridCells(cfg.NEst, eps1, side)
 	cellH := (height + g1 - 1) / g1
 	cellW := (width + g1 - 1) / g1
 	p := partition.Grid(height, width, cellH, cellW)
-	m1 := p.Matrix()
-	y1, scale1, err := hd.VectorLaplace(m1, eps1)
-	if err != nil {
-		return nil, err
-	}
-	ms := inference.NewMeasurements(hd.Domain())
-	ms.Add(m1, y1, scale1)
-
-	// Level 2: split by the level-1 cells, refine each block with its own
-	// grid sized by the block's noisy count.
-	subs := hd.SplitByPartition(p.Groups, p.K)
 	blocksPerRow := (width + cellW - 1) / cellW
-	for g, sub := range subs {
-		if sub.Domain() == 0 {
-			continue
-		}
+
+	// Level 1: block counts of a coarse grid. Measuring the partition
+	// matrix itself keeps level-1 answers and level-2 blocks aligned.
+	level1 := ops.SelectOp{Name: "SU", Choose: func(*ops.Env) (mat.Matrix, error) {
+		return p.Matrix(), nil
+	}}
+
+	// Split by the level-1 cells; keep the level-1 noisy counts for the
+	// per-block grid sizing (the query operator's Y is overwritten by the
+	// level-2 measurements).
+	split := ops.PartitionOp{Name: "PU", Split: func(env *ops.Env) error {
+		env.Vars[level1Var] = env.Y
+		env.Subs = env.H.SplitByPartition(p.Groups, p.K)
+		return nil
+	}}
+
+	// Level 2: refine each non-empty block with its own grid sized by the
+	// block's noisy count.
+	level2 := ops.SelectOp{Name: "SA", Choose: func(env *ops.Env) (mat.Matrix, error) {
+		g := env.SubIndex
 		bh, bw := blockDims(height, width, cellH, cellW, g, blocksPerRow)
-		if bh*bw != sub.Domain() {
+		if bh*bw != env.H.Domain() {
 			panic("plans: AdaptiveGrid block shape mismatch")
 		}
+		y1 := env.Vars[level1Var].([]float64)
 		g2 := selection.AdaptiveGridCells(y1[g], eps2, minInt(bh, bw))
-		m2 := selection.UniformGrid(bh, bw, g2)
-		y2, scale2, err := sub.VectorLaplace(m2, eps2)
-		if err != nil {
-			return nil, err
-		}
-		ms.Add(sub.MapTo(hd, m2), y2, scale2)
+		return selection.UniformGrid(bh, bw, g2), nil
+	}}
+
+	return ops.New("AdaptiveGrid").Add(
+		level1,
+		ops.Laplace(eps1),
+		split,
+		ops.ForEachOp{
+			Skip: func(env *ops.Env) bool { return env.H.Domain() == 0 },
+			Body: ops.New("adaptivegrid.block").Add(level2, ops.Laplace(eps2)),
+		},
+		ops.LS(solver.Options{MaxIter: 500, Tol: 1e-8}),
+	)
+}
+
+// AdaptiveGrid is plan #12 (Qardaji et al.), signature
+// SU LM PU TP[SA LM] LS: see AdaptiveGridGraph.
+func AdaptiveGrid(hd *kernel.Handle, height, width int, eps float64, cfg AdaptiveGridConfig) ([]float64, error) {
+	if height*width != hd.Domain() {
+		panic("plans: AdaptiveGrid shape does not match domain")
 	}
-	return ms.LeastSquares(solver.Options{MaxIter: 500, Tol: 1e-8}), nil
+	return AdaptiveGridGraph(height, width, eps, cfg).Execute(hd)
 }
 
 // blockDims returns the rectangle dimensions of level-1 block g under

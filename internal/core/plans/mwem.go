@@ -1,7 +1,7 @@
 package plans
 
 import (
-	"repro/internal/core/inference"
+	"repro/internal/core/ops"
 	"repro/internal/core/selection"
 	"repro/internal/kernel"
 	"repro/internal/mat"
@@ -28,12 +28,16 @@ type MWEMConfig struct {
 	MWIters int
 }
 
-// MWEM runs the Multiplicative Weights Exponential Mechanism of Hardt et
-// al. (plan #7) or one of its §9.1 recombinations over a workload of 1-D
-// range queries. Budget: ε/2T for selection and ε/2T for measurement per
-// round.
-func MWEM(h *kernel.Handle, w *mat.RangeQueriesMat, eps float64, cfg MWEMConfig) ([]float64, error) {
-	n := h.Domain()
+const mwemWorkVar = "mwem.workspace"
+
+// MWEMGraph builds the MWEM operator graph for a workload of 1-D range
+// queries: an I:(…) iteration whose body privately selects the
+// worst-approximated workload query (SW, optionally augmented with the
+// free dyadic ranges, SH2), measures it (LM), and updates the estimate
+// with multiplicative weights (MW) or total-anchored NNLS (NLS) —
+// signatures "I:( SW LM MW )" through "I:( SW SH2 LM NLS )" for plans
+// #7/#18/#19/#20.
+func MWEMGraph(w *mat.RangeQueriesMat, eps float64, cfg MWEMConfig) *ops.Graph {
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 10
 	}
@@ -44,42 +48,57 @@ func MWEM(h *kernel.Handle, w *mat.RangeQueriesMat, eps float64, cfg MWEMConfig)
 	epsSelect := eps / (2 * float64(cfg.Rounds))
 	epsMeasure := eps / (2 * float64(cfg.Rounds))
 
-	// Initial estimate: uniform with the known total.
-	xEst := make([]float64, n)
-	vec.Fill(xEst, cfg.Total/float64(n))
-
-	ms := inference.NewMeasurements(n)
-	if cfg.UseNNLS {
-		ms.AddExact(mat.Total(n), []float64{cfg.Total})
-	}
-
-	// One workspace serves every round's inference so the per-round solver
+	// Initial estimate: uniform with the known total; with NNLS inference
+	// the known total also enters the log as a near-exact constraint. One
+	// workspace serves every round's inference so the per-round solver
 	// loops reuse their buffers across the T rounds.
-	ws := mat.NewWorkspace()
-	for t := 1; t <= cfg.Rounds; t++ {
-		sel, err := h.WorstApprox(w, xEst, epsSelect, 1)
-		if err != nil {
-			return nil, err
-		}
-		var m mat.Matrix
-		if cfg.AugmentH2 {
-			m = selection.AugmentH2(n, ranges[sel], t)
-		} else {
-			m = selection.SingleRange(n, ranges[sel])
-		}
-		y, scale, err := h.VectorLaplace(m, epsMeasure)
-		if err != nil {
-			return nil, err
-		}
-		ms.Add(m, y, scale)
+	setup := ops.MetaOp{Do: func(env *ops.Env) error {
+		n := env.H.Domain()
+		env.X = make([]float64, n)
+		vec.Fill(env.X, cfg.Total/float64(n))
 		if cfg.UseNNLS {
+			env.MS.AddExact(mat.Total(n), []float64{cfg.Total})
+		}
+		env.Vars[mwemWorkVar] = mat.NewWorkspace()
+		return nil
+	}}
+
+	selAbbr := "SW"
+	if cfg.AugmentH2 {
+		selAbbr = "SW SH2"
+	}
+	sel := ops.SelectOp{Name: selAbbr, Choose: func(env *ops.Env) (mat.Matrix, error) {
+		pick, err := env.H.WorstApprox(w, env.X, epsSelect, 1)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.AugmentH2 {
+			return selection.AugmentH2(env.H.Domain(), ranges[pick], env.Round), nil
+		}
+		return selection.SingleRange(env.H.Domain(), ranges[pick]), nil
+	}}
+
+	var infer ops.InferOp
+	if cfg.UseNNLS {
+		infer = ops.InferOp{Name: "NLS", Solve: func(env *ops.Env) ([]float64, error) {
 			// Warm-starting from the current estimate keeps the uniform
 			// prior on unmeasured directions (the measurement system is
 			// underdetermined until late rounds).
-			xEst = ms.NNLS(solver.Options{MaxIter: 800, X0: xEst, Work: ws})
-		} else {
-			xEst = ms.MultWeights(xEst, cfg.MWIters)
-		}
+			ws := env.Vars[mwemWorkVar].(*mat.Workspace)
+			return env.MS.NNLS(solver.Options{MaxIter: 800, X0: env.X, Work: ws}), nil
+		}}
+	} else {
+		infer = ops.MW(cfg.MWIters)
 	}
-	return xEst, nil
+
+	body := ops.New("mwem.round").Add(sel, ops.Laplace(epsMeasure), infer)
+	return ops.New("MWEM").Add(setup, ops.IterateOp{Rounds: cfg.Rounds, Body: body})
+}
+
+// MWEM runs the Multiplicative Weights Exponential Mechanism of Hardt et
+// al. (plan #7) or one of its §9.1 recombinations over a workload of 1-D
+// range queries. Budget: ε/2T for selection and ε/2T for measurement per
+// round.
+func MWEM(h *kernel.Handle, w *mat.RangeQueriesMat, eps float64, cfg MWEMConfig) ([]float64, error) {
+	return MWEMGraph(w, eps, cfg).Execute(h)
 }

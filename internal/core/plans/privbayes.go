@@ -1,7 +1,7 @@
 package plans
 
 import (
-	"repro/internal/core/inference"
+	"repro/internal/core/ops"
 	"repro/internal/core/selection"
 	"repro/internal/kernel"
 	"repro/internal/mat"
@@ -39,33 +39,50 @@ func (c *PrivBayesConfig) fill() {
 	}
 }
 
-// privBayesMeasure runs the shared front of both plans: noisy total,
-// private structure selection, and one Laplace measurement of the
-// sufficient-statistic marginals. It returns the selected net, the
-// measurement matrix (over the full domain), its noisy answers and noise
-// scale, and the noisy record count.
-func privBayesMeasure(h *kernel.Handle, eps float64, cfg *PrivBayesConfig) (selection.BayesNet, mat.Matrix, []float64, float64, float64, error) {
-	cfg.fill()
-	n := h.Domain()
-	var net selection.BayesNet
+const (
+	privBayesNetVar   = "privbayes.net"
+	privBayesTotalVar = "privbayes.total"
+)
 
-	nEst, _, err := h.VectorLaplace(mat.Total(n), cfg.EpsTotalShare*eps)
-	if err != nil {
-		return net, nil, nil, 0, 0, err
-	}
-	total := nEst[0]
-	if total < 2 {
-		total = 2
-	}
-	m, net, err := selection.PrivBayesSelect(h, cfg.Shape, cfg.EpsSelectShare*eps, total)
-	if err != nil {
-		return net, nil, nil, 0, 0, err
-	}
-	y, scale, err := h.VectorLaplace(m, cfg.EpsMeasureShare*eps)
-	if err != nil {
-		return net, nil, nil, 0, 0, err
-	}
-	return net, m, y, scale, total, nil
+// privBayesSelect is the SPB selection operator shared by both plans:
+// it buys a noisy record count (calibrating the mutual-information
+// sensitivity), privately selects the degree-1 Bayes net structure via
+// NoisyMax, and returns the sufficient-statistic measurement matrix.
+// The net and the noisy total are kept for product-form inference.
+func privBayesSelect(eps float64, cfg PrivBayesConfig) ops.SelectOp {
+	return ops.SelectOp{Name: "SPB", Choose: func(env *ops.Env) (mat.Matrix, error) {
+		nEst, _, err := env.H.VectorLaplace(mat.Total(env.H.Domain()), cfg.EpsTotalShare*eps)
+		if err != nil {
+			return nil, err
+		}
+		total := nEst[0]
+		if total < 2 {
+			total = 2
+		}
+		m, net, err := selection.PrivBayesSelect(env.H, cfg.Shape, cfg.EpsSelectShare*eps, total)
+		if err != nil {
+			return nil, err
+		}
+		env.Vars[privBayesNetVar] = net
+		env.Vars[privBayesTotalVar] = total
+		return m, nil
+	}}
+}
+
+// PrivBayesGraph is the PrivBayes baseline as an operator graph
+// ("SPB LM PF"): private structure selection, one Laplace measurement
+// of the sufficient statistics, product-form reconstruction.
+func PrivBayesGraph(eps float64, cfg PrivBayesConfig) *ops.Graph {
+	cfg.fill()
+	return ops.New("PrivBayes").Add(
+		privBayesSelect(eps, cfg),
+		ops.Laplace(cfg.EpsMeasureShare*eps),
+		ops.InferOp{Name: "PF", Solve: func(env *ops.Env) ([]float64, error) {
+			net := env.Vars[privBayesNetVar].(selection.BayesNet)
+			total := env.Vars[privBayesTotalVar].(float64)
+			return privBayesProductForm(cfg.Shape, net, env.Y, total), nil
+		}},
+	)
 }
 
 // PrivBayes is the baseline: the estimate is the product-form joint
@@ -73,23 +90,24 @@ func privBayesMeasure(h *kernel.Handle, eps float64, cfg *PrivBayesConfig) (sele
 // record count. This mirrors PrivBayes's synthetic-data sampling in
 // expectation without the sampling variance.
 func PrivBayes(h *kernel.Handle, eps float64, cfg PrivBayesConfig) ([]float64, error) {
-	net, _, y, _, total, err := privBayesMeasure(h, eps, &cfg)
-	if err != nil {
-		return nil, err
-	}
-	return privBayesProductForm(cfg.Shape, net, y, total), nil
+	return PrivBayesGraph(eps, cfg).Execute(h)
 }
 
-// PrivBayesLS is plan #17: identical selection and measurement, with the
-// product-form inference replaced by generic least squares.
+// PrivBayesLSGraph is plan #17 as an operator graph ("SPB LM LS"):
+// identical selection and measurement, with the product-form inference
+// replaced by generic least squares.
+func PrivBayesLSGraph(eps float64, cfg PrivBayesConfig) *ops.Graph {
+	cfg.fill()
+	return ops.New("PrivBayesLS").Add(
+		privBayesSelect(eps, cfg),
+		ops.Laplace(cfg.EpsMeasureShare*eps),
+		ops.LS(cfg.Solver),
+	)
+}
+
+// PrivBayesLS is plan #17: see PrivBayesLSGraph.
 func PrivBayesLS(h *kernel.Handle, eps float64, cfg PrivBayesConfig) ([]float64, error) {
-	_, m, y, scale, _, err := privBayesMeasure(h, eps, &cfg)
-	if err != nil {
-		return nil, err
-	}
-	ms := inference.NewMeasurements(h.Domain())
-	ms.Add(m, y, scale)
-	return ms.LeastSquares(cfg.Solver), nil
+	return PrivBayesLSGraph(eps, cfg).Execute(h)
 }
 
 // privBayesProductForm reconstructs the joint estimate

@@ -3,10 +3,43 @@ package plans
 import (
 	"math/rand/v2"
 
+	"repro/internal/core/ops"
 	"repro/internal/core/partition"
 	"repro/internal/kernel"
 	"repro/internal/mat"
 )
+
+const reductionVar = "reduction.partition"
+
+// WorkloadReductionGraph wraps any plan with the §8 workload-based
+// domain reduction as an operator graph ("PW TR SUB"): the lossless
+// partition P is computed from the workload alone (no budget, PW), the
+// protected vector is reduced inside the kernel (1-stable, TR), the
+// wrapped subplan runs on the reduced domain (SUB), and the workload
+// answers are produced through the reduced workload W·P⁺. The partition
+// is left in env.Vars under the "reduction.partition" key.
+func WorkloadReductionGraph(
+	w mat.Matrix,
+	rng *rand.Rand,
+	plan func(h *kernel.Handle) ([]float64, error),
+) *ops.Graph {
+	return ops.New("WorkloadReduction").Add(
+		ops.PartitionOp{Name: "PW", Split: func(env *ops.Env) error {
+			env.Vars[reductionVar] = partition.WorkloadBased(w, rng, 2)
+			return nil
+		}},
+		reduceByPartitionVar(reductionVar),
+		ops.MetaOp{Name: "SUB", Do: func(env *ops.Env) error {
+			xr, err := plan(env.H)
+			if err != nil {
+				return err
+			}
+			p := env.Vars[reductionVar].(partition.Partition)
+			env.X = mat.Mul(p.ReduceWorkload(w), xr)
+			return nil
+		}},
+	)
+}
 
 // WithWorkloadReduction wraps any plan with the §8 workload-based
 // domain reduction: the lossless partition P is computed from the
@@ -23,12 +56,10 @@ func WithWorkloadReduction(
 	rng *rand.Rand,
 	plan func(h *kernel.Handle) ([]float64, error),
 ) (answers []float64, p partition.Partition, err error) {
-	p = partition.WorkloadBased(w, rng, 2)
-	reduced := h.ReduceByPartition(p.Matrix())
-	xr, err := plan(reduced)
-	if err != nil {
-		return nil, p, err
+	env := ops.NewEnv(h)
+	answers, err = WorkloadReductionGraph(w, rng, plan).ExecuteEnv(env)
+	if pv, ok := env.Vars[reductionVar].(partition.Partition); ok {
+		p = pv
 	}
-	wReduced := p.ReduceWorkload(w)
-	return mat.Mul(wReduced, xr), p, nil
+	return answers, p, err
 }

@@ -1,7 +1,7 @@
 package plans
 
 import (
-	"repro/internal/core/inference"
+	"repro/internal/core/ops"
 	"repro/internal/core/partition"
 	"repro/internal/core/selection"
 	"repro/internal/kernel"
@@ -17,20 +17,33 @@ import (
 // over the disjoint split), and close with one global least-squares
 // inference over all measurements.
 
+// stripeSplit is the PS partition-selection operator: split the domain
+// into 1-D stripes along dim.
+func stripeSplit(shape []int, dim int) ops.PartitionOp {
+	return ops.PartitionOp{Name: "PS", Split: func(env *ops.Env) error {
+		p := partition.Stripe(shape, dim)
+		env.Subs = env.H.SplitByPartition(p.Groups, p.K)
+		return nil
+	}}
+}
+
+// HBStripedGraph is plan #15 as an operator graph ("PS TP[ SHB LM ] LS").
+func HBStripedGraph(shape []int, dim int, eps float64, opts solver.Options) *ops.Graph {
+	strategy := selection.HB(shape[dim]) // data-independent: shared by all stripes
+	body := ops.New("hbstriped.stripe").Add(
+		ops.SelectOp{Name: "SHB", Choose: func(*ops.Env) (mat.Matrix, error) { return strategy, nil }},
+		ops.Laplace(eps),
+	)
+	return ops.New("HB-Striped").Add(
+		stripeSplit(shape, dim),
+		ops.ForEachOp{Body: body},
+		ops.LS(opts),
+	)
+}
+
 // HBStriped is plan #15: PS TP[SHB LM] LS.
 func HBStriped(h *kernel.Handle, shape []int, dim int, eps float64, opts solver.Options) ([]float64, error) {
-	p := partition.Stripe(shape, dim)
-	subs := h.SplitByPartition(p.Groups, p.K)
-	ms := inference.NewMeasurements(h.Domain())
-	strategy := selection.HB(shape[dim]) // data-independent: shared by all stripes
-	for _, sub := range subs {
-		y, scale, err := sub.VectorLaplace(strategy, eps)
-		if err != nil {
-			return nil, err
-		}
-		ms.Add(sub.MapTo(h, strategy), y, scale)
-	}
-	return ms.LeastSquares(opts), nil
+	return HBStripedGraph(shape, dim, eps, opts).Execute(h)
 }
 
 // DAWAStripedConfig parameterizes plan #14.
@@ -47,49 +60,54 @@ type DAWAStripedConfig struct {
 	Solver solver.Options
 }
 
-// DAWAStriped is plan #14: PS TP[PD TR SG LM] LS. Unlike HB-Striped the
-// subplan is data-dependent, so each stripe may select different
-// measurements.
-func DAWAStriped(h *kernel.Handle, shape []int, dim int, eps float64, cfg DAWAStripedConfig) ([]float64, error) {
+// DAWAStripedGraph is plan #14 as an operator graph
+// ("PS TP[ PD TR SG LM ] LS"). Unlike HB-Striped the subplan is
+// data-dependent, so each stripe may select different measurements.
+func DAWAStripedGraph(shape []int, dim int, eps float64, cfg DAWAStripedConfig) *ops.Graph {
 	if cfg.Rho <= 0 || cfg.Rho >= 1 {
 		cfg.Rho = 0.25
 	}
 	if cfg.MaxBucket <= 0 {
 		cfg.MaxBucket = 1024
 	}
-	p := partition.Stripe(shape, dim)
-	subs := h.SplitByPartition(p.Groups, p.K)
-	ms := inference.NewMeasurements(h.Domain())
 	eps1, eps2 := cfg.Rho*eps, (1-cfg.Rho)*eps
-	stripeLen := shape[dim]
 	stripeWL := cfg.StripeWorkload
 	if stripeWL == nil {
-		stripeWL = identityRanges(stripeLen)
+		stripeWL = identityRanges(shape[dim])
 	}
-	for _, sub := range subs {
-		noisy, _, err := sub.VectorLaplace(selection.Identity(stripeLen), eps1)
-		if err != nil {
-			return nil, err
-		}
-		sp := partition.DawaL1Partition(noisy, eps2, cfg.MaxBucket)
-		reduced := sub.ReduceByPartition(sp.Matrix())
-		strategy := selection.GreedyH(sp.K, mapRangesToPartition(stripeWL, sp))
-		y, scale, err := reduced.VectorLaplace(strategy, eps2)
-		if err != nil {
-			return nil, err
-		}
-		ms.Add(reduced.MapTo(h, strategy), y, scale)
-	}
-	return ms.LeastSquares(cfg.Solver), nil
+	body := ops.New("dawastriped.stripe").Add(
+		dawaPartition(eps1, eps2, cfg.MaxBucket),
+		reduceByStoredPartition(),
+		dawaGreedyH(stripeWL),
+		ops.Laplace(eps2),
+	)
+	return ops.New("DAWA-Striped").Add(
+		stripeSplit(shape, dim),
+		ops.ForEachOp{Body: body},
+		ops.LS(cfg.Solver),
+	)
 }
 
-// HBStripedKron is plan #16: SS LM LS — the non-iterative alternative to
-// HB-Striped that expresses the identical global measurement set as a
-// single Kronecker product (HB on the striped dimension, Identity
-// elsewhere) and measures it in one Laplace call.
+// DAWAStriped is plan #14: PS TP[PD TR SG LM] LS.
+func DAWAStriped(h *kernel.Handle, shape []int, dim int, eps float64, cfg DAWAStripedConfig) ([]float64, error) {
+	return DAWAStripedGraph(shape, dim, eps, cfg).Execute(h)
+}
+
+// HBStripedKronGraph is plan #16 as an operator graph ("SS LM LS"): the
+// non-iterative alternative to HB-Striped that expresses the identical
+// global measurement set as a single Kronecker product (HB on the
+// striped dimension, Identity elsewhere) and measures it in one Laplace
+// call.
+func HBStripedKronGraph(shape []int, dim int, eps float64, opts solver.Options) *ops.Graph {
+	sel := ops.SelectOp{Name: "SS", Choose: func(*ops.Env) (mat.Matrix, error) {
+		return selection.StripeKron(shape, dim, selection.HB), nil
+	}}
+	return measureLSGraph("HB-Striped_kron", sel, eps, opts)
+}
+
+// HBStripedKron is plan #16: SS LM LS.
 func HBStripedKron(h *kernel.Handle, shape []int, dim int, eps float64, opts solver.Options) ([]float64, error) {
-	m := selection.StripeKron(shape, dim, selection.HB)
-	return measureLS(h, m, eps, opts)
+	return HBStripedKronGraph(shape, dim, eps, opts).Execute(h)
 }
 
 // StripeWorkloadAnswer is a convenience for evaluating a workload W on a

@@ -1,0 +1,185 @@
+package experiments
+
+// Serve load benchmark: drives the ektelo-serve HTTP front end with 1
+// vs N parallel clients issuing range-workload queries against one warm
+// dataset, and records requests/sec plus the batching tier's coalescing
+// behavior. The single-client row is the baseline; the N-client rows
+// show how far the session-safe kernel, the per-dataset batcher and the
+// MatMat panel pass carry concurrent throughput. Results feed
+// cmd/ektelo-bench's JSON output (BENCH_3.json).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/serve"
+)
+
+// ServeBenchRecord is one client-level measurement.
+type ServeBenchRecord struct {
+	Clients           int     `json:"clients"`
+	Requests          int     `json:"requests"`
+	QueriesPerRequest int     `json:"queries_per_request"`
+	TotalNs           int64   `json:"total_ns"`
+	ReqPerSec         float64 `json:"req_per_sec"`
+	// AvgBatchClients is the mean number of client requests sharing one
+	// answering panel — 1.0 means no coalescing, higher means the
+	// batcher is amortizing MatMat passes across clients.
+	AvgBatchClients float64 `json:"avg_batch_clients"`
+	SpeedupVs1      float64 `json:"speedup_vs_1_client,omitempty"`
+}
+
+// ServeBenchReport is the full serve benchmark output plus hardware
+// context.
+type ServeBenchReport struct {
+	GoVersion  string             `json:"go_version"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	Domain     int                `json:"domain"`
+	Records    []ServeBenchRecord `json:"records"`
+}
+
+const (
+	serveBenchDomain   = 2048
+	serveBenchRequests = 300 // total requests per client level
+	serveBenchQueries  = 8   // ranges per request
+)
+
+// ServeBench runs the load experiment at 1 client and each requested
+// parallel level, against a real HTTP server on the loopback interface.
+func ServeBench(clientLevels []int) ServeBenchReport {
+	rep := ServeBenchReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Domain:     serveBenchDomain,
+	}
+
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	d, err := s.CreateDataset("bench", "piecewise", serveBenchDomain, 1e6, 7, 100)
+	if err != nil {
+		panic(err)
+	}
+	// Warm state: a hierarchical and an identity measurement, and one
+	// query to force the first CGLSMulti panel solve out of the timing.
+	if _, err := d.Measure("hb", 1); err != nil {
+		panic(err)
+	}
+	if _, err := d.Measure("identity", 1); err != nil {
+		panic(err)
+	}
+	if _, err := d.Query([]mat.Range1D{{Lo: 0, Hi: serveBenchDomain - 1}}); err != nil {
+		panic(err)
+	}
+
+	levels := []int{1}
+	for _, c := range clientLevels {
+		if c > 1 {
+			levels = append(levels, c)
+		}
+	}
+	var base float64
+	for _, clients := range levels {
+		rec := serveBenchLevel(ts.URL, clients)
+		if clients == 1 {
+			base = rec.ReqPerSec
+		} else if base > 0 {
+			rec.SpeedupVs1 = rec.ReqPerSec / base
+		}
+		rep.Records = append(rep.Records, rec)
+	}
+	return rep
+}
+
+// serveBenchLevel fires serveBenchRequests total requests from the
+// given number of parallel clients and measures wall-clock throughput.
+func serveBenchLevel(url string, clients int) ServeBenchRecord {
+	perClient := serveBenchRequests / clients
+	total := perClient * clients
+	bodies := make([][]byte, clients)
+	for c := range bodies {
+		ranges := make([][2]int, serveBenchQueries)
+		for q := range ranges {
+			lo := (c*131 + q*257) % (serveBenchDomain - 64)
+			ranges[q] = [2]int{lo, lo + 63}
+		}
+		b, err := json.Marshal(map[string]any{"ranges": ranges})
+		if err != nil {
+			panic(err)
+		}
+		bodies[c] = b
+	}
+
+	var mu sync.Mutex
+	var batchClientsSum float64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			var local float64
+			for i := 0; i < perClient; i++ {
+				resp, err := client.Post(url+"/v1/datasets/bench/query", "application/json", bytes.NewReader(bodies[c]))
+				if err != nil {
+					panic(err)
+				}
+				var res struct {
+					BatchClients int `json:"batch_clients"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+					panic(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("serve bench: status %d", resp.StatusCode))
+				}
+				local += float64(res.BatchClients)
+			}
+			mu.Lock()
+			batchClientsSum += local
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return ServeBenchRecord{
+		Clients:           clients,
+		Requests:          total,
+		QueriesPerRequest: serveBenchQueries,
+		TotalNs:           elapsed.Nanoseconds(),
+		ReqPerSec:         float64(total) / elapsed.Seconds(),
+		AvgBatchClients:   batchClientsSum / float64(total),
+	}
+}
+
+// ServeBenchString renders the report as a table.
+func ServeBenchString(rep ServeBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serve load (%s, GOMAXPROCS=%d, NumCPU=%d, domain %d, %d queries/request)\n",
+		rep.GoVersion, rep.GoMaxProcs, rep.NumCPU, rep.Domain, serveBenchQueries)
+	fmt.Fprintf(&b, "%8s %10s %12s %16s %12s\n", "clients", "requests", "req/sec", "avg batch size", "speedup")
+	for _, r := range rep.Records {
+		speed := ""
+		if r.SpeedupVs1 > 0 {
+			speed = fmt.Sprintf("%.2fx", r.SpeedupVs1)
+		}
+		fmt.Fprintf(&b, "%8d %10d %12.0f %16.2f %12s\n",
+			r.Clients, r.Requests, r.ReqPerSec, r.AvgBatchClients, speed)
+	}
+	return b.String()
+}

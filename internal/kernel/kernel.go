@@ -8,6 +8,23 @@
 // Client code holds only opaque *Handle values; the raw table and vector
 // state never leaves the kernel except through noisy Private→Public
 // operators (NoisyCount, VectorLaplace, WorstApprox, NoisyMax).
+//
+// # Sessions and concurrency
+//
+// The kernel is service-grade: any number of client sessions may drive
+// one kernel concurrently. Each *Session owns an independent RNG stream
+// (derived from a root rand/v2 source, so runs are reproducible per
+// session), while the shared transformation graph, budget trackers and
+// query history live behind the kernel mutex. Every Private→Public
+// operator commits its Algorithm 2 charge and history record in one
+// critical section, so budget accounting is linearizable across
+// sessions: interleaved requests behave as if executed in some serial
+// order, and the global budget can never be overdrawn by a race.
+//
+// A Session (and the handles bound to it) must be used by one goroutine
+// at a time; distinct sessions are safe concurrently. Handles returned
+// by the Init functions are bound to the root session; Session.Bind
+// rebinds any handle to another session without touching kernel state.
 package kernel
 
 import (
@@ -15,6 +32,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/mat"
@@ -34,7 +52,9 @@ const (
 	kindPartition // dummy partition variable (paper §4.4)
 )
 
-// node is one data-source variable in the transformation graph.
+// node is one data-source variable in the transformation graph. All
+// fields except budget are immutable once the node is published by
+// addNode; budget is guarded by the kernel mutex.
 type node struct {
 	id        int
 	parent    int // -1 for the root
@@ -53,10 +73,16 @@ type node struct {
 	edgeFrom int
 }
 
-// Kernel is the protected kernel state (paper §4.4, S_kernel).
+// Kernel is the protected kernel state (paper §4.4, S_kernel). The
+// mutex guards the node slice, every node's budget, the history log and
+// the session-seed source; see the package comment for the concurrency
+// contract.
 type Kernel struct {
 	epsTotal float64
-	rng      *rand.Rand
+	mu       sync.Mutex
+	seedSrc  *rand.Rand // derives per-session RNG streams; guarded by mu
+	sessions int        // number of sessions created, for Session ids
+	rootSess *Session   // the session created by Init; immutable
 	nodes    []*node
 	history  []QueryRecord
 }
@@ -68,42 +94,112 @@ type QueryRecord struct {
 	Kind    string
 }
 
-// Handle is a client-visible reference to a protected data source.
+// Handle is a client-visible reference to a protected data source,
+// bound to the session whose RNG stream and accounting it uses.
 type Handle struct {
-	k  *Kernel
+	s  *Session
 	id int
 }
 
 // InitTable initializes a kernel protecting the given table with global
-// budget epsTotal (paper Init(T, ε_tot)).
+// budget epsTotal (paper Init(T, ε_tot)). The returned handle is bound
+// to the root session, whose noise stream is the provided rng.
 func InitTable(t *dataset.Table, epsTotal float64, rng *rand.Rand) (*Kernel, *Handle) {
-	k := &Kernel{epsTotal: epsTotal, rng: rng}
-	id := k.addNode(&node{parent: -1, kind: kindTable, table: t, stability: 1, edgeFrom: -1})
-	return k, &Handle{k: k, id: id}
+	k := newKernel(epsTotal, rng, nextKernelSeed(), nextKernelSeed())
+	id := k.addNodeLocked(&node{parent: -1, kind: kindTable, table: t, stability: 1, edgeFrom: -1})
+	return k, &Handle{s: k.rootSession(), id: id}
 }
 
 // InitVector initializes a kernel protecting a data vector directly,
 // a convenience for plans that operate purely on vectorized data.
 func InitVector(x []float64, epsTotal float64, rng *rand.Rand) (*Kernel, *Handle) {
-	k := &Kernel{epsTotal: epsTotal, rng: rng}
-	id := k.addNode(&node{parent: -1, kind: kindVector, vector: x, stability: 1, edgeFrom: -1})
-	return k, &Handle{k: k, id: id}
+	k := newKernel(epsTotal, rng, nextKernelSeed(), nextKernelSeed())
+	id := k.addNodeLocked(&node{parent: -1, kind: kindVector, vector: x, stability: 1, edgeFrom: -1})
+	return k, &Handle{s: k.rootSession(), id: id}
 }
 
+// InitTableSeeded is InitTable with all randomness — the root session's
+// noise stream and the seed source that forks NewSession streams —
+// derived deterministically from one seed, so a fixed session-creation
+// order replays every session's noise bit-identically.
+func InitTableSeeded(t *dataset.Table, epsTotal float64, seed uint64) (*Kernel, *Handle) {
+	k := newKernel(epsTotal, noise.NewRand(seed), seed^seedSaltA, seed^seedSaltB)
+	id := k.addNodeLocked(&node{parent: -1, kind: kindTable, table: t, stability: 1, edgeFrom: -1})
+	return k, &Handle{s: k.rootSession(), id: id}
+}
+
+// InitVectorSeeded is InitVector with all randomness derived from one
+// seed (see InitTableSeeded).
+func InitVectorSeeded(x []float64, epsTotal float64, seed uint64) (*Kernel, *Handle) {
+	k := newKernel(epsTotal, noise.NewRand(seed), seed^seedSaltA, seed^seedSaltB)
+	id := k.addNodeLocked(&node{parent: -1, kind: kindVector, vector: x, stability: 1, edgeFrom: -1})
+	return k, &Handle{s: k.rootSession(), id: id}
+}
+
+const (
+	seedSaltA = 0x6a09e667f3bcc908 // session seed-source salts (√2, √3 words)
+	seedSaltB = 0xbb67ae8584caa73b
+)
+
+// newKernel builds the kernel shell and its root session. The session
+// seed source must not consume draws from the caller's rng (existing
+// single-session runs replay bit-identically), so it is seeded
+// separately: from the caller's seed in the *Seeded constructors, or
+// from a process-unique counter in the legacy rng constructors.
+func newKernel(epsTotal float64, rng *rand.Rand, s1, s2 uint64) *Kernel {
+	k := &Kernel{epsTotal: epsTotal}
+	k.seedSrc = rand.New(rand.NewPCG(s1, s2))
+	k.sessions = 1
+	k.rootSess = &Session{k: k, id: 0, rng: rng}
+	return k
+}
+
+// rootSession returns the session created by Init.
+func (k *Kernel) rootSession() *Session { return k.rootSess }
+
+func (k *Kernel) addNodeLocked(n *node) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.addNode(n)
+}
+
+// addNode publishes a node; the caller must hold k.mu.
 func (k *Kernel) addNode(n *node) int {
 	n.id = len(k.nodes)
 	k.nodes = append(k.nodes, n)
 	return n.id
 }
 
+// nodeByID fetches a node pointer under the lock. The returned node's
+// immutable fields may be read without the lock afterwards.
+func (k *Kernel) nodeByID(id int) *node {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.nodes[id]
+}
+
 // Remaining returns the unconsumed portion of the global budget.
-func (k *Kernel) Remaining() float64 { return k.epsTotal - k.nodes[0].budget }
+func (k *Kernel) Remaining() float64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.epsTotal - k.nodes[0].budget
+}
 
 // Consumed returns the budget consumed at the root (total privacy loss).
-func (k *Kernel) Consumed() float64 { return k.nodes[0].budget }
+func (k *Kernel) Consumed() float64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.nodes[0].budget
+}
 
-// History returns a copy of the query history.
+// EpsTotal returns the kernel's global budget (public metadata).
+func (k *Kernel) EpsTotal() float64 { return k.epsTotal }
+
+// History returns a defensive copy of the query history, taken under
+// the kernel lock so concurrent readers never observe torn state.
 func (k *Kernel) History() []QueryRecord {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	return append([]QueryRecord(nil), k.history...)
 }
 
@@ -121,9 +217,11 @@ type NodeState struct {
 	Domain    int // vector length, or -1 for non-vector nodes
 }
 
-// Nodes returns the bookkeeping snapshot of the whole transformation
-// graph in creation order.
+// Nodes returns a defensive snapshot of the whole transformation graph
+// in creation order, taken atomically under the kernel lock.
 func (k *Kernel) Nodes() []NodeState {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	out := make([]NodeState, len(k.nodes))
 	for i, n := range k.nodes {
 		kind := "vector"
@@ -149,6 +247,8 @@ const budgetSlack = 1e-9 // absorbs float accumulation in repeated requests
 
 // request implements the paper's Algorithm 2. fromChild is the node from
 // which the request arrived (-1 when sv itself is queried directly).
+// The caller must hold k.mu; the whole recursion runs in one critical
+// section, which is what makes interleaved session charges linearizable.
 func (k *Kernel) request(id, fromChild int, sigma float64) bool {
 	n := k.nodes[id]
 	switch {
@@ -180,12 +280,30 @@ func (k *Kernel) request(id, fromChild int, sigma float64) bool {
 	}
 }
 
+// charge runs Algorithm 2 for a direct query on node id and, on
+// success, attributes the root-budget delta to the session and appends
+// the history record — one atomic commit per Private→Public operator.
+func (k *Kernel) charge(s *Session, id int, eps float64, kind string) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	before := k.nodes[0].budget
+	if !k.request(id, -1, eps) {
+		return false
+	}
+	s.consumed += k.nodes[0].budget - before
+	k.history = append(k.history, QueryRecord{Source: id, Epsilon: eps, Kind: kind})
+	return true
+}
+
 // Stability returns the stability of the node's deriving transform.
-func (h *Handle) Stability() float64 { return h.k.nodes[h.id].stability }
+func (h *Handle) Stability() float64 { return h.kernel().nodeByID(h.id).stability }
+
+// kernel returns the owning kernel.
+func (h *Handle) kernel() *Kernel { return h.s.k }
 
 // node fetches the handle's node with kind validation.
 func (h *Handle) node(want sourceKind) *node {
-	n := h.k.nodes[h.id]
+	n := h.kernel().nodeByID(h.id)
 	if n.kind != want {
 		panic(fmt.Sprintf("kernel: handle %d has kind %d, operator requires %d", h.id, n.kind, want))
 	}
@@ -195,6 +313,13 @@ func (h *Handle) node(want sourceKind) *node {
 // Domain returns the length of a vector source; it is public metadata.
 func (h *Handle) Domain() int { return len(h.node(kindVector).vector) }
 
+// derive publishes a child node and returns its handle, bound to the
+// same session as the parent handle.
+func (h *Handle) derive(n *node) *Handle {
+	id := h.kernel().addNodeLocked(n)
+	return &Handle{s: h.s, id: id}
+}
+
 // ---------------------------------------------------------------------
 // Transformation operators (Private: act on protected state, return only
 // acknowledgement via a new handle).
@@ -203,15 +328,13 @@ func (h *Handle) Domain() int { return len(h.node(kindVector).vector) }
 // Where applies a predicate filter to a table source (1-stable).
 func (h *Handle) Where(p dataset.Predicate) *Handle {
 	n := h.node(kindTable)
-	id := h.k.addNode(&node{parent: h.id, kind: kindTable, table: n.table.Where(p), stability: 1, edgeFrom: -1})
-	return &Handle{k: h.k, id: id}
+	return h.derive(&node{parent: h.id, kind: kindTable, table: n.table.Where(p), stability: 1, edgeFrom: -1})
 }
 
 // Select projects a table source onto the named attributes (1-stable).
 func (h *Handle) Select(names ...string) *Handle {
 	n := h.node(kindTable)
-	id := h.k.addNode(&node{parent: h.id, kind: kindTable, table: n.table.Select(names...), stability: 1, edgeFrom: -1})
-	return &Handle{k: h.k, id: id}
+	return h.derive(&node{parent: h.id, kind: kindTable, table: n.table.Select(names...), stability: 1, edgeFrom: -1})
 }
 
 // SplitTableByPartition splits a table source into disjoint sub-tables
@@ -222,11 +345,14 @@ func (h *Handle) Select(names ...string) *Handle {
 func (h *Handle) SplitTableByPartition(attr string, groups []int, numGroups int) []*Handle {
 	n := h.node(kindTable)
 	parts := n.table.SplitByPartition(attr, groups, numGroups)
-	dummy := h.k.addNode(&node{parent: h.id, kind: kindPartition, stability: 1, edgeFrom: -1})
+	k := h.kernel()
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	dummy := k.addNode(&node{parent: h.id, kind: kindPartition, stability: 1, edgeFrom: -1})
 	out := make([]*Handle, numGroups)
 	for g, sub := range parts {
-		id := h.k.addNode(&node{parent: dummy, kind: kindTable, table: sub, stability: 1, edgeFrom: -1})
-		out[g] = &Handle{k: h.k, id: id}
+		id := k.addNode(&node{parent: dummy, kind: kindTable, table: sub, stability: 1, edgeFrom: -1})
+		out[g] = &Handle{s: h.s, id: id}
 	}
 	return out
 }
@@ -251,8 +377,7 @@ func (h *Handle) GroupBy(attr string) *Handle {
 			grouped.Append(v)
 		}
 	}
-	id := h.k.addNode(&node{parent: h.id, kind: kindTable, table: grouped, stability: 2, edgeFrom: -1})
-	return &Handle{k: h.k, id: id}
+	return h.derive(&node{parent: h.id, kind: kindTable, table: grouped, stability: 2, edgeFrom: -1})
 }
 
 // VectorGeometric answers the query set M with the two-sided geometric
@@ -269,14 +394,13 @@ func (h *Handle) VectorGeometric(m mat.Matrix, eps float64) (answers []float64, 
 	if mc != len(n.vector) {
 		return nil, 0, fmt.Errorf("kernel: VectorGeometric matrix cols %d != domain %d", mc, len(n.vector))
 	}
-	if !h.k.request(h.id, -1, eps) {
+	if !h.kernel().charge(h.s, h.id, eps, "VectorGeometric") {
 		return nil, 0, ErrBudgetExceeded
 	}
 	sens := mat.L1Sensitivity(m)
-	h.k.history = append(h.k.history, QueryRecord{Source: h.id, Epsilon: eps, Kind: "VectorGeometric"})
 	y := mat.Mul(m, n.vector)
 	for i := range y {
-		y[i] += float64(noise.TwoSidedGeometric(h.k.rng, eps, sens))
+		y[i] += float64(noise.TwoSidedGeometric(h.s.rng, eps, sens))
 	}
 	// Var of the two-sided geometric with alpha = exp(-eps/sens) is
 	// 2*alpha/(1-alpha)^2; report the std dev as the scale.
@@ -290,8 +414,7 @@ func (h *Handle) VectorGeometric(m mat.Matrix, eps float64) (answers []float64, 
 // lineage root: measurements on its descendants map back to this domain.
 func (h *Handle) Vectorize() *Handle {
 	n := h.node(kindTable)
-	id := h.k.addNode(&node{parent: h.id, kind: kindVector, vector: n.table.Vectorize(), stability: 1, edgeFrom: -1})
-	return &Handle{k: h.k, id: id}
+	return h.derive(&node{parent: h.id, kind: kindVector, vector: n.table.Vectorize(), stability: 1, edgeFrom: -1})
 }
 
 // TableSchema exposes the schema of a table source (public metadata).
@@ -307,8 +430,7 @@ func (h *Handle) ReduceByPartition(p mat.Matrix) *Handle {
 		panic(fmt.Sprintf("kernel: partition matrix %dx%d does not match domain %d", pr, pc, len(n.vector)))
 	}
 	reduced := mat.Mul(p, n.vector)
-	id := h.k.addNode(&node{parent: h.id, kind: kindVector, vector: reduced, stability: 1, edge: p, edgeFrom: h.id})
-	return &Handle{k: h.k, id: id}
+	return h.derive(&node{parent: h.id, kind: kindVector, vector: reduced, stability: 1, edge: p, edgeFrom: h.id})
 }
 
 // Transform applies a general linear vector transform M (x' = M·x). Its
@@ -321,8 +443,7 @@ func (h *Handle) Transform(m mat.Matrix) *Handle {
 		panic("kernel: transform matrix does not match domain")
 	}
 	stability := mat.L1Sensitivity(m)
-	id := h.k.addNode(&node{parent: h.id, kind: kindVector, vector: mat.Mul(m, n.vector), stability: stability, edge: m, edgeFrom: h.id})
-	return &Handle{k: h.k, id: id}
+	return h.derive(&node{parent: h.id, kind: kindVector, vector: mat.Mul(m, n.vector), stability: stability, edge: m, edgeFrom: h.id})
 }
 
 // SplitByPartition applies V-SplitByPartition: the data vector is split
@@ -335,7 +456,6 @@ func (h *Handle) SplitByPartition(groups []int, numGroups int) []*Handle {
 	if len(groups) != len(n.vector) {
 		panic("kernel: SplitByPartition group map size mismatch")
 	}
-	dummy := h.k.addNode(&node{parent: h.id, kind: kindPartition, stability: 1})
 	// Collect the cell indices of each group, in domain order.
 	members := make([][]int, numGroups)
 	for i, g := range groups {
@@ -347,6 +467,10 @@ func (h *Handle) SplitByPartition(groups []int, numGroups int) []*Handle {
 		}
 		members[g] = append(members[g], i)
 	}
+	k := h.kernel()
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	dummy := k.addNode(&node{parent: h.id, kind: kindPartition, stability: 1})
 	out := make([]*Handle, numGroups)
 	for g, cells := range members {
 		sub := make([]float64, len(cells))
@@ -358,8 +482,8 @@ func (h *Handle) SplitByPartition(groups []int, numGroups int) []*Handle {
 		sel := mat.NewSparse(len(cells), len(n.vector), entries)
 		// The edge skips the partition dummy: it maps from the vector
 		// node being split.
-		id := h.k.addNode(&node{parent: dummy, kind: kindVector, vector: sub, stability: 1, edge: sel, edgeFrom: h.id})
-		out[g] = &Handle{k: h.k, id: id}
+		id := k.addNode(&node{parent: dummy, kind: kindVector, vector: sub, stability: 1, edge: sel, edgeFrom: h.id})
+		out[g] = &Handle{s: h.s, id: id}
 	}
 	return out
 }
@@ -368,15 +492,18 @@ func (h *Handle) SplitByPartition(groups []int, numGroups int) []*Handle {
 // root to this vector source's domain (x_this = L·x_root), or nil when
 // the source is itself a root.
 func (h *Handle) Lineage() mat.Matrix {
-	n := h.k.nodes[h.id]
+	k := h.kernel()
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	n := k.nodes[h.id]
 	if n.edge == nil {
 		return nil
 	}
 	l := n.edge
-	cur := h.k.nodes[n.edgeFrom]
+	cur := k.nodes[n.edgeFrom]
 	for cur.edge != nil {
 		l = mat.Product(l, cur.edge)
-		cur = h.k.nodes[cur.edgeFrom]
+		cur = k.nodes[cur.edgeFrom]
 	}
 	return l
 }
@@ -397,14 +524,17 @@ func (h *Handle) MapToRoot(m mat.Matrix) mat.Matrix {
 // Plans use it to run inference relative to whatever vector handle they
 // were given, not necessarily the global vectorize root.
 func (h *Handle) MapTo(anc *Handle, m mat.Matrix) mat.Matrix {
-	if h.k != anc.k {
+	k := h.kernel()
+	if k != anc.kernel() {
 		panic("kernel: MapTo across kernels")
 	}
 	if h.id == anc.id {
 		return m
 	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	out := m
-	cur := h.k.nodes[h.id]
+	cur := k.nodes[h.id]
 	for {
 		if cur.edge == nil {
 			panic(fmt.Sprintf("kernel: node %d is not derived from node %d", h.id, anc.id))
@@ -413,7 +543,7 @@ func (h *Handle) MapTo(anc *Handle, m mat.Matrix) mat.Matrix {
 		if cur.edgeFrom == anc.id {
 			return out
 		}
-		cur = h.k.nodes[cur.edgeFrom]
+		cur = k.nodes[cur.edgeFrom]
 	}
 }
 
@@ -427,11 +557,10 @@ func (h *Handle) NoisyCount(eps float64) (float64, error) {
 	if eps <= 0 {
 		return 0, fmt.Errorf("kernel: NoisyCount requires positive eps, got %g", eps)
 	}
-	if !h.k.request(h.id, -1, eps) {
+	if !h.kernel().charge(h.s, h.id, eps, "NoisyCount") {
 		return 0, ErrBudgetExceeded
 	}
-	h.k.history = append(h.k.history, QueryRecord{Source: h.id, Epsilon: eps, Kind: "NoisyCount"})
-	return float64(n.table.NumRows()) + noise.Laplace(h.k.rng, 1/eps), nil
+	return float64(n.table.NumRows()) + noise.Laplace(h.s.rng, 1/eps), nil
 }
 
 // VectorLaplace answers the query set M on a vector source with the
@@ -448,15 +577,14 @@ func (h *Handle) VectorLaplace(m mat.Matrix, eps float64) (answers []float64, no
 	if mc != len(n.vector) {
 		return nil, 0, fmt.Errorf("kernel: VectorLaplace matrix cols %d != domain %d", mc, len(n.vector))
 	}
-	if !h.k.request(h.id, -1, eps) {
+	if !h.kernel().charge(h.s, h.id, eps, "VectorLaplace") {
 		return nil, 0, ErrBudgetExceeded
 	}
 	sens := mat.L1Sensitivity(m)
-	h.k.history = append(h.k.history, QueryRecord{Source: h.id, Epsilon: eps, Kind: "VectorLaplace"})
 	y := mat.Mul(m, n.vector)
 	scale := sens / eps
 	for i := range y {
-		y[i] += noise.Laplace(h.k.rng, scale)
+		y[i] += noise.Laplace(h.s.rng, scale)
 	}
 	return y, scale, nil
 }
@@ -471,10 +599,9 @@ func (h *Handle) WorstApprox(w mat.Matrix, est []float64, eps, rowSens float64) 
 	if eps <= 0 || rowSens <= 0 {
 		return 0, fmt.Errorf("kernel: WorstApprox requires positive eps and rowSens")
 	}
-	if !h.k.request(h.id, -1, eps) {
+	if !h.kernel().charge(h.s, h.id, eps, "WorstApprox") {
 		return 0, ErrBudgetExceeded
 	}
-	h.k.history = append(h.k.history, QueryRecord{Source: h.id, Epsilon: eps, Kind: "WorstApprox"})
 	// Answer the whole workload on both vectors at once: a two-column
 	// panel product is one pass over W instead of two full mat-vecs.
 	rows, _ := w.Dims()
@@ -487,7 +614,7 @@ func (h *Handle) WorstApprox(w mat.Matrix, est []float64, eps, rowSens float64) 
 		}
 		scores[i] = d
 	}
-	return noise.Exponential(h.k.rng, scores, eps, rowSens), nil
+	return noise.Exponential(h.s.rng, scores, eps, rowSens), nil
 }
 
 // NoisyMax privately selects the index with the (approximately) largest
@@ -499,10 +626,9 @@ func (h *Handle) NoisyMax(scoresOf func(x []float64) []float64, eps, sens float6
 	if eps <= 0 || sens <= 0 {
 		return 0, fmt.Errorf("kernel: NoisyMax requires positive eps and sens")
 	}
-	if !h.k.request(h.id, -1, eps) {
+	if !h.kernel().charge(h.s, h.id, eps, "NoisyMax") {
 		return 0, ErrBudgetExceeded
 	}
-	h.k.history = append(h.k.history, QueryRecord{Source: h.id, Epsilon: eps, Kind: "NoisyMax"})
 	scores := scoresOf(n.vector)
-	return noise.Exponential(h.k.rng, scores, eps, sens), nil
+	return noise.Exponential(h.s.rng, scores, eps, sens), nil
 }

@@ -367,8 +367,8 @@ func rangeGram(rq *RangeQueriesMat) *Dense {
 	d := len(rq.shape)
 	stride := 1
 	for k := d - 1; k >= 0; k-- {
-		suffixAxis(g.data, rq.shape[k], stride)   // column-index axis k
-		suffixAxis(g.data, rq.shape[k], stride*n) // row-index axis k
+		suffixAxisPar(g.data, rq.shape[k], stride, n)   // column-index axis k
+		suffixAxisPar(g.data, rq.shape[k], stride*n, n) // row-index axis k
 		stride *= rq.shape[k]
 	}
 	return g
@@ -385,6 +385,91 @@ func suffixAxis(x []float64, size, stride int) {
 			next := x[base+(idx+1)*stride : base+(idx+2)*stride]
 			for t, v := range next {
 				cur[t] += v
+			}
+		}
+	}
+}
+
+// suffixAxisPar is suffixAxis for the n×n Gram layout, parallelized
+// over independent outer blocks through the engine. The sequential
+// dependency of a suffix pass runs only along the summed axis, so the
+// n² cells split into independent lanes two ways:
+//
+//   - column-index axes (stride < n): every block lies inside one Gram
+//     row (size·stride divides n), so workers take disjoint row ranges;
+//   - row-index axes (stride a multiple of n): the pass adds whole
+//     row-groups, so workers take disjoint column ranges, each chunk
+//     still a contiguous add.
+//
+// Per-cell addition order is identical to the serial pass in both
+// splits, so parallel results are bit-identical. Each pass is one
+// streaming traversal of the n² cells; below the engine threshold the
+// serial loop runs unchanged.
+func suffixAxisPar(x []float64, size, stride, n int) {
+	if size < 2 {
+		return
+	}
+	if !parallelizable(len(x)) {
+		suffixAxis(x, size, stride)
+		return
+	}
+	grain := grainRows(n)
+	switch {
+	case stride < n && n%(size*stride) == 0:
+		t := newTask()
+		t.fn, t.dst = suffixColAxisKernel, x
+		t.args = [3]int{size, stride, n}
+		parRun(t, n, grain)
+		t.release()
+	case stride >= n && stride%n == 0:
+		t := newTask()
+		t.fn, t.dst = suffixRowAxisKernel, x
+		t.args = [3]int{size, stride, n}
+		parRun(t, n, grain)
+		t.release()
+	default:
+		suffixAxis(x, size, stride)
+	}
+}
+
+// suffixColAxisKernel runs a column-index-axis suffix pass over Gram
+// rows [lo, hi): each row contains n/(size·stride) independent blocks.
+func suffixColAxisKernel(t *task, _, lo, hi int) {
+	x := t.dst
+	size, stride, n := t.args[0], t.args[1], t.args[2]
+	block := size * stride
+	for r := lo; r < hi; r++ {
+		rowEnd := (r + 1) * n
+		for base := r * n; base < rowEnd; base += block {
+			for idx := size - 2; idx >= 0; idx-- {
+				cur := x[base+idx*stride : base+(idx+1)*stride]
+				next := x[base+(idx+1)*stride : base+(idx+2)*stride]
+				for t2, v := range next {
+					cur[t2] += v
+				}
+			}
+		}
+	}
+}
+
+// suffixRowAxisKernel runs a row-index-axis suffix pass restricted to
+// Gram columns [lo, hi): the stride is a multiple of n, so each
+// stride-length segment decomposes into whole Gram rows whose [lo, hi)
+// slices are updated independently of all other columns.
+func suffixRowAxisKernel(t *task, _, lo, hi int) {
+	x := t.dst
+	size, stride, n := t.args[0], t.args[1], t.args[2]
+	block := size * stride
+	w := hi - lo
+	for base := 0; base < len(x); base += block {
+		for idx := size - 2; idx >= 0; idx-- {
+			off := base + idx*stride
+			for sub := 0; sub < stride; sub += n {
+				cur := x[off+sub+lo : off+sub+lo+w]
+				next := x[off+stride+sub+lo : off+stride+sub+lo+w]
+				for t2, v := range next {
+					cur[t2] += v
+				}
 			}
 		}
 	}

@@ -1,0 +1,93 @@
+package mat
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// randomNDRanges draws m random axis-aligned boxes over shape.
+func randomNDRanges(shape []int, m int, rng *rand.Rand) []RangeND {
+	out := make([]RangeND, m)
+	for i := range out {
+		lo := make([]int, len(shape))
+		hi := make([]int, len(shape))
+		for k, s := range shape {
+			a, b := rng.IntN(s), rng.IntN(s)
+			if a > b {
+				a, b = b, a
+			}
+			lo[k], hi[k] = a, b
+		}
+		out[i] = RangeND{Lo: lo, Hi: hi}
+	}
+	return out
+}
+
+// TestRangeGramParallelMatchesSerial pins the engine-parallel suffix
+// passes of rangeGram against the serial path: the per-cell addition
+// order is unchanged by the row/column splits, so the results must be
+// bit-identical — for 1-D domains (row-axis passes span the whole
+// array), multi-dimensional domains (both pass kinds at several
+// strides), and shapes large enough to clear the engine threshold.
+func TestRangeGramParallelMatchesSerial(t *testing.T) {
+	defer SetParallelism(0)
+	rng := rand.New(rand.NewPCG(42, 43))
+	shapes := [][]int{
+		{256},
+		{16, 16},
+		{8, 8, 4},
+		{4, 8, 2}, // below the parallel threshold: serial on both sides
+	}
+	for _, shape := range shapes {
+		rq := NDRangeQueries(shape, randomNDRanges(shape, 40, rng))
+		SetParallelism(1)
+		want := Gram(rq)
+		SetParallelism(4)
+		got := Gram(rq)
+		r, c := want.Dims()
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("shape %v: G[%d,%d] = %v parallel, %v serial", shape, i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestSuffixAxisParFallbacks exercises the geometry guards directly:
+// a stride that does not divide the row length must fall back to the
+// serial pass and still produce correct suffix sums.
+func TestSuffixAxisParFallbacks(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(4)
+	n := 210 // size*stride = 20 does not divide n, forcing the serial fallback
+	x := make([]float64, n*n)
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	want := append([]float64(nil), x...)
+	suffixAxis(want, 4, 5)
+	suffixAxisPar(x, 4, 5, n)
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("fallback mismatch at %d", i)
+		}
+	}
+}
+
+func BenchmarkRangeGramSuffix(b *testing.B) {
+	shape := []int{64, 32}
+	rng := rand.New(rand.NewPCG(11, 12))
+	rq := NDRangeQueries(shape, randomNDRanges(shape, 256, rng))
+	for _, par := range []int{1, 4} {
+		b.Run(map[int]string{1: "par1", 4: "par4"}[par], func(b *testing.B) {
+			SetParallelism(par)
+			defer SetParallelism(0)
+			for i := 0; i < b.N; i++ {
+				_ = Gram(rq)
+			}
+		})
+	}
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core/plans"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// This file is the HTTP/JSON surface of the query service:
+//
+//	GET  /v1/plans                     — the Fig. 2 plan registry
+//	GET  /v1/strategies                — strategies Measure accepts
+//	GET  /v1/datasets                  — dataset summaries
+//	POST /v1/datasets                  — create a synthetic dataset
+//	GET  /v1/datasets/{name}           — one dataset's summary
+//	GET  /v1/datasets/{name}/budget    — remaining-budget report
+//	POST /v1/datasets/{name}/measure   — spend budget on a strategy
+//	POST /v1/datasets/{name}/query     — answer a range workload
+//
+// Concurrent clients are first-class: measurement runs in per-request
+// kernel sessions, and query workloads are coalesced into shared panel
+// products by the per-dataset batcher.
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/plans", s.handlePlans)
+	mux.HandleFunc("GET /v1/strategies", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"strategies": Strategies()})
+	})
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.withDataset(s.handleSummary))
+	mux.HandleFunc("GET /v1/datasets/{name}/budget", s.withDataset(s.handleBudget))
+	mux.HandleFunc("POST /v1/datasets/{name}/measure", s.withDataset(s.handleMeasure))
+	mux.HandleFunc("POST /v1/datasets/{name}/query", s.withDataset(s.handleQuery))
+	return mux
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e httpError) Error() string { return e.msg }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, kernel.ErrBudgetExceeded):
+		// The budget decision is data-independent (paper §4.3), so
+		// reporting it to the client is safe — and essential for a
+		// service that must tell clients when a dataset is exhausted.
+		status = http.StatusPaymentRequired
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return httpError{http.StatusBadRequest, "bad request body: " + err.Error()}
+	}
+	return nil
+}
+
+func (s *Server) withDataset(h func(http.ResponseWriter, *http.Request, *Dataset)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		d, ok := s.Dataset(name)
+		if !ok {
+			writeErr(w, httpError{http.StatusNotFound, fmt.Sprintf("unknown dataset %q", name)})
+			return
+		}
+		h(w, r, d)
+	}
+}
+
+// planEntry is one registry row of the /v1/plans listing.
+type planEntry struct {
+	ID              int      `json:"id"`
+	Name            string   `json:"name"`
+	Citation        string   `json:"citation"`
+	Signature       string   `json:"signature"`
+	New             bool     `json:"new"`
+	PrivacyCritical []string `json:"privacy_critical"`
+}
+
+func (s *Server) handlePlans(w http.ResponseWriter, _ *http.Request) {
+	out := make([]planEntry, 0, len(plans.Registry))
+	for _, p := range plans.Registry {
+		out = append(out, planEntry{
+			ID: p.ID, Name: p.Name, Citation: p.Citation,
+			Signature: p.Signature, New: p.New, PrivacyCritical: p.PrivacyCritical,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"plans":                      out,
+		"privacy_critical_operators": plans.PrivacyCriticalOperators(),
+	})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	names := s.Names()
+	out := make([]Summary, 0, len(names))
+	for _, name := range names {
+		if d, ok := s.Dataset(name); ok {
+			out = append(out, d.Summary())
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+type createRequest struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"` // dataset.Synthetic1D kind, e.g. "piecewise"
+	N        int     `json:"n"`
+	Scale    float64 `json:"scale"`
+	Seed     uint64  `json:"seed"`
+	EpsTotal float64 `json:"eps_total"`
+}
+
+func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, httpError{http.StatusBadRequest, "dataset name required"})
+		return
+	}
+	if req.Kind == "" {
+		req.Kind = "piecewise"
+	}
+	d, err := s.CreateDataset(req.Name, req.Kind, req.N, req.Scale, req.Seed, req.EpsTotal)
+	if err != nil {
+		writeErr(w, httpError{http.StatusBadRequest, err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, d.Summary())
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, _ *http.Request, d *Dataset) {
+	writeJSON(w, http.StatusOK, d.Summary())
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, _ *http.Request, d *Dataset) {
+	sum := d.Summary()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"eps_total": sum.EpsTotal,
+		"consumed":  sum.Consumed,
+		"remaining": sum.Remaining,
+	})
+}
+
+type measureRequest struct {
+	Strategy string  `json:"strategy"`
+	Eps      float64 `json:"eps"`
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, d *Dataset) {
+	var req measureRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	rows, err := d.Measure(req.Strategy, req.Eps)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	sum := d.Summary()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rows":      rows,
+		"consumed":  sum.Consumed,
+		"remaining": sum.Remaining,
+	})
+}
+
+type queryRequest struct {
+	// Ranges are inclusive [lo, hi] pairs over the dataset domain.
+	Ranges [][2]int `json:"ranges"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, d *Dataset) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	ranges := make([]mat.Range1D, len(req.Ranges))
+	for i, p := range req.Ranges {
+		ranges[i] = mat.Range1D{Lo: p[0], Hi: p[1]}
+	}
+	res, err := d.Query(ranges)
+	if err != nil {
+		writeErr(w, httpError{http.StatusBadRequest, err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

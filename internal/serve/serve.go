@@ -1,0 +1,424 @@
+// Package serve implements the ektelo query service: a front end that
+// keeps per-dataset vectorized state and measurement logs warm inside a
+// concurrent protected kernel and answers client workloads through the
+// batched panel tier (the ROADMAP's sharding/serving direction).
+//
+// Each dataset owns one kernel.Kernel; every measurement request runs
+// in its own kernel session (independent noise stream, linearizable
+// Algorithm 2 budget accounting), so any number of clients can spend
+// budget concurrently without coordination. Query answering is pure
+// post-processing: a per-dataset batcher coalesces concurrent clients'
+// range workloads into one panel and answers them with a single
+// mat.MatMat pass over the dataset's estimate panel.
+//
+// The estimate panel is refreshed lazily after new measurements by one
+// solver.CGLSMulti block solve: column 0 is the least-squares estimate
+// of the data vector from the full measurement log, and the remaining
+// columns are parametric-bootstrap replicates — the same system solved
+// against re-noised right-hand sides — whose spread yields per-answer
+// standard errors. One block solve prices all columns at one pass over
+// the measurement matrix per iteration, and one MatMat pass prices all
+// clients' answers and error bars together.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core/inference"
+	"repro/internal/core/selection"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/noise"
+	"repro/internal/solver"
+)
+
+// Config tunes the service.
+type Config struct {
+	// BatchWindow is how long the batcher waits after the first queued
+	// request for more clients to coalesce; 0 means 250µs.
+	BatchWindow time.Duration
+	// MaxBatch caps the number of requests merged into one panel; 0
+	// means 64.
+	MaxBatch int
+	// Replicates is the number of bootstrap columns solved alongside the
+	// estimate for per-answer standard errors; negative disables error
+	// bars, 0 means 3.
+	Replicates int
+	// MaxIter bounds the block solve; 0 means 400.
+	MaxIter int
+}
+
+func (c *Config) fill() {
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 250 * time.Microsecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.Replicates == 0 {
+		c.Replicates = 3
+	}
+	if c.Replicates < 0 {
+		c.Replicates = 0
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 400
+	}
+}
+
+// Server is the query service state: a registry of warm datasets.
+type Server struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+	closed   bool
+}
+
+// New returns an empty server.
+func New(cfg Config) *Server {
+	cfg.fill()
+	return &Server{cfg: cfg, datasets: map[string]*Dataset{}}
+}
+
+// Close stops every dataset's batcher. Pending queries are answered
+// before shutdown; new queries fail.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ds := make([]*Dataset, 0, len(s.datasets))
+	for _, d := range s.datasets {
+		ds = append(ds, d)
+	}
+	s.mu.Unlock()
+	for _, d := range ds {
+		d.batch.stop()
+	}
+}
+
+// measBlock is one warm measurement: the strategy, its noisy answers
+// and the per-row Laplace scale.
+type measBlock struct {
+	m     mat.Matrix
+	y     []float64
+	scale float64
+}
+
+// Dataset is one protected dataset's warm serving state.
+type Dataset struct {
+	name string
+	cfg  Config
+	kern *kernel.Kernel
+	root *kernel.Handle
+	n    int
+
+	mu     sync.Mutex
+	blocks []measBlock
+	rows   int
+	stale  bool
+	panel  []float64 // n×k row-major estimate panel (col 0: estimate, 1..: bootstrap)
+	k      int
+	boot   *rand.Rand // bootstrap noise: public post-processing randomness
+	work   *mat.Workspace
+
+	batch *batcher
+}
+
+// CreateDataset registers a synthetic dataset (dataset.Synthetic1D
+// kinds) protected by a fresh kernel with the given global budget. All
+// kernel randomness derives from seed.
+func (s *Server) CreateDataset(name, kind string, n int, scale float64, seed uint64, epsTotal float64) (*Dataset, error) {
+	if n <= 0 || epsTotal <= 0 {
+		return nil, fmt.Errorf("serve: dataset needs positive domain and budget")
+	}
+	x := dataset.Synthetic1D(kind, n, scale, seed)
+	return s.addDataset(name, x, seed, epsTotal)
+}
+
+// CreateDatasetFromVector registers a dataset from an explicit data
+// vector.
+func (s *Server) CreateDatasetFromVector(name string, x []float64, seed uint64, epsTotal float64) (*Dataset, error) {
+	if len(x) == 0 || epsTotal <= 0 {
+		return nil, fmt.Errorf("serve: dataset needs positive domain and budget")
+	}
+	return s.addDataset(name, x, seed, epsTotal)
+}
+
+func (s *Server) addDataset(name string, x []float64, seed uint64, epsTotal float64) (*Dataset, error) {
+	kern, root := kernel.InitVectorSeeded(x, epsTotal, seed)
+	d := &Dataset{
+		name: name,
+		cfg:  s.cfg,
+		kern: kern,
+		root: root,
+		n:    len(x),
+		boot: noise.NewRand(seed ^ 0x9e3779b97f4a7c15),
+		work: mat.NewWorkspace(),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: server closed")
+	}
+	if _, dup := s.datasets[name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: dataset %q already exists", name)
+	}
+	// Start the batcher goroutine only once registration is certain, so
+	// failed creates leak nothing.
+	d.batch = newBatcher(d)
+	s.datasets[name] = d
+	s.mu.Unlock()
+	return d, nil
+}
+
+// Dataset returns a registered dataset.
+func (s *Server) Dataset(name string) (*Dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[name]
+	return d, ok
+}
+
+// Names returns the registered dataset names, sorted.
+func (s *Server) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Strategies lists the measurement strategies Measure accepts.
+func Strategies() []string {
+	return []string{"identity", "total", "h2", "hb", "privelet", "greedyh"}
+}
+
+// strategyByName builds a named data-independent strategy over domain n.
+func strategyByName(name string, n int) (mat.Matrix, error) {
+	switch name {
+	case "identity":
+		return selection.Identity(n), nil
+	case "total":
+		return selection.Total(n), nil
+	case "h2":
+		return selection.H2(n), nil
+	case "hb":
+		return selection.HB(n), nil
+	case "privelet":
+		return selection.Privelet(n), nil
+	case "greedyh":
+		return selection.GreedyH(n, mat.HierarchicalRanges(n, 2)), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown strategy %q (have %v)", name, Strategies())
+	}
+}
+
+// Summary is a dataset's public state.
+type Summary struct {
+	Name         string  `json:"name"`
+	Domain       int     `json:"domain"`
+	EpsTotal     float64 `json:"eps_total"`
+	Consumed     float64 `json:"consumed"`
+	Remaining    float64 `json:"remaining"`
+	Measurements int     `json:"measurements"` // logged blocks
+	MeasuredRows int     `json:"measured_rows"`
+	Sessions     int     `json:"sessions"`
+	Queries      int     `json:"queries_in_history"`
+}
+
+// Summary reports the dataset's budget and log state.
+func (d *Dataset) Summary() Summary {
+	d.mu.Lock()
+	blocks, rows := len(d.blocks), d.rows
+	d.mu.Unlock()
+	// One Consumed() read keeps the budget triple internally consistent
+	// (consumed + remaining == eps_total) even while other sessions are
+	// committing charges.
+	consumed := d.kern.Consumed()
+	return Summary{
+		Name:         d.name,
+		Domain:       d.n,
+		EpsTotal:     d.kern.EpsTotal(),
+		Consumed:     consumed,
+		Remaining:    d.kern.EpsTotal() - consumed,
+		Measurements: blocks,
+		MeasuredRows: rows,
+		Sessions:     d.kern.Sessions(),
+		Queries:      len(d.kern.History()),
+	}
+}
+
+// Measure spends eps of the dataset's budget measuring the named
+// strategy through a fresh kernel session, and adds the noisy answers
+// to the warm measurement log. Concurrent Measure calls are safe: each
+// runs in its own session and the kernel's accounting is linearizable.
+func (d *Dataset) Measure(strategy string, eps float64) (rows int, err error) {
+	m, err := strategyByName(strategy, d.n)
+	if err != nil {
+		return 0, err
+	}
+	sess := d.kern.NewSession()
+	y, scale, err := sess.Bind(d.root).VectorLaplace(m, eps)
+	if err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.blocks = append(d.blocks, measBlock{m: m, y: y, scale: scale})
+	d.rows += len(y)
+	d.stale = true
+	return len(y), nil
+}
+
+// refreshLocked rebuilds the estimate panel from the measurement log
+// with one CGLSMulti block solve. Caller holds d.mu.
+func (d *Dataset) refreshLocked() error {
+	if !d.stale && d.panel != nil {
+		return nil
+	}
+	if len(d.blocks) == 0 {
+		return fmt.Errorf("serve: dataset %q has no measurements yet", d.name)
+	}
+	// Assemble the weighted system through the inference layer's
+	// measurement log (same weighting rules as the plan layer).
+	ms := inference.NewMeasurements(d.n)
+	for _, b := range d.blocks {
+		ms.Add(b.m, b.y, b.scale)
+	}
+	a := ms.Matrix()
+	y := ms.Answers()
+	w := ms.Weights()
+
+	k := 1 + d.cfg.Replicates
+	rows := len(y)
+	panelY := make([]float64, rows*k)
+	// Column 0: the measured answers. Columns 1..R: parametric-bootstrap
+	// replicates — the answers re-noised at each row's own scale. This
+	// uses only public values (noisy answers, public scales), so it is
+	// post-processing and consumes no budget.
+	row := 0
+	for _, b := range d.blocks {
+		for _, v := range b.y {
+			panelY[row*k] = v
+			for j := 1; j < k; j++ {
+				panelY[row*k+j] = v + noise.Laplace(d.boot, b.scale)
+			}
+			row++
+		}
+	}
+	// Row weighting: scale matrix rows and right-hand sides alike, as
+	// solver.LeastSquares does for the single-RHS path.
+	av := a
+	if w != nil {
+		av = mat.RowScaled(w, a)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < k; j++ {
+				panelY[i*k+j] *= w[i]
+			}
+		}
+	}
+	res := solver.CGLSMulti(av, panelY, k, solver.Options{MaxIter: d.cfg.MaxIter, Work: d.work})
+	d.panel, d.k = res.X, k
+	d.stale = false
+	return nil
+}
+
+// QueryResult is the answer to one client's range workload.
+type QueryResult struct {
+	// Answers[i] estimates the i-th range's count.
+	Answers []float64 `json:"answers"`
+	// Stderr[i] is the bootstrap standard error of Answers[i] (nil when
+	// replicates are disabled).
+	Stderr []float64 `json:"stderr,omitempty"`
+	// BatchQueries is how many queries (across all coalesced clients)
+	// the answering panel carried — observability for the batching tier.
+	BatchQueries int `json:"batch_queries"`
+	// BatchClients is how many client requests shared the panel.
+	BatchClients int `json:"batch_clients"`
+}
+
+// Query answers a workload of 1-D ranges against the dataset's current
+// estimate. Concurrent calls are coalesced by the dataset's batcher
+// into one panel product; the call blocks until its batch is answered.
+func (d *Dataset) Query(ranges []mat.Range1D) (QueryResult, error) {
+	if len(ranges) == 0 {
+		return QueryResult{}, fmt.Errorf("serve: empty workload")
+	}
+	for _, r := range ranges {
+		if r.Lo < 0 || r.Hi < r.Lo || r.Hi >= d.n {
+			return QueryResult{}, fmt.Errorf("serve: range [%d,%d] outside domain %d", r.Lo, r.Hi, d.n)
+		}
+	}
+	return d.batch.submit(ranges)
+}
+
+// answerBatch answers a coalesced batch of client workloads with one
+// MatMat panel pass: the stacked ranges form one RangeQueries matrix,
+// the estimate panel supplies 1+R columns, and each client's slice of
+// the product yields its answers (column 0) and bootstrap standard
+// errors (columns 1..R).
+func (d *Dataset) answerBatch(reqs []*queryReq) {
+	d.mu.Lock()
+	if err := d.refreshLocked(); err != nil {
+		d.mu.Unlock()
+		for _, r := range reqs {
+			r.resp <- queryResp{err: err}
+		}
+		return
+	}
+	panel, k := d.panel, d.k
+	d.mu.Unlock()
+
+	total := 0
+	for _, r := range reqs {
+		total += len(r.ranges)
+	}
+	all := make([]mat.Range1D, 0, total)
+	for _, r := range reqs {
+		all = append(all, r.ranges...)
+	}
+	wm := mat.RangeQueries(d.n, all)
+	dst := make([]float64, total*k)
+	mat.MatMat(wm, dst, panel, k)
+
+	off := 0
+	for _, r := range reqs {
+		m := len(r.ranges)
+		res := QueryResult{
+			Answers:      make([]float64, m),
+			BatchQueries: total,
+			BatchClients: len(reqs),
+		}
+		if k > 1 {
+			res.Stderr = make([]float64, m)
+		}
+		for i := 0; i < m; i++ {
+			row := dst[(off+i)*k : (off+i+1)*k]
+			res.Answers[i] = row[0]
+			if k > 1 {
+				var ss float64
+				for _, v := range row[1:] {
+					dlt := v - row[0]
+					ss += dlt * dlt
+				}
+				res.Stderr[i] = math.Sqrt(ss / float64(k-1))
+			}
+		}
+		r.resp <- queryResp{result: res}
+		off += m
+	}
+}

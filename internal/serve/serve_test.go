@@ -1,0 +1,325 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/vec"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{BatchWindow: 200 * time.Microsecond})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) (int, string) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("decode %q: %v", buf.String(), err)
+		}
+	}
+	return resp.StatusCode, buf.String()
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var created Summary
+	status, body := postJSON(t, ts.URL+"/v1/datasets", createRequest{
+		Name: "census", Kind: "piecewise", N: 256, Scale: 50000, Seed: 11, EpsTotal: 10,
+	}, &created)
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d %s", status, body)
+	}
+	if created.Domain != 256 || created.Remaining != 10 {
+		t.Fatalf("created summary %+v", created)
+	}
+
+	// Budget-free query must fail until something is measured.
+	status, body = postJSON(t, ts.URL+"/v1/datasets/census/query",
+		queryRequest{Ranges: [][2]int{{0, 255}}}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("pre-measure query: %d %s", status, body)
+	}
+
+	var meas map[string]float64
+	status, body = postJSON(t, ts.URL+"/v1/datasets/census/measure",
+		measureRequest{Strategy: "hb", Eps: 5}, &meas)
+	if status != http.StatusOK {
+		t.Fatalf("measure: %d %s", status, body)
+	}
+	if math.Abs(meas["consumed"]-5) > 1e-9 || math.Abs(meas["remaining"]-5) > 1e-9 {
+		t.Fatalf("measure accounting %v", meas)
+	}
+
+	var res QueryResult
+	status, body = postJSON(t, ts.URL+"/v1/datasets/census/query",
+		queryRequest{Ranges: [][2]int{{0, 255}, {10, 20}}}, &res)
+	if status != http.StatusOK {
+		t.Fatalf("query: %d %s", status, body)
+	}
+	if len(res.Answers) != 2 || len(res.Stderr) != 2 {
+		t.Fatalf("query result %+v", res)
+	}
+	// At eps=5 over 50k records the total estimate should be close.
+	truth := vec.Sum(dataset.Synthetic1D("piecewise", 256, 50000, 11))
+	if math.Abs(res.Answers[0]-truth) > 0.05*truth {
+		t.Fatalf("total answer %v, truth %v", res.Answers[0], truth)
+	}
+	if res.Stderr[0] <= 0 {
+		t.Fatalf("missing error bar: %+v", res)
+	}
+
+	var budget map[string]float64
+	if getJSON(t, ts.URL+"/v1/datasets/census/budget", &budget) != http.StatusOK {
+		t.Fatal("budget endpoint failed")
+	}
+	if math.Abs(budget["remaining"]-5) > 1e-9 {
+		t.Fatalf("budget report %v", budget)
+	}
+
+	// Overdraft is a clean, data-independent 402.
+	status, body = postJSON(t, ts.URL+"/v1/datasets/census/measure",
+		measureRequest{Strategy: "identity", Eps: 7}, nil)
+	if status != http.StatusPaymentRequired {
+		t.Fatalf("overdraft: %d %s", status, body)
+	}
+}
+
+func TestServePlansEndpointListsRegistry(t *testing.T) {
+	_, ts := newTestServer(t)
+	var out struct {
+		Plans []planEntry `json:"plans"`
+		Ops   []string    `json:"privacy_critical_operators"`
+	}
+	if getJSON(t, ts.URL+"/v1/plans", &out) != http.StatusOK {
+		t.Fatal("plans endpoint failed")
+	}
+	if len(out.Plans) != 20 || len(out.Ops) == 0 {
+		t.Fatalf("plans listing: %d plans, %d ops", len(out.Plans), len(out.Ops))
+	}
+}
+
+// TestServeConcurrentClients is the acceptance check: ≥4 parallel HTTP
+// clients measuring and querying one dataset under -race, with
+// linearizable budget accounting at the end.
+func TestServeConcurrentClients(t *testing.T) {
+	s, ts := newTestServer(t)
+	if _, err := s.CreateDataset("shared", "piecewise", 128, 20000, 3, 100); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := s.Dataset("shared")
+	if _, err := d.Measure("hb", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 6
+	const perClient = 8
+	const measureEps = 0.5
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; i < perClient; i++ {
+				// Interleave budget spending and querying.
+				if i%3 == 0 {
+					body, _ := json.Marshal(measureRequest{Strategy: "identity", Eps: measureEps})
+					resp, err := client.Post(ts.URL+"/v1/datasets/shared/measure", "application/json", bytes.NewReader(body))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("client %d measure status %d", c, resp.StatusCode)
+					}
+					continue
+				}
+				lo := (c*13 + i*7) % 100
+				body, _ := json.Marshal(queryRequest{Ranges: [][2]int{{lo, lo + 20}, {0, 127}}})
+				resp, err := client.Post(ts.URL+"/v1/datasets/shared/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var res QueryResult
+				err = json.NewDecoder(resp.Body).Decode(&res)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d query status %d err %v", c, resp.StatusCode, err)
+					return
+				}
+				if len(res.Answers) != 2 {
+					t.Errorf("client %d bad answers %v", c, res.Answers)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Linearizable accounting: 1 warmup + clients×⌈perClient/3⌉ measures
+	// of 0.5 each, every one granted (ample budget), summing exactly.
+	measures := clients * ((perClient + 2) / 3)
+	want := 1 + float64(measures)*measureEps
+	sum := d.Summary()
+	if math.Abs(sum.Consumed-want) > 1e-9 {
+		t.Fatalf("consumed %v, want exactly %v", sum.Consumed, want)
+	}
+	if sum.Sessions < measures+1 {
+		t.Fatalf("sessions %d, want ≥ %d", sum.Sessions, measures+1)
+	}
+}
+
+// TestBatcherCoalescesConcurrentClients checks the panel batching tier
+// directly: many goroutines submitting together must share panels (at
+// least one batch carries more than one client) and every client gets
+// its own answers back, matching a direct single-client evaluation.
+func TestBatcherCoalescesConcurrentClients(t *testing.T) {
+	s := New(Config{BatchWindow: 2 * time.Millisecond})
+	defer s.Close()
+	d, err := s.CreateDataset("b", "piecewise", 64, 10000, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Measure("identity", 10); err != nil {
+		t.Fatal(err)
+	}
+	// Prime the panel so the batched runs measure only the MatMat pass.
+	if _, err := d.Query([]mat.Range1D{{Lo: 0, Hi: 63}}); err != nil {
+		t.Fatal(err)
+	}
+	single, err := d.Query([]mat.Range1D{{Lo: 4, Hi: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 16
+	results := make([]QueryResult, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r, err := d.Query([]mat.Range1D{{Lo: 4, Hi: 40}, {Lo: c, Hi: c + 10}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[c] = r
+		}(c)
+	}
+	wg.Wait()
+
+	maxClients := 0
+	for c, r := range results {
+		if r.Answers[0] != single.Answers[0] {
+			t.Fatalf("client %d: batched answer %v != direct %v", c, r.Answers[0], single.Answers[0])
+		}
+		if r.BatchClients > maxClients {
+			maxClients = r.BatchClients
+		}
+	}
+	if maxClients < 2 {
+		t.Fatalf("no coalescing observed (max batch clients %d)", maxClients)
+	}
+}
+
+// TestBootstrapErrorBarsTrackNoise sanity-checks the replicate columns:
+// a low-budget (noisy) dataset must report larger standard errors than
+// a high-budget one for the same workload.
+func TestBootstrapErrorBarsTrackNoise(t *testing.T) {
+	s := New(Config{Replicates: 8})
+	defer s.Close()
+	mkErr := func(name string, eps float64) float64 {
+		d, err := s.CreateDataset(name, "piecewise", 64, 10000, 9, eps+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Measure("identity", eps); err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Query([]mat.Range1D{{Lo: 0, Hi: 63}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stderr[0]
+	}
+	noisy := mkErr("lowbudget", 0.05)
+	clean := mkErr("highbudget", 50)
+	if !(noisy > 5*clean) {
+		t.Fatalf("stderr low-eps %v should dwarf high-eps %v", noisy, clean)
+	}
+}
+
+// TestServeRejectsBadInput covers the validation surface.
+func TestServeRejectsBadInput(t *testing.T) {
+	s, ts := newTestServer(t)
+	if _, err := s.CreateDataset("v", "uniform", 32, 1000, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		url  string
+		body any
+		want int
+	}{
+		{"/v1/datasets", createRequest{Name: "", N: 8, EpsTotal: 1}, http.StatusBadRequest},
+		{"/v1/datasets", createRequest{Name: "v", N: 8, EpsTotal: 1}, http.StatusBadRequest}, // duplicate
+		{"/v1/datasets/v/measure", measureRequest{Strategy: "nope", Eps: 1}, http.StatusInternalServerError},
+		{"/v1/datasets/v/measure", measureRequest{Strategy: "identity", Eps: -1}, http.StatusInternalServerError},
+		{"/v1/datasets/v/query", queryRequest{Ranges: [][2]int{{-1, 5}}}, http.StatusBadRequest},
+		{"/v1/datasets/v/query", queryRequest{Ranges: [][2]int{{0, 32}}}, http.StatusBadRequest},
+		{"/v1/datasets/v/query", queryRequest{}, http.StatusBadRequest},
+		{"/v1/datasets/missing/query", queryRequest{Ranges: [][2]int{{0, 1}}}, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		status, body := postJSON(t, ts.URL+c.url, c.body, nil)
+		if status != c.want {
+			t.Errorf("%s %v: status %d (%s), want %d", c.url, c.body, status, body, c.want)
+		}
+	}
+}
