@@ -3,17 +3,19 @@
 //
 // Usage:
 //
-//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|matvec|gram|serve|all [-full] [-json FILE] [-par N,M]
+//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|matvec|gram|serve|sweep|all [-full] [-json FILE] [-par N,M]
 //
 // Without -full the quick configurations run (small domains, seconds);
 // with -full the paper-scale configurations run (up to the 1.4M-cell
 // Census domain; minutes). The matvec experiment benchmarks the shared
 // parallel mat-vec engine, the gram experiment benchmarks the blocked
-// Gram kernels against the column-at-a-time baseline, and the serve
+// Gram kernels against the column-at-a-time baseline, the serve
 // experiment load-tests the ektelo-serve query front end at 1 vs N
-// parallel clients (-par doubles as the client-count list); with -json
-// each records its report (BENCH_1.json, BENCH_2.json, BENCH_3.json) so
-// the perf trajectory is tracked in-repo.
+// parallel clients (-par doubles as the client-count list), and the
+// sweep experiment prices one strategy across a multi-epsilon grid in a
+// single LSMRMulti/NNLSMulti panel solve vs per-column scalar solves;
+// with -json each records its report (BENCH_1..4.json) so the perf
+// trajectory is tracked in-repo.
 package main
 
 import (
@@ -49,14 +51,15 @@ func main() {
 		"matvec": runMatVec,
 		"gram":   runGram,
 		"serve":  runServe,
+		"sweep":  runSweep,
 	}
-	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6", "matvec", "gram", "serve"}
+	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6", "matvec", "gram", "serve", "sweep"}
 
 	if *exp == "all" {
 		// The benchmark experiments would write the same -json file in
 		// turn, the later clobbering the earlier; require a specific one.
 		if *jsonOut != "" {
-			fmt.Fprintln(os.Stderr, "-json requires a single benchmark experiment (matvec, gram or serve), not -exp all")
+			fmt.Fprintln(os.Stderr, "-json requires a single benchmark experiment (matvec, gram, serve or sweep), not -exp all")
 			os.Exit(2)
 		}
 		for _, name := range order {
@@ -204,6 +207,18 @@ func runServe(bool) {
 	done := banner("Serve front end: requests/sec at 1 vs N parallel clients")
 	rep := experiments.ServeBench(parLevels())
 	fmt.Print(experiments.ServeBenchString(rep))
+	writeJSONReport(rep)
+	done()
+}
+
+func runSweep(full bool) {
+	done := banner("Multi-epsilon sweep: one panel solve vs per-column scalar solves")
+	cfg := experiments.QuickSweep()
+	if full {
+		cfg = experiments.FullSweep()
+	}
+	rep := experiments.SweepBench(cfg)
+	fmt.Print(experiments.SweepBenchString(rep))
 	writeJSONReport(rep)
 	done()
 }

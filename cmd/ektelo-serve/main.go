@@ -6,7 +6,12 @@
 // Usage:
 //
 //	ektelo-serve [-addr :8199] [-window 250us] [-replicates 3]
-//	             [-preload name:kind:n:scale:seed:eps ...]
+//	             [-solver lsmr|cgls] [-preload name:kind:n:scale:seed:eps ...]
+//
+// The estimate panel behind every answer is solved by the block solver
+// named with -solver: lsmr (solver.LSMRMulti, the paper's §7.6 solver;
+// the default) or cgls (solver.CGLSMulti). A dataset created over HTTP
+// may override the choice per dataset with the "solver" field.
 //
 // The API (see internal/serve):
 //
@@ -34,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -46,14 +52,20 @@ func main() {
 	window := flag.Duration("window", 250*time.Microsecond, "batcher coalescing window")
 	maxBatch := flag.Int("maxbatch", 64, "max client requests per answering panel")
 	replicates := flag.Int("replicates", 3, "bootstrap columns for per-answer error bars (-1 disables)")
+	solverName := flag.String("solver", "lsmr",
+		fmt.Sprintf("estimate-panel block solver %v; dataset creates may override per dataset", serve.Solvers()))
 	var preloads preloadList
 	flag.Var(&preloads, "preload", "preload dataset as name:kind:n:scale:seed:eps (repeatable)")
 	flag.Parse()
 
+	if !slices.Contains(serve.Solvers(), *solverName) {
+		log.Fatalf("unknown -solver %q (have %v)", *solverName, serve.Solvers())
+	}
 	s := serve.New(serve.Config{
 		BatchWindow: *window,
 		MaxBatch:    *maxBatch,
 		Replicates:  *replicates,
+		Solver:      *solverName,
 	})
 	defer s.Close()
 

@@ -6,9 +6,10 @@
 // inventory); runnable entry points are the examples/ programs,
 // cmd/ektelo-bench — which regenerates every table and figure of the
 // paper's evaluation plus the engine (-exp matvec), blocked-Gram
-// (-exp gram) and serve-load (-exp serve) benchmarks that record the
-// repo's performance trajectory (BENCH_1..3.json) — and
-// cmd/ektelo-serve, the HTTP/JSON query service.
+// (-exp gram), serve-load (-exp serve) and multi-epsilon-sweep
+// (-exp sweep) benchmarks that record the repo's performance trajectory
+// (BENCH_1..4.json) — and cmd/ektelo-serve, the HTTP/JSON query
+// service.
 //
 // # Architecture: operator layer, session kernel, serve front end
 //
@@ -32,11 +33,14 @@
 // internal/serve (cmd/ektelo-serve) is the query-service front end the
 // ROADMAP's north star describes: per-dataset warm vectorized state and
 // measurement logs, budget spending through per-request kernel
-// sessions, and a per-dataset batcher that coalesces concurrent
-// clients' range workloads into one mat.MatMat panel pass over an
-// estimate panel solved by solver.CGLSMulti (column 0 the LS estimate,
-// the rest parametric-bootstrap replicates that price per-answer error
-// bars into the same solve).
+// sessions, and a per-dataset batcher — hardened to survive a
+// panicking batch — that coalesces concurrent clients' range workloads
+// into one mat.MatMat panel pass over an estimate panel solved by a
+// block solver (solver.LSMRMulti or solver.CGLSMulti, selected by
+// Config.Solver or per dataset at create time; column 0 the LS
+// estimate, the rest parametric-bootstrap replicates that price
+// per-answer error bars into the same solve, with the solve's
+// convergence state surfaced to clients).
 //
 // Every plan bottoms out in internal/mat's implicit mat-vec kernels;
 // those run on a shared parallel, zero-allocation compute engine (see
@@ -46,9 +50,14 @@
 // batched multi-RHS tier (mat.MatMat/TMatMat over row-major panels)
 // that the hot consumers ride: blocked symmetric Gram builds
 // (mat.GramInto), suffix-sum range-workload Grams with engine-parallel
-// axis passes, block-CGLS strategy scoring (solver.CGLSMulti +
-// selection.HDMMScore), subspace power iteration (solver.PowerIterLW),
-// and two-column workload answering (mat.Mul2) in MWEM selection and
-// the error metrics — each one pass of memory traffic over the matrix
-// per k right-hand sides instead of k passes.
+// axis passes and an engine-parallel Kronecker expansion, block Krylov
+// solvers — solver.CGLSMulti and solver.LSMRMulti, the paper's §7.6
+// solver run k columns at a time with per-column convergence latches,
+// each column bit-identical to its scalar solve on Dense/CSR operands —
+// batched projected-gradient NNLS (solver.NNLSMulti, pricing a whole
+// epsilon grid in one panel solve, ektelo-bench -exp sweep), HDMM
+// strategy scoring (selection.HDMMScore), subspace power iteration
+// (solver.PowerIterLW), and two-column workload answering (mat.Mul2) in
+// MWEM selection and the error metrics — each one pass of memory
+// traffic over the matrix per k right-hand sides instead of k passes.
 package repro

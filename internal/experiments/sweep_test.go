@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSweepQuick runs the multi-epsilon sweep on the small config and
+// checks its structural invariants: one record per solver, a curve
+// point per epsilon, converged panel solves, and monotone pricing —
+// more budget (larger ε) must not buy worse least-squares error across
+// the grid's endpoints.
+func TestSweepQuick(t *testing.T) {
+	cfg := QuickSweep()
+	rep := SweepBench(cfg)
+	if len(rep.Records) != 2 {
+		t.Fatalf("records = %d, want 2 (lsmr, nnls)", len(rep.Records))
+	}
+	for _, r := range rep.Records {
+		if r.Epsilons != len(cfg.Epsilons) {
+			t.Errorf("%s: epsilons %d, want %d", r.Solver, r.Epsilons, len(cfg.Epsilons))
+		}
+		if !r.Converged {
+			t.Errorf("%s: panel solve did not converge", r.Solver)
+		}
+		if r.PanelNsPerOp <= 0 || r.PerColumnNsPerOp <= 0 {
+			t.Errorf("%s: degenerate timings %+v", r.Solver, r)
+		}
+	}
+	if len(rep.Curve) != len(cfg.Epsilons) {
+		t.Fatalf("curve points = %d, want %d", len(rep.Curve), len(cfg.Epsilons))
+	}
+	for _, p := range rep.Curve {
+		if p.LSError <= 0 || p.NNLSErr <= 0 || p.RowScale <= 0 {
+			t.Errorf("degenerate curve point %+v", p)
+		}
+	}
+	first, last := rep.Curve[0], rep.Curve[len(rep.Curve)-1]
+	if first.Eps >= last.Eps {
+		t.Fatalf("epsilon grid not increasing: %v .. %v", first.Eps, last.Eps)
+	}
+	if last.LSError >= first.LSError {
+		t.Errorf("pricing curve inverted: LS error %v at ε=%v vs %v at ε=%v",
+			first.LSError, first.Eps, last.LSError, last.Eps)
+	}
+	out := SweepBenchString(rep)
+	if !strings.Contains(out, "lsmr") || !strings.Contains(out, "nnls") {
+		t.Fatalf("render missing solvers:\n%s", out)
+	}
+}

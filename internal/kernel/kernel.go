@@ -44,6 +44,18 @@ import (
 // it never depends on the private data (paper §4.3).
 var ErrBudgetExceeded = errors.New("kernel: privacy budget exceeded")
 
+// validEps reports whether eps is a usable privacy parameter: strictly
+// positive and finite. The naive `eps <= 0` guard lets NaN through
+// (every comparison with NaN is false), and a NaN epsilon is a budget
+// bypass: Algorithm 2's overdraft comparison `budget+σ > εtotal+slack`
+// is also false for NaN, so the charge is granted and the poisoned
+// budget tracker makes every later overdraft check false — unlimited
+// spending. +Inf is rejected for the same reason: one granted charge
+// saturates the tracker and breaks all subsequent accounting.
+func validEps(eps float64) bool {
+	return eps > 0 && !math.IsInf(eps, 1)
+}
+
 type sourceKind int
 
 const (
@@ -147,6 +159,13 @@ const (
 // separately: from the caller's seed in the *Seeded constructors, or
 // from a process-unique counter in the legacy rng constructors.
 func newKernel(epsTotal float64, rng *rand.Rand, s1, s2 uint64) *Kernel {
+	// A NaN or ±Inf global budget would make every overdraft comparison
+	// false — the same unlimited-spending failure validEps closes for
+	// per-query epsilons. Zero or negative budgets are safe (they grant
+	// nothing) and stay allowed.
+	if math.IsNaN(epsTotal) || math.IsInf(epsTotal, 0) {
+		panic(fmt.Sprintf("kernel: global budget must be finite, got %g", epsTotal))
+	}
 	k := &Kernel{epsTotal: epsTotal}
 	k.seedSrc = rand.New(rand.NewPCG(s1, s2))
 	k.sessions = 1
@@ -283,7 +302,14 @@ func (k *Kernel) request(id, fromChild int, sigma float64) bool {
 // charge runs Algorithm 2 for a direct query on node id and, on
 // success, attributes the root-budget delta to the session and appends
 // the history record — one atomic commit per Private→Public operator.
+// The epsilon guard is repeated here as defense in depth: the operators
+// reject invalid epsilons with descriptive errors, but any future
+// caller that forgets must not be able to poison the budget tracker
+// with NaN/Inf (see validEps).
 func (k *Kernel) charge(s *Session, id int, eps float64, kind string) bool {
+	if !validEps(eps) {
+		return false
+	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	before := k.nodes[0].budget
@@ -387,8 +413,8 @@ func (h *Handle) GroupBy(attr string) *Handle {
 // of the geometric noise, for inference weighting.
 func (h *Handle) VectorGeometric(m mat.Matrix, eps float64) (answers []float64, noiseScale float64, err error) {
 	n := h.node(kindVector)
-	if eps <= 0 {
-		return nil, 0, fmt.Errorf("kernel: VectorGeometric requires positive eps, got %g", eps)
+	if !validEps(eps) {
+		return nil, 0, fmt.Errorf("kernel: VectorGeometric requires positive finite eps, got %g", eps)
 	}
 	_, mc := m.Dims()
 	if mc != len(n.vector) {
@@ -554,8 +580,8 @@ func (h *Handle) MapTo(anc *Handle, m mat.Matrix) mat.Matrix {
 // NoisyCount returns |D| + Laplace(1/eps) for a table source.
 func (h *Handle) NoisyCount(eps float64) (float64, error) {
 	n := h.node(kindTable)
-	if eps <= 0 {
-		return 0, fmt.Errorf("kernel: NoisyCount requires positive eps, got %g", eps)
+	if !validEps(eps) {
+		return 0, fmt.Errorf("kernel: NoisyCount requires positive finite eps, got %g", eps)
 	}
 	if !h.kernel().charge(h.s, h.id, eps, "NoisyCount") {
 		return 0, ErrBudgetExceeded
@@ -570,8 +596,8 @@ func (h *Handle) NoisyCount(eps float64) (float64, error) {
 // weighting.
 func (h *Handle) VectorLaplace(m mat.Matrix, eps float64) (answers []float64, noiseScale float64, err error) {
 	n := h.node(kindVector)
-	if eps <= 0 {
-		return nil, 0, fmt.Errorf("kernel: VectorLaplace requires positive eps, got %g", eps)
+	if !validEps(eps) {
+		return nil, 0, fmt.Errorf("kernel: VectorLaplace requires positive finite eps, got %g", eps)
 	}
 	_, mc := m.Dims()
 	if mc != len(n.vector) {
@@ -596,8 +622,8 @@ func (h *Handle) VectorLaplace(m mat.Matrix, eps float64) (answers []float64, no
 // for counting queries with 0/1 coefficients it is 1.
 func (h *Handle) WorstApprox(w mat.Matrix, est []float64, eps, rowSens float64) (int, error) {
 	n := h.node(kindVector)
-	if eps <= 0 || rowSens <= 0 {
-		return 0, fmt.Errorf("kernel: WorstApprox requires positive eps and rowSens")
+	if !validEps(eps) || !(rowSens > 0) {
+		return 0, fmt.Errorf("kernel: WorstApprox requires positive finite eps and positive rowSens")
 	}
 	if !h.kernel().charge(h.s, h.id, eps, "WorstApprox") {
 		return 0, ErrBudgetExceeded
@@ -623,8 +649,8 @@ func (h *Handle) WorstApprox(w mat.Matrix, est []float64, eps, rowSens float64) 
 // operators such as PrivBayes parent selection.
 func (h *Handle) NoisyMax(scoresOf func(x []float64) []float64, eps, sens float64) (int, error) {
 	n := h.node(kindVector)
-	if eps <= 0 || sens <= 0 {
-		return 0, fmt.Errorf("kernel: NoisyMax requires positive eps and sens")
+	if !validEps(eps) || !(sens > 0) {
+		return 0, fmt.Errorf("kernel: NoisyMax requires positive finite eps and positive sens")
 	}
 	if !h.kernel().charge(h.s, h.id, eps, "NoisyMax") {
 		return 0, ErrBudgetExceeded

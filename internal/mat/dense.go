@@ -247,7 +247,14 @@ func denseTMatMatRange(d *Dense, dst, x []float64, k, lo, hi int) {
 			}
 			o := dst[j*k : (j+1)*k]
 			for t := range o {
-				o[t] += v0*x0[t] + v1*x1[t] + v2*x2[t] + v3*x3[t]
+				// Accumulate row by row (not one reassociated 4-term sum)
+				// so the panel result equals k TMatVecs bit for bit — the
+				// contract the batched solvers pin their columns against.
+				s := o[t] + v0*x0[t]
+				s += v1 * x1[t]
+				s += v2 * x2[t]
+				s += v3 * x3[t]
+				o[t] = s
 			}
 		}
 	}

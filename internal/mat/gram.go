@@ -504,24 +504,48 @@ func denseRowGram(d *Dense) *Dense {
 	return g
 }
 
-// denseKron expands the Kronecker product of two dense matrices.
+// denseKron expands the Kronecker product of two dense matrices. Each
+// row of a owns the disjoint out-row block [i1·b.rows, (i1+1)·b.rows),
+// so the expansion splits over a's rows through the engine — every
+// output cell is written exactly once by exactly one worker, making the
+// parallel result bit-identical to the serial loop. This was the last
+// serial streaming loop on the Gram fast path (Gram(A⊗B) expands
+// Gram(A) ⊗ Gram(B) densely).
 func denseKron(a, b *Dense) *Dense {
 	out := NewDense(a.rows*b.rows, a.cols*b.cols, nil)
-	oc := out.cols
-	for i1 := 0; i1 < a.rows; i1++ {
-		for j1 := 0; j1 < a.cols; j1++ {
-			va := a.data[i1*a.cols+j1]
+	if parallelizable(a.rows*a.cols*b.rows*b.cols) && a.rows >= 2 {
+		t := newTask()
+		t.fn, t.dst, t.x, t.z = denseKronKernel, out.data, a.data, b.data
+		t.args = [3]int{a.cols, b.rows, b.cols}
+		parRun(t, a.rows, grainRows(a.cols*b.rows*b.cols))
+		t.release()
+		return out
+	}
+	denseKronRange(out.data, a.data, b.data, a.cols, b.rows, b.cols, 0, a.rows)
+	return out
+}
+
+func denseKronKernel(t *task, _, lo, hi int) {
+	denseKronRange(t.dst, t.x, t.z, t.args[0], t.args[1], t.args[2], lo, hi)
+}
+
+// denseKronRange expands a-rows [lo, hi) of the Kronecker product:
+// out[(i1·br+i2)·(ac·bc) + j1·bc + j2] = a[i1,j1]·b[i2,j2].
+func denseKronRange(out, a, b []float64, ac, br, bc, lo, hi int) {
+	oc := ac * bc
+	for i1 := lo; i1 < hi; i1++ {
+		for j1 := 0; j1 < ac; j1++ {
+			va := a[i1*ac+j1]
 			if va == 0 {
 				continue
 			}
-			for i2 := 0; i2 < b.rows; i2++ {
-				dst := out.data[(i1*b.rows+i2)*oc+j1*b.cols:]
-				src := b.data[i2*b.cols : (i2+1)*b.cols]
+			for i2 := 0; i2 < br; i2++ {
+				dst := out[(i1*br+i2)*oc+j1*bc:]
+				src := b[i2*bc : (i2+1)*bc]
 				for j2, vb := range src {
 					dst[j2] = va * vb
 				}
 			}
 		}
 	}
-	return out
 }

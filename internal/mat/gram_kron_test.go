@@ -1,0 +1,52 @@
+package mat
+
+import (
+	"testing"
+)
+
+// TestDenseKronParallelMatchesSerial pins the engine-parallel Kronecker
+// expansion to the serial loop bit for bit: workers own disjoint
+// out-row blocks (one per a-row), so every cell is written once by the
+// same multiplication either way.
+func TestDenseKronParallelMatchesSerial(t *testing.T) {
+	defer SetParallelism(0)
+	// 64×64 ⊗ 24×24 = 2.4M mults — far above the engine threshold.
+	a := NewDense(64, 64, nil)
+	for i := range a.data {
+		a.data[i] = float64((i*29+7)%13) - 6
+	}
+	b := NewDense(24, 24, nil)
+	for i := range b.data {
+		b.data[i] = float64((i*17+3)%11) - 5
+	}
+	SetParallelism(1)
+	want := denseKron(a, b)
+	for _, p := range []int{2, 5} {
+		SetParallelism(p)
+		got := denseKron(a, b)
+		if got.rows != want.rows || got.cols != want.cols {
+			t.Fatalf("par %d: dims %dx%d, want %dx%d", p, got.rows, got.cols, want.rows, want.cols)
+		}
+		for i, v := range got.data {
+			if v != want.data[i] {
+				t.Fatalf("par %d: cell %d = %v, want %v (not bit-identical)", p, i, v, want.data[i])
+			}
+		}
+	}
+}
+
+// TestGramKronParallelMatchesSerial covers the caller: the
+// Gram(A⊗B) = Gram(A)⊗Gram(B) fast path through the parallel expansion.
+func TestGramKronParallelMatchesSerial(t *testing.T) {
+	defer SetParallelism(0)
+	m := Kron(Prefix(48), Prefix(40))
+	SetParallelism(1)
+	want := Gram(m)
+	SetParallelism(4)
+	got := Gram(m)
+	for i, v := range got.data {
+		if v != want.data[i] {
+			t.Fatalf("cell %d = %v, want %v", i, v, want.data[i])
+		}
+	}
+}

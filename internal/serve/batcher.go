@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	"repro/internal/mat"
@@ -47,7 +48,7 @@ func (b *batcher) submit(ranges []mat.Range1D) (QueryResult, error) {
 	select {
 	case b.in <- req:
 	case <-b.quit:
-		return QueryResult{}, fmt.Errorf("serve: dataset batcher stopped")
+		return QueryResult{}, ErrBatcherStopped
 	}
 	select {
 	case r := <-req.resp:
@@ -59,7 +60,7 @@ func (b *batcher) submit(ranges []mat.Range1D) (QueryResult, error) {
 		case r := <-req.resp:
 			return r.result, r.err
 		default:
-			return QueryResult{}, fmt.Errorf("serve: dataset batcher stopped")
+			return QueryResult{}, ErrBatcherStopped
 		}
 	}
 }
@@ -99,8 +100,35 @@ func (b *batcher) loop() {
 			}
 		}
 		timer.Stop()
-		b.d.answerBatch(batch)
+		b.answerBatchSafe(batch)
 	}
+}
+
+// answerBatchSafe shields the batcher goroutine from a panicking batch.
+// Before this guard, one poisoned request killed the loop and every
+// later query on the dataset failed with "batcher stopped" while the
+// server stayed up. Now the panic is confined to the batch: its
+// unanswered requests get the panic as an error and the loop keeps
+// serving.
+func (b *batcher) answerBatchSafe(batch []*queryReq) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		err := fmt.Errorf("%w: %v", ErrBatchPanic, r)
+		log.Printf("serve: dataset %q: recovered query-batch panic: %v", b.d.name, r)
+		for _, req := range batch {
+			// Requests answered before the panic already hold their
+			// response (resp is buffered, one send per request); only the
+			// rest get the error.
+			select {
+			case req.resp <- queryResp{err: err}:
+			default:
+			}
+		}
+	}()
+	b.d.answerBatch(batch)
 }
 
 // drain answers everything still queued (plus the partial batch) before
@@ -112,7 +140,7 @@ func (b *batcher) drain(batch []*queryReq) {
 			batch = append(batch, req)
 		default:
 			if len(batch) > 0 {
-				b.d.answerBatch(batch)
+				b.answerBatchSafe(batch)
 			}
 			return
 		}

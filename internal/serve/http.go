@@ -66,8 +66,33 @@ func writeErr(w http.ResponseWriter, err error) {
 		// reporting it to the client is safe — and essential for a
 		// service that must tell clients when a dataset is exhausted.
 		status = http.StatusPaymentRequired
+	case errors.Is(err, ErrNoMeasurements), errors.Is(err, ErrDuplicateDataset):
+		// The request conflicts with the dataset's current state, not
+		// with its syntax: measure first / pick another name.
+		status = http.StatusConflict
+	case errors.Is(err, ErrBatcherStopped), errors.Is(err, ErrServerClosed):
+		// The service (or this dataset's serving loop) is down; the
+		// request itself may be perfectly valid.
+		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// clientErr classifies a service-layer error for the HTTP surface:
+// sentinel conditions keep their dedicated status in writeErr (a
+// recovered batch panic stays a 500 — the request was well-formed),
+// anything else from request handling is a client-input problem (400).
+func clientErr(err error) error {
+	switch {
+	case errors.Is(err, kernel.ErrBudgetExceeded),
+		errors.Is(err, ErrNoMeasurements),
+		errors.Is(err, ErrDuplicateDataset),
+		errors.Is(err, ErrBatcherStopped),
+		errors.Is(err, ErrServerClosed),
+		errors.Is(err, ErrBatchPanic):
+		return err
+	}
+	return httpError{http.StatusBadRequest, err.Error()}
 }
 
 func decodeBody(r *http.Request, v any) error {
@@ -133,6 +158,9 @@ type createRequest struct {
 	Scale    float64 `json:"scale"`
 	Seed     uint64  `json:"seed"`
 	EpsTotal float64 `json:"eps_total"`
+	// Solver optionally overrides the server's estimate-panel solver for
+	// this dataset: "cgls" or "lsmr" (empty: server default).
+	Solver string `json:"solver,omitempty"`
 }
 
 func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
@@ -148,9 +176,11 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	if req.Kind == "" {
 		req.Kind = "piecewise"
 	}
-	d, err := s.CreateDataset(req.Name, req.Kind, req.N, req.Scale, req.Seed, req.EpsTotal)
+	// The dataset is constructed directly on the requested solver, so
+	// there is no window where its batcher answers with the default.
+	d, err := s.CreateDatasetWithSolver(req.Name, req.Kind, req.N, req.Scale, req.Seed, req.EpsTotal, req.Solver)
 	if err != nil {
-		writeErr(w, httpError{http.StatusBadRequest, err.Error()})
+		writeErr(w, clientErr(err))
 		return
 	}
 	writeJSON(w, http.StatusCreated, d.Summary())
@@ -182,7 +212,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, d *Datase
 	}
 	rows, err := d.Measure(req.Strategy, req.Eps)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, clientErr(err))
 		return
 	}
 	sum := d.Summary()
@@ -210,7 +240,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, d *Dataset)
 	}
 	res, err := d.Query(ranges)
 	if err != nil {
-		writeErr(w, httpError{http.StatusBadRequest, err.Error()})
+		// Sentinel conditions keep their status (409 before any
+		// measurement, 503 when the batcher is gone); everything else
+		// from validation is a 400.
+		writeErr(w, clientErr(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, res)

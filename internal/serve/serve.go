@@ -12,17 +12,23 @@
 // mat.MatMat pass over the dataset's estimate panel.
 //
 // The estimate panel is refreshed lazily after new measurements by one
-// solver.CGLSMulti block solve: column 0 is the least-squares estimate
-// of the data vector from the full measurement log, and the remaining
-// columns are parametric-bootstrap replicates — the same system solved
-// against re-noised right-hand sides — whose spread yields per-answer
-// standard errors. One block solve prices all columns at one pass over
-// the measurement matrix per iteration, and one MatMat pass prices all
-// clients' answers and error bars together.
+// block solve — solver.LSMRMulti (the paper's named solver) or
+// solver.CGLSMulti, selected by Config.Solver or per dataset at create
+// time: column 0 is the least-squares estimate of the data vector from
+// the full measurement log, and the remaining columns are
+// parametric-bootstrap replicates — the same system solved against
+// re-noised right-hand sides — whose spread yields per-answer standard
+// errors. One block solve prices all columns at one pass over the
+// measurement matrix per iteration, and one MatMat pass prices all
+// clients' answers and error bars together; the solve's termination
+// state is surfaced through Summary and QueryResult so truncated
+// (non-converged) estimates are visible to clients.
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"log"
 	"math"
 	"math/rand/v2"
 	"sort"
@@ -36,6 +42,30 @@ import (
 	"repro/internal/mat"
 	"repro/internal/noise"
 	"repro/internal/solver"
+)
+
+// Sentinel errors of the query service, mapped to distinct HTTP statuses
+// by the front end (http.go): conditions a client can act on — retry
+// after measuring, back off, pick another name — must not all flatten
+// into one generic status.
+var (
+	// ErrNoMeasurements: a query arrived before any budget was spent on
+	// the dataset, so there is no estimate to answer from (409: the
+	// request conflicts with the dataset's current state; measure first).
+	ErrNoMeasurements = errors.New("serve: dataset has no measurements yet")
+	// ErrBatcherStopped: the dataset's batcher goroutine is gone (503:
+	// the dataset is not serving queries).
+	ErrBatcherStopped = errors.New("serve: dataset batcher stopped")
+	// ErrServerClosed: the server is shutting down (503).
+	ErrServerClosed = errors.New("serve: server closed")
+	// ErrDuplicateDataset: create with a name already registered (409).
+	ErrDuplicateDataset = errors.New("serve: dataset already exists")
+	// ErrUnknownSolver: a solver name outside Solvers().
+	ErrUnknownSolver = errors.New("serve: unknown solver")
+	// ErrBatchPanic: a query batch panicked server-side and was
+	// recovered. The request itself may be well-formed, so the HTTP
+	// layer reports it as a 500, never a client error.
+	ErrBatchPanic = errors.New("serve: query batch panicked")
 )
 
 // Config tunes the service.
@@ -52,6 +82,11 @@ type Config struct {
 	Replicates int
 	// MaxIter bounds the block solve; 0 means 400.
 	MaxIter int
+	// Solver selects the block solver for the estimate panel: "lsmr"
+	// (solver.LSMRMulti, the paper's named solver) or "cgls"
+	// (solver.CGLSMulti); "" means "cgls". Datasets created through the
+	// HTTP endpoint may override it per dataset.
+	Solver string
 }
 
 func (c *Config) fill() {
@@ -70,6 +105,27 @@ func (c *Config) fill() {
 	if c.MaxIter <= 0 {
 		c.MaxIter = 400
 	}
+	if c.Solver == "" {
+		c.Solver = SolverCGLS
+	}
+}
+
+// The block solvers refreshLocked dispatches between. Both run k
+// right-hand sides through one MatMat/TMatMat panel pass per iteration;
+// LSMR is the paper's named solver with the monotone ‖Aᵀr‖ stopping
+// rule, CGLS the original default.
+const (
+	SolverCGLS = "cgls"
+	SolverLSMR = "lsmr"
+)
+
+// Solvers lists the estimate-panel solvers Config.Solver and the
+// create-dataset endpoint accept.
+func Solvers() []string { return []string{SolverCGLS, SolverLSMR} }
+
+// validSolver reports whether name is accepted ("" means the default).
+func validSolver(name string) bool {
+	return name == "" || name == SolverCGLS || name == SolverLSMR
 }
 
 // Server is the query service state: a registry of warm datasets.
@@ -81,8 +137,12 @@ type Server struct {
 	closed   bool
 }
 
-// New returns an empty server.
+// New returns an empty server. It panics on a Config.Solver outside
+// Solvers() — a startup configuration error, not a runtime condition.
 func New(cfg Config) *Server {
+	if !validSolver(cfg.Solver) {
+		panic(fmt.Sprintf("serve: unknown solver %q (have %v)", cfg.Solver, Solvers()))
+	}
 	cfg.fill()
 	return &Server{cfg: cfg, datasets: map[string]*Dataset{}}
 }
@@ -130,6 +190,11 @@ type Dataset struct {
 	k      int
 	boot   *rand.Rand // bootstrap noise: public post-processing randomness
 	work   *mat.Workspace
+	solver string // estimate-panel solver (SolverCGLS or SolverLSMR)
+	// Last panel solve's termination state, surfaced through Summary and
+	// QueryResult so clients can detect a truncated (non-converged) solve.
+	solveIterations int
+	solveConverged  bool
 
 	batch *batcher
 }
@@ -138,41 +203,58 @@ type Dataset struct {
 // kinds) protected by a fresh kernel with the given global budget. All
 // kernel randomness derives from seed.
 func (s *Server) CreateDataset(name, kind string, n int, scale float64, seed uint64, epsTotal float64) (*Dataset, error) {
-	if n <= 0 || epsTotal <= 0 {
-		return nil, fmt.Errorf("serve: dataset needs positive domain and budget")
+	return s.CreateDatasetWithSolver(name, kind, n, scale, seed, epsTotal, "")
+}
+
+// CreateDatasetWithSolver is CreateDataset with a per-dataset estimate
+// solver ("cgls" or "lsmr"; empty uses the server default), so the
+// dataset is constructed — batcher and all — already on the requested
+// solver.
+func (s *Server) CreateDatasetWithSolver(name, kind string, n int, scale float64, seed uint64, epsTotal float64, solverName string) (*Dataset, error) {
+	// !(x > 0) rather than x <= 0: NaN budgets must not reach the
+	// kernel, whose accounting requires a finite positive total.
+	if n <= 0 || !(epsTotal > 0) || math.IsInf(epsTotal, 0) {
+		return nil, fmt.Errorf("serve: dataset needs positive domain and finite positive budget")
+	}
+	if !validSolver(solverName) {
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownSolver, solverName, Solvers())
 	}
 	x := dataset.Synthetic1D(kind, n, scale, seed)
-	return s.addDataset(name, x, seed, epsTotal)
+	return s.addDataset(name, x, seed, epsTotal, solverName)
 }
 
 // CreateDatasetFromVector registers a dataset from an explicit data
 // vector.
 func (s *Server) CreateDatasetFromVector(name string, x []float64, seed uint64, epsTotal float64) (*Dataset, error) {
-	if len(x) == 0 || epsTotal <= 0 {
-		return nil, fmt.Errorf("serve: dataset needs positive domain and budget")
+	if len(x) == 0 || !(epsTotal > 0) || math.IsInf(epsTotal, 0) {
+		return nil, fmt.Errorf("serve: dataset needs positive domain and finite positive budget")
 	}
-	return s.addDataset(name, x, seed, epsTotal)
+	return s.addDataset(name, x, seed, epsTotal, "")
 }
 
-func (s *Server) addDataset(name string, x []float64, seed uint64, epsTotal float64) (*Dataset, error) {
+func (s *Server) addDataset(name string, x []float64, seed uint64, epsTotal float64, solverName string) (*Dataset, error) {
+	if solverName == "" {
+		solverName = s.cfg.Solver
+	}
 	kern, root := kernel.InitVectorSeeded(x, epsTotal, seed)
 	d := &Dataset{
-		name: name,
-		cfg:  s.cfg,
-		kern: kern,
-		root: root,
-		n:    len(x),
-		boot: noise.NewRand(seed ^ 0x9e3779b97f4a7c15),
-		work: mat.NewWorkspace(),
+		name:   name,
+		cfg:    s.cfg,
+		kern:   kern,
+		root:   root,
+		n:      len(x),
+		boot:   noise.NewRand(seed ^ 0x9e3779b97f4a7c15),
+		work:   mat.NewWorkspace(),
+		solver: solverName,
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: server closed")
+		return nil, ErrServerClosed
 	}
 	if _, dup := s.datasets[name]; dup {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: dataset %q already exists", name)
+		return nil, fmt.Errorf("dataset %q: %w", name, ErrDuplicateDataset)
 	}
 	// Start the batcher goroutine only once registration is certain, so
 	// failed creates leak nothing.
@@ -227,6 +309,31 @@ func strategyByName(name string, n int) (mat.Matrix, error) {
 	}
 }
 
+// SetSolver switches the dataset's estimate-panel solver ("cgls" or
+// "lsmr") and marks the panel stale so the next query re-solves with it.
+func (d *Dataset) SetSolver(name string) error {
+	if name == "" {
+		return nil
+	}
+	if !validSolver(name) {
+		return fmt.Errorf("%w %q (have %v)", ErrUnknownSolver, name, Solvers())
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.solver != name {
+		d.solver = name
+		d.stale = true
+	}
+	return nil
+}
+
+// Solver returns the dataset's estimate-panel solver name.
+func (d *Dataset) Solver() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.solver
+}
+
 // Summary is a dataset's public state.
 type Summary struct {
 	Name         string  `json:"name"`
@@ -238,27 +345,39 @@ type Summary struct {
 	MeasuredRows int     `json:"measured_rows"`
 	Sessions     int     `json:"sessions"`
 	Queries      int     `json:"queries_in_history"`
+	// Solver is the estimate-panel solver ("cgls" or "lsmr").
+	Solver string `json:"solver"`
+	// SolveIterations / SolveConverged report the last panel solve (zero
+	// iterations: no solve has run yet). A non-converged solve means the
+	// estimate is truncated at MaxIter and answers may be off.
+	SolveIterations int  `json:"solve_iterations"`
+	SolveConverged  bool `json:"solve_converged"`
 }
 
 // Summary reports the dataset's budget and log state.
 func (d *Dataset) Summary() Summary {
 	d.mu.Lock()
 	blocks, rows := len(d.blocks), d.rows
+	solverName := d.solver
+	solveIters, solveConv := d.solveIterations, d.solveConverged
 	d.mu.Unlock()
 	// One Consumed() read keeps the budget triple internally consistent
 	// (consumed + remaining == eps_total) even while other sessions are
 	// committing charges.
 	consumed := d.kern.Consumed()
 	return Summary{
-		Name:         d.name,
-		Domain:       d.n,
-		EpsTotal:     d.kern.EpsTotal(),
-		Consumed:     consumed,
-		Remaining:    d.kern.EpsTotal() - consumed,
-		Measurements: blocks,
-		MeasuredRows: rows,
-		Sessions:     d.kern.Sessions(),
-		Queries:      len(d.kern.History()),
+		Name:            d.name,
+		Domain:          d.n,
+		EpsTotal:        d.kern.EpsTotal(),
+		Consumed:        consumed,
+		Remaining:       d.kern.EpsTotal() - consumed,
+		Measurements:    blocks,
+		MeasuredRows:    rows,
+		Sessions:        d.kern.Sessions(),
+		Queries:         len(d.kern.History()),
+		Solver:          solverName,
+		SolveIterations: solveIters,
+		SolveConverged:  solveConv,
 	}
 }
 
@@ -285,13 +404,14 @@ func (d *Dataset) Measure(strategy string, eps float64) (rows int, err error) {
 }
 
 // refreshLocked rebuilds the estimate panel from the measurement log
-// with one CGLSMulti block solve. Caller holds d.mu.
+// with one block solve (LSMRMulti or CGLSMulti per d.solver). Caller
+// holds d.mu.
 func (d *Dataset) refreshLocked() error {
 	if !d.stale && d.panel != nil {
 		return nil
 	}
 	if len(d.blocks) == 0 {
-		return fmt.Errorf("serve: dataset %q has no measurements yet", d.name)
+		return fmt.Errorf("dataset %q: %w", d.name, ErrNoMeasurements)
 	}
 	// Assemble the weighted system through the inference layer's
 	// measurement log (same weighting rules as the plan layer).
@@ -331,8 +451,19 @@ func (d *Dataset) refreshLocked() error {
 			}
 		}
 	}
-	res := solver.CGLSMulti(av, panelY, k, solver.Options{MaxIter: d.cfg.MaxIter, Work: d.work})
+	opts := solver.Options{MaxIter: d.cfg.MaxIter, Work: d.work}
+	var res solver.MultiResult
+	if d.solver == SolverLSMR {
+		res = solver.LSMRMulti(av, panelY, k, opts)
+	} else {
+		res = solver.CGLSMulti(av, panelY, k, opts)
+	}
 	d.panel, d.k = res.X, k
+	d.solveIterations, d.solveConverged = res.Iterations, res.Converged
+	if !res.Converged {
+		log.Printf("serve: dataset %q: %s panel solve truncated at %d iterations (MaxIter %d); answers may be degraded",
+			d.name, d.solver, res.Iterations, d.cfg.MaxIter)
+	}
 	d.stale = false
 	return nil
 }
@@ -349,6 +480,11 @@ type QueryResult struct {
 	BatchQueries int `json:"batch_queries"`
 	// BatchClients is how many client requests shared the panel.
 	BatchClients int `json:"batch_clients"`
+	// SolveIterations / SolveConverged report the block solve behind the
+	// answering panel; a non-converged solve was truncated at the
+	// server's MaxIter and the answers may be degraded.
+	SolveIterations int  `json:"solve_iterations"`
+	SolveConverged  bool `json:"solve_converged"`
 }
 
 // Query answers a workload of 1-D ranges against the dataset's current
@@ -366,22 +502,33 @@ func (d *Dataset) Query(ranges []mat.Range1D) (QueryResult, error) {
 	return d.batch.submit(ranges)
 }
 
+// refreshedPanel refreshes the estimate panel if stale and returns it
+// with its solve state. The lock is released by defer so that a panic
+// inside the refresh (assembly or block solve) unwinds with d.mu free —
+// the batcher's recover keeps serving instead of deadlocking every
+// later lock attempt on the dataset.
+func (d *Dataset) refreshedPanel() (panel []float64, k, solveIters int, solveConv bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.refreshLocked(); err != nil {
+		return nil, 0, 0, false, err
+	}
+	return d.panel, d.k, d.solveIterations, d.solveConverged, nil
+}
+
 // answerBatch answers a coalesced batch of client workloads with one
 // MatMat panel pass: the stacked ranges form one RangeQueries matrix,
 // the estimate panel supplies 1+R columns, and each client's slice of
 // the product yields its answers (column 0) and bootstrap standard
 // errors (columns 1..R).
 func (d *Dataset) answerBatch(reqs []*queryReq) {
-	d.mu.Lock()
-	if err := d.refreshLocked(); err != nil {
-		d.mu.Unlock()
+	panel, k, solveIters, solveConv, err := d.refreshedPanel()
+	if err != nil {
 		for _, r := range reqs {
 			r.resp <- queryResp{err: err}
 		}
 		return
 	}
-	panel, k := d.panel, d.k
-	d.mu.Unlock()
 
 	total := 0
 	for _, r := range reqs {
@@ -399,9 +546,11 @@ func (d *Dataset) answerBatch(reqs []*queryReq) {
 	for _, r := range reqs {
 		m := len(r.ranges)
 		res := QueryResult{
-			Answers:      make([]float64, m),
-			BatchQueries: total,
-			BatchClients: len(reqs),
+			Answers:         make([]float64, m),
+			BatchQueries:    total,
+			BatchClients:    len(reqs),
+			SolveIterations: solveIters,
+			SolveConverged:  solveConv,
 		}
 		if k > 1 {
 			res.Stderr = make([]float64, m)

@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -78,10 +79,11 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("created summary %+v", created)
 	}
 
-	// Budget-free query must fail until something is measured.
+	// Budget-free query must fail until something is measured — with 409
+	// (the dataset's state lacks measurements), not a generic 400.
 	status, body = postJSON(t, ts.URL+"/v1/datasets/census/query",
 		queryRequest{Ranges: [][2]int{{0, 255}}}, nil)
-	if status != http.StatusBadRequest {
+	if status != http.StatusConflict {
 		t.Fatalf("pre-measure query: %d %s", status, body)
 	}
 
@@ -145,73 +147,89 @@ func TestServePlansEndpointListsRegistry(t *testing.T) {
 
 // TestServeConcurrentClients is the acceptance check: ≥4 parallel HTTP
 // clients measuring and querying one dataset under -race, with
-// linearizable budget accounting at the end.
+// linearizable budget accounting at the end — run once per estimate
+// solver, so the LSMRMulti panel path sees the same concurrency stress
+// as the CGLS original.
 func TestServeConcurrentClients(t *testing.T) {
-	s, ts := newTestServer(t)
-	if _, err := s.CreateDataset("shared", "piecewise", 128, 20000, 3, 100); err != nil {
-		t.Fatal(err)
-	}
-	d, _ := s.Dataset("shared")
-	if _, err := d.Measure("hb", 1); err != nil {
-		t.Fatal(err)
-	}
-
-	const clients = 6
-	const perClient = 8
-	const measureEps = 0.5
-	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			client := &http.Client{}
-			for i := 0; i < perClient; i++ {
-				// Interleave budget spending and querying.
-				if i%3 == 0 {
-					body, _ := json.Marshal(measureRequest{Strategy: "identity", Eps: measureEps})
-					resp, err := client.Post(ts.URL+"/v1/datasets/shared/measure", "application/json", bytes.NewReader(body))
-					if err != nil {
-						t.Error(err)
-						return
-					}
-					resp.Body.Close()
-					if resp.StatusCode != http.StatusOK {
-						t.Errorf("client %d measure status %d", c, resp.StatusCode)
-					}
-					continue
-				}
-				lo := (c*13 + i*7) % 100
-				body, _ := json.Marshal(queryRequest{Ranges: [][2]int{{lo, lo + 20}, {0, 127}}})
-				resp, err := client.Post(ts.URL+"/v1/datasets/shared/query", "application/json", bytes.NewReader(body))
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				var res QueryResult
-				err = json.NewDecoder(resp.Body).Decode(&res)
-				resp.Body.Close()
-				if err != nil || resp.StatusCode != http.StatusOK {
-					t.Errorf("client %d query status %d err %v", c, resp.StatusCode, err)
-					return
-				}
-				if len(res.Answers) != 2 {
-					t.Errorf("client %d bad answers %v", c, res.Answers)
-				}
+	for _, solverName := range Solvers() {
+		t.Run(solverName, func(t *testing.T) {
+			s, ts := newTestServer(t)
+			name := "shared-" + solverName
+			d, err := s.CreateDataset(name, "piecewise", 128, 20000, 3, 100)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}(c)
-	}
-	wg.Wait()
+			if err := d.SetSolver(solverName); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Measure("hb", 1); err != nil {
+				t.Fatal(err)
+			}
 
-	// Linearizable accounting: 1 warmup + clients×⌈perClient/3⌉ measures
-	// of 0.5 each, every one granted (ample budget), summing exactly.
-	measures := clients * ((perClient + 2) / 3)
-	want := 1 + float64(measures)*measureEps
-	sum := d.Summary()
-	if math.Abs(sum.Consumed-want) > 1e-9 {
-		t.Fatalf("consumed %v, want exactly %v", sum.Consumed, want)
-	}
-	if sum.Sessions < measures+1 {
-		t.Fatalf("sessions %d, want ≥ %d", sum.Sessions, measures+1)
+			const clients = 6
+			const perClient = 8
+			const measureEps = 0.5
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					client := &http.Client{}
+					for i := 0; i < perClient; i++ {
+						// Interleave budget spending and querying.
+						if i%3 == 0 {
+							body, _ := json.Marshal(measureRequest{Strategy: "identity", Eps: measureEps})
+							resp, err := client.Post(ts.URL+"/v1/datasets/"+name+"/measure", "application/json", bytes.NewReader(body))
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							resp.Body.Close()
+							if resp.StatusCode != http.StatusOK {
+								t.Errorf("client %d measure status %d", c, resp.StatusCode)
+							}
+							continue
+						}
+						lo := (c*13 + i*7) % 100
+						body, _ := json.Marshal(queryRequest{Ranges: [][2]int{{lo, lo + 20}, {0, 127}}})
+						resp, err := client.Post(ts.URL+"/v1/datasets/"+name+"/query", "application/json", bytes.NewReader(body))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						var res QueryResult
+						err = json.NewDecoder(resp.Body).Decode(&res)
+						resp.Body.Close()
+						if err != nil || resp.StatusCode != http.StatusOK {
+							t.Errorf("client %d query status %d err %v", c, resp.StatusCode, err)
+							return
+						}
+						if len(res.Answers) != 2 {
+							t.Errorf("client %d bad answers %v", c, res.Answers)
+						}
+						if !res.SolveConverged || res.SolveIterations == 0 {
+							t.Errorf("client %d: solve state not surfaced: %+v", c, res)
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+
+			// Linearizable accounting: 1 warmup + clients×⌈perClient/3⌉ measures
+			// of 0.5 each, every one granted (ample budget), summing exactly.
+			measures := clients * ((perClient + 2) / 3)
+			want := 1 + float64(measures)*measureEps
+			sum := d.Summary()
+			if math.Abs(sum.Consumed-want) > 1e-9 {
+				t.Fatalf("consumed %v, want exactly %v", sum.Consumed, want)
+			}
+			if sum.Sessions < measures+1 {
+				t.Fatalf("sessions %d, want ≥ %d", sum.Sessions, measures+1)
+			}
+			if sum.Solver != solverName {
+				t.Fatalf("summary solver %q, want %q", sum.Solver, solverName)
+			}
+		})
 	}
 }
 
@@ -308,9 +326,10 @@ func TestServeRejectsBadInput(t *testing.T) {
 		want int
 	}{
 		{"/v1/datasets", createRequest{Name: "", N: 8, EpsTotal: 1}, http.StatusBadRequest},
-		{"/v1/datasets", createRequest{Name: "v", N: 8, EpsTotal: 1}, http.StatusBadRequest}, // duplicate
-		{"/v1/datasets/v/measure", measureRequest{Strategy: "nope", Eps: 1}, http.StatusInternalServerError},
-		{"/v1/datasets/v/measure", measureRequest{Strategy: "identity", Eps: -1}, http.StatusInternalServerError},
+		{"/v1/datasets", createRequest{Name: "v", N: 8, EpsTotal: 1}, http.StatusConflict}, // duplicate
+		{"/v1/datasets", createRequest{Name: "w", N: 8, EpsTotal: 1, Solver: "qr"}, http.StatusBadRequest},
+		{"/v1/datasets/v/measure", measureRequest{Strategy: "nope", Eps: 1}, http.StatusBadRequest},
+		{"/v1/datasets/v/measure", measureRequest{Strategy: "identity", Eps: -1}, http.StatusBadRequest},
 		{"/v1/datasets/v/query", queryRequest{Ranges: [][2]int{{-1, 5}}}, http.StatusBadRequest},
 		{"/v1/datasets/v/query", queryRequest{Ranges: [][2]int{{0, 32}}}, http.StatusBadRequest},
 		{"/v1/datasets/v/query", queryRequest{}, http.StatusBadRequest},
@@ -321,5 +340,211 @@ func TestServeRejectsBadInput(t *testing.T) {
 		if status != c.want {
 			t.Errorf("%s %v: status %d (%s), want %d", c.url, c.body, status, body, c.want)
 		}
+	}
+}
+
+// TestServeLSMRSolverEndToEnd drives the whole HTTP surface with the
+// lsmr solver selected through the create-dataset endpoint: the summary
+// reports the solver, answers match the dataset truth, and the solve
+// state is surfaced.
+func TestServeLSMRSolverEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+	var created Summary
+	status, body := postJSON(t, ts.URL+"/v1/datasets", createRequest{
+		Name: "lsmr-ds", Kind: "piecewise", N: 128, Scale: 50000, Seed: 13, EpsTotal: 10, Solver: "lsmr",
+	}, &created)
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d %s", status, body)
+	}
+	if created.Solver != "lsmr" {
+		t.Fatalf("created solver %q, want lsmr", created.Solver)
+	}
+	if status, body = postJSON(t, ts.URL+"/v1/datasets/lsmr-ds/measure",
+		measureRequest{Strategy: "hb", Eps: 5}, nil); status != http.StatusOK {
+		t.Fatalf("measure: %d %s", status, body)
+	}
+	var res QueryResult
+	if status, body = postJSON(t, ts.URL+"/v1/datasets/lsmr-ds/query",
+		queryRequest{Ranges: [][2]int{{0, 127}}}, &res); status != http.StatusOK {
+		t.Fatalf("query: %d %s", status, body)
+	}
+	truth := vec.Sum(dataset.Synthetic1D("piecewise", 128, 50000, 13))
+	if math.Abs(res.Answers[0]-truth) > 0.05*truth {
+		t.Fatalf("total answer %v, truth %v", res.Answers[0], truth)
+	}
+	if !res.SolveConverged || res.SolveIterations == 0 {
+		t.Fatalf("lsmr solve state missing: %+v", res)
+	}
+	var sum Summary
+	if getJSON(t, ts.URL+"/v1/datasets/lsmr-ds", &sum) != http.StatusOK {
+		t.Fatal("summary failed")
+	}
+	if sum.Solver != "lsmr" || !sum.SolveConverged || sum.SolveIterations == 0 {
+		t.Fatalf("summary solve state: %+v", sum)
+	}
+}
+
+// TestServeSolversAgree answers the same measured dataset with both
+// solvers: the least-squares problem has one solution, so switching the
+// solver must not move the answers beyond solver tolerance.
+func TestServeSolversAgree(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	d, err := s.CreateDataset("agree", "piecewise", 64, 10000, 17, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Measure("hb", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Measure("identity", 1); err != nil {
+		t.Fatal(err)
+	}
+	ranges := []mat.Range1D{{Lo: 0, Hi: 63}, {Lo: 5, Hi: 20}, {Lo: 33, Hi: 34}}
+	cgls, err := d.Query(ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetSolver("lsmr"); err != nil {
+		t.Fatal(err)
+	}
+	lsmr, err := d.Query(ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.AllClose(cgls.Answers, lsmr.Answers, 1e-6, 1e-6) {
+		t.Fatalf("solver switch moved answers: cgls %v vs lsmr %v", cgls.Answers, lsmr.Answers)
+	}
+}
+
+// TestBatcherRecoversFromPanickedBatch is the regression test for the
+// batcher-death bug: a poisoned request that panics inside answerBatch
+// must come back as an error — and the batcher must keep serving
+// subsequent queries instead of failing everything with "batcher
+// stopped" forever.
+func TestBatcherRecoversFromPanickedBatch(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	d, err := s.CreateDataset("poison", "piecewise", 32, 1000, 21, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Measure("identity", 5); err != nil {
+		t.Fatal(err)
+	}
+	// Bypass Query's validation with an out-of-domain range, which makes
+	// mat.RangeQueries panic inside the batch answering path.
+	if _, err := d.batch.submit([]mat.Range1D{{Lo: 0, Hi: 64}}); err == nil {
+		t.Fatal("poisoned request did not error")
+	} else if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("poisoned request error = %v, want recovered panic", err)
+	}
+	// The batcher survived: a well-formed query still gets an answer.
+	res, err := d.Query([]mat.Range1D{{Lo: 0, Hi: 31}})
+	if err != nil {
+		t.Fatalf("query after recovered panic: %v", err)
+	}
+	if len(res.Answers) != 1 {
+		t.Fatalf("bad answers after recovery: %+v", res)
+	}
+}
+
+// TestServeStatusServiceUnavailable pins the 503 mappings: creating on
+// a closed server, and querying a dataset whose batcher is stopped.
+func TestServeStatusServiceUnavailable(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	d, err := s.CreateDataset("gone", "piecewise", 32, 1000, 23, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Measure("identity", 5); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // stops every dataset batcher
+	status, body := postJSON(t, ts.URL+"/v1/datasets/gone/query",
+		queryRequest{Ranges: [][2]int{{0, 10}}}, nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("query on stopped batcher: %d %s", status, body)
+	}
+	status, body = postJSON(t, ts.URL+"/v1/datasets", createRequest{
+		Name: "late", Kind: "piecewise", N: 32, Scale: 1000, Seed: 1, EpsTotal: 5,
+	}, nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("create on closed server: %d %s", status, body)
+	}
+}
+
+// TestNonConvergenceSurfaced caps the block solve at one iteration and
+// checks the truncation is visible to clients in both the query result
+// and the dataset summary, for both solvers.
+func TestNonConvergenceSurfaced(t *testing.T) {
+	for _, solverName := range Solvers() {
+		s := New(Config{MaxIter: 1, Solver: solverName})
+		d, err := s.CreateDataset("trunc-"+solverName, "piecewise", 256, 10000, 29, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Measure("hb", 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Measure("identity", 2); err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Query([]mat.Range1D{{Lo: 0, Hi: 255}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SolveConverged || res.SolveIterations != 1 {
+			t.Errorf("%s: truncated solve not surfaced in result: %+v", solverName, res)
+		}
+		if sum := d.Summary(); sum.SolveConverged || sum.SolveIterations != 1 {
+			t.Errorf("%s: truncated solve not surfaced in summary: %+v", solverName, sum)
+		}
+		s.Close()
+	}
+}
+
+// TestBatcherRecoversFromPanicUnderLock pins the harder failure mode: a
+// panic raised while answerBatch holds d.mu (inside the panel refresh)
+// must release the mutex on unwind — otherwise the recovered batcher
+// leaks the lock and every later query, summary and measure on the
+// dataset deadlocks instead of serving.
+func TestBatcherRecoversFromPanicUnderLock(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	d, err := s.CreateDataset("lockpoison", "piecewise", 32, 1000, 27, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Measure("identity", 5); err != nil {
+		t.Fatal(err)
+	}
+	// Poison the measurement log: a block whose matrix disagrees with
+	// the domain makes the inference assembly panic inside
+	// refreshLocked, i.e. while d.mu is held.
+	d.mu.Lock()
+	d.blocks = append(d.blocks, measBlock{m: mat.Identity(16), y: make([]float64, 16), scale: 1})
+	d.stale = true
+	d.mu.Unlock()
+	if _, err := d.Query([]mat.Range1D{{Lo: 0, Hi: 31}}); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("poisoned refresh: err = %v, want recovered panic", err)
+	}
+	// Repair the log; the dataset must still serve — which requires the
+	// mutex to have been released during the panic unwind.
+	d.mu.Lock()
+	d.blocks = d.blocks[:1]
+	d.stale = true
+	d.mu.Unlock()
+	done := make(chan Summary, 1)
+	go func() { done <- d.Summary() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("d.mu leaked across the recovered panic: Summary deadlocked")
+	}
+	if res, err := d.Query([]mat.Range1D{{Lo: 0, Hi: 31}}); err != nil || len(res.Answers) != 1 {
+		t.Fatalf("query after repaired log: res=%+v err=%v", res, err)
 	}
 }

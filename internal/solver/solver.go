@@ -1,10 +1,18 @@
 // Package solver implements the iterative inference engines of EKTELO
 // §7.6 on top of the implicit-matrix contract (mat-vec and transpose
-// mat-vec only): conjugate-gradient least squares (CGLS, the stand-in for
-// LSMR), FISTA projected-gradient non-negative least squares (the
-// stand-in for L-BFGS-B), the multiplicative-weights update, plus a
+// mat-vec only): LSMR (the paper's named solver) and conjugate-gradient
+// least squares, FISTA projected-gradient non-negative least squares
+// (the stand-in for L-BFGS-B), the multiplicative-weights update, plus a
 // direct dense normal-equations solver and the tree-based least-squares
 // method of Hay et al. used as baselines in the paper's Figure 5.
+//
+// Each Krylov/gradient solver also has a batched multi-right-hand-side
+// form (CGLSMulti, LSMRMulti, NNLSMulti) that runs k independent
+// per-column recurrences in lockstep over the mat package's
+// MatMat/TMatMat panel tier: one pass over the matrix per iteration for
+// all k columns, per-column convergence latches, zero allocations per
+// iteration with a warm Options.Work, and per-column results that match
+// the scalar solver bit for bit on Dense/CSR-ordered kernels.
 package solver
 
 import (
