@@ -31,8 +31,9 @@ import (
 )
 
 var (
-	jsonOut = flag.String("json", "", "write the matvec/gram benchmark report to this file as JSON")
-	parList = flag.String("par", "4", "comma-separated parallelism levels for the matvec and gram experiments (1 is always included)")
+	jsonOut  = flag.String("json", "", "write the matvec/gram benchmark report to this file as JSON")
+	parList  = flag.String("par", "4", "comma-separated parallelism levels for the matvec and gram experiments (1 is always included)")
+	planMode = flag.Bool("plan", false, "serve experiment only: drive plan-mode measurement + cached-vs-uncached query load (BENCH_5.json)")
 )
 
 func main() {
@@ -204,6 +205,14 @@ func runGram(bool) {
 }
 
 func runServe(bool) {
+	if *planMode {
+		done := banner("Serve front end: plan-mode measurement + cached-vs-uncached query load")
+		rep := experiments.ServePlanBench(parLevels())
+		fmt.Print(experiments.ServePlanBenchString(rep))
+		writeJSONReport(rep)
+		done()
+		return
+	}
 	done := banner("Serve front end: requests/sec at 1 vs N parallel clients")
 	rep := experiments.ServeBench(parLevels())
 	fmt.Print(experiments.ServeBenchString(rep))

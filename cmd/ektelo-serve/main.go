@@ -6,12 +6,21 @@
 // Usage:
 //
 //	ektelo-serve [-addr :8199] [-window 250us] [-replicates 3]
-//	             [-solver lsmr|cgls] [-preload name:kind:n:scale:seed:eps ...]
+//	             [-solver lsmr|cgls] [-state-dir DIR] [-plan-cache 256]
+//	             [-preload name:kind:n:scale:seed:eps ...]
 //
 // The estimate panel behind every answer is solved by the block solver
 // named with -solver: lsmr (solver.LSMRMulti, the paper's §7.6 solver;
 // the default) or cgls (solver.CGLSMulti). A dataset created over HTTP
 // may override the choice per dataset with the "solver" field.
+//
+// With -state-dir every measurement persists the dataset's log as a
+// versioned snapshot under that directory, and re-creating a dataset
+// name (preload included) restores the log and its spent budget, so a
+// restarted server answers warm and cannot re-grant spent budget.
+// -plan-cache bounds the per-dataset workload-answer cache (repeated
+// workloads at one log generation are answered with zero solver and
+// panel work); -1 disables it.
 //
 // The API (see internal/serve):
 //
@@ -22,14 +31,19 @@
 //	GET  /v1/datasets/{name}           — one dataset's summary
 //	GET  /v1/datasets/{name}/budget    — remaining-budget report
 //	POST /v1/datasets/{name}/measure   — spend budget on a strategy
+//	                                     (or a plan, with "plan")
+//	POST /v1/datasets/{name}/plan      — execute a Fig. 2 registry plan
 //	POST /v1/datasets/{name}/query     — answer a range workload
 //
-// Example session:
+// Example session (fixed strategy, then a full DAWA plan):
 //
-//	ektelo-serve -preload census:piecewise:4096:1000000:7:10 &
+//	ektelo-serve -state-dir /var/lib/ektelo \
+//	             -preload census:piecewise:4096:1000000:7:10 &
 //	curl -s localhost:8199/v1/datasets/census/budget
 //	curl -s -XPOST localhost:8199/v1/datasets/census/measure \
 //	     -d '{"strategy":"hb","eps":1}'
+//	curl -s -XPOST localhost:8199/v1/datasets/census/plan \
+//	     -d '{"plan":"DAWA","eps":1}'
 //	curl -s -XPOST localhost:8199/v1/datasets/census/query \
 //	     -d '{"ranges":[[0,1023],[512,2047]]}'
 package main
@@ -39,6 +53,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"slices"
 	"strconv"
 	"strings"
@@ -54,6 +69,8 @@ func main() {
 	replicates := flag.Int("replicates", 3, "bootstrap columns for per-answer error bars (-1 disables)")
 	solverName := flag.String("solver", "lsmr",
 		fmt.Sprintf("estimate-panel block solver %v; dataset creates may override per dataset", serve.Solvers()))
+	stateDir := flag.String("state-dir", "", "persist measurement-log snapshots under this directory (restores on create)")
+	planCache := flag.Int("plan-cache", 0, "workload-answer cache entries per dataset (0: default 256, -1: disabled)")
 	var preloads preloadList
 	flag.Var(&preloads, "preload", "preload dataset as name:kind:n:scale:seed:eps (repeatable)")
 	flag.Parse()
@@ -61,11 +78,18 @@ func main() {
 	if !slices.Contains(serve.Solvers(), *solverName) {
 		log.Fatalf("unknown -solver %q (have %v)", *solverName, serve.Solvers())
 	}
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			log.Fatalf("state dir: %v", err)
+		}
+	}
 	s := serve.New(serve.Config{
 		BatchWindow: *window,
 		MaxBatch:    *maxBatch,
 		Replicates:  *replicates,
 		Solver:      *solverName,
+		CacheSize:   *planCache,
+		StateDir:    *stateDir,
 	})
 	defer s.Close()
 

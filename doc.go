@@ -6,10 +6,10 @@
 // inventory); runnable entry points are the examples/ programs,
 // cmd/ektelo-bench — which regenerates every table and figure of the
 // paper's evaluation plus the engine (-exp matvec), blocked-Gram
-// (-exp gram), serve-load (-exp serve) and multi-epsilon-sweep
-// (-exp sweep) benchmarks that record the repo's performance trajectory
-// (BENCH_1..4.json) — and cmd/ektelo-serve, the HTTP/JSON query
-// service.
+// (-exp gram), serve-load (-exp serve, and -exp serve -plan for the
+// plan-mode/cache load) and multi-epsilon-sweep (-exp sweep) benchmarks
+// that record the repo's performance trajectory (BENCH_1..5.json) — and
+// cmd/ektelo-serve, the HTTP/JSON query service.
 //
 // # Architecture: operator layer, session kernel, serve front end
 //
@@ -41,6 +41,26 @@
 // estimate, the rest parametric-bootstrap replicates that price
 // per-answer error bars into the same solve, with the solve's
 // convergence state surfaced to clients).
+//
+// Measurement is two-mode. Fixed strategies spend budget on a named
+// matrix (identity, hb, …); plan mode (POST /v1/datasets/{name}/plan,
+// or the measure endpoint's "plan" field) executes any Fig. 2 registry
+// plan by name — plans.GraphByName builds the ops.Graph, including the
+// I:(…)/TP[…] combinator plans, from a small public parameter set
+// (workload, rounds, total, shape, dim, seed) — through a per-request
+// kernel session with exactly the same Algorithm 2 accounting, and
+// appends every measurement the plan took to the warm log. Repeated
+// query workloads are memoized by a per-dataset cache keyed by
+// (measurement-log generation, workload fingerprint, solver): a hit is
+// served with zero solver iterations and zero panel work, and any new
+// measurement bumps the generation, invalidating every cached answer.
+// With Config.StateDir set, each measurement persists the log as a
+// versioned JSON snapshot (matrices canonicalized to Dense/CSR — also
+// the warm in-memory form, so a reloaded log is byte-identical solver
+// input) and re-creating the dataset restores the log *and its spent
+// budget* (kernel.RestoreConsumed), making restarts warm and
+// re-spend-proof; the deterministic golden-session test pins the whole
+// create → plan-measure → query → restart → query response stream.
 //
 // Every plan bottoms out in internal/mat's implicit mat-vec kernels;
 // those run on a shared parallel, zero-allocation compute engine (see

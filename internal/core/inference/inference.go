@@ -64,6 +64,18 @@ func (ms *Measurements) AddExact(m mat.Matrix, y []float64) {
 	ms.Add(m, y, 1e-9)
 }
 
+// NumBlocks returns the number of measurement blocks recorded so far.
+func (ms *Measurements) NumBlocks() int { return len(ms.blocks) }
+
+// Block returns the i-th measurement block's triple: the query matrix
+// (over the root domain), its noisy answers and the per-row noise scale.
+// The returned slice is the log's own storage; callers must not modify
+// it. Services use this to move a plan run's measurements into their own
+// warm logs without re-deriving them.
+func (ms *Measurements) Block(i int) (m mat.Matrix, y []float64, noiseScale float64) {
+	return ms.blocks[i], ms.ys[i], ms.scales[i]
+}
+
 // Len returns the total number of measured queries.
 func (ms *Measurements) Len() int {
 	total := 0

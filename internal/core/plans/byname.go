@@ -1,0 +1,186 @@
+package plans
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/core/ops"
+	"repro/internal/mat"
+	"repro/internal/solver"
+)
+
+// This file maps the Fig. 2 registry names to executable graph builders,
+// so services can accept a plan *name* (plus a small public parameter
+// set) from untrusted clients and execute it against a kernel handle.
+// Every registry plan is constructible for a 1-D vectorized domain of
+// size n; the multi-dimensional plans (grids, stripes, PrivBayes) run
+// over a near-square factorization of n unless the client supplies an
+// explicit shape.
+
+// Params is the public, client-suppliable parameter set for
+// GraphByName. Every field is optional; zero values select the defaults
+// documented per field. None of the parameters touch private data — they
+// are the same public plan metadata the graph builders already take.
+type Params struct {
+	// Workload is the 1-D range workload for the workload-adaptive plans
+	// (Greedy-H, DAWA, MWEM variants, HDMM). Nil means the dyadic
+	// hierarchical ranges over the domain.
+	Workload []mat.Range1D
+	// Rounds is the MWEM iteration count T; 0 means 10.
+	Rounds int
+	// Total is the publicly known record count the MWEM variants and the
+	// grid plans assume; 0 means float64(n) (one record per cell). It is
+	// client-claimed public side information, never derived from the
+	// protected data.
+	Total float64
+	// Shape is the per-attribute domain of the multi-dimensional plans
+	// (Quadtree, the grids, the striped plans, PrivBayesLS); its product
+	// must equal n. Nil means the near-square two-factor split of n.
+	Shape []int
+	// Dim is the striped dimension for the TP[…] plans; negative or
+	// out-of-range values select the last axis.
+	Dim int
+	// Seed feeds the public strategy-optimization randomness of HDMM.
+	// It is plan metadata, not kernel noise: two requests with equal
+	// seeds select equal strategies.
+	Seed uint64
+}
+
+// PlanNames returns the registry plan names accepted by GraphByName, in
+// registry order.
+func PlanNames() []string {
+	out := make([]string, len(Registry))
+	for i, p := range Registry {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// nearSquareShape factors n into [h, w] with h ≤ w and h the largest
+// divisor not exceeding √n (prime n degrades to [1, n]).
+func nearSquareShape(n int) []int {
+	h := 1
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			h = d
+		}
+	}
+	// h*h may still undershoot: for n = a² the loop ends with h = a.
+	return []int{h, n / h}
+}
+
+// resolve validates p against the domain and fills the defaults shared
+// by several plans.
+func (p Params) resolve(n int) (Params, error) {
+	// An empty workload gets the default exactly like a nil one: several
+	// plans select from the workload (MWEM's WorstApprox needs at least
+	// one candidate), so "no ranges" must never reach them.
+	if len(p.Workload) > 0 {
+		for _, r := range p.Workload {
+			if r.Lo < 0 || r.Hi < r.Lo || r.Hi >= n {
+				return p, fmt.Errorf("plans: workload range [%d,%d] outside domain %d", r.Lo, r.Hi, n)
+			}
+		}
+	} else {
+		p.Workload = mat.HierarchicalRanges(n, 2)
+	}
+	if p.Rounds < 0 {
+		return p, fmt.Errorf("plans: negative rounds %d", p.Rounds)
+	}
+	if p.Total < 0 {
+		return p, fmt.Errorf("plans: negative total %g", p.Total)
+	}
+	if p.Total == 0 {
+		p.Total = float64(n)
+	}
+	if p.Shape != nil {
+		prod := 1
+		for _, s := range p.Shape {
+			if s <= 0 {
+				return p, fmt.Errorf("plans: non-positive shape axis in %v", p.Shape)
+			}
+			prod *= s
+		}
+		if prod != n {
+			return p, fmt.Errorf("plans: shape %v product %d != domain %d", p.Shape, prod, n)
+		}
+	} else {
+		p.Shape = nearSquareShape(n)
+	}
+	if p.Dim < 0 || p.Dim >= len(p.Shape) {
+		p.Dim = len(p.Shape) - 1
+	}
+	return p, nil
+}
+
+// GraphByName builds the named Fig. 2 registry plan as an executable
+// operator graph over a 1-D vectorized domain of size n with total
+// budget share eps, parameterized by the public Params. Unknown names
+// and invalid parameters return errors; every name in PlanNames()
+// succeeds for any n ≥ 2 with the zero Params.
+func GraphByName(name string, n int, eps float64, p Params) (*ops.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("plans: GraphByName needs a positive domain, got %d", n)
+	}
+	p, err := p.resolve(n)
+	if err != nil {
+		return nil, err
+	}
+	h, w := p.Shape[0], p.Shape[1%len(p.Shape)]
+	if len(p.Shape) != 2 {
+		// The 2-D plans below need exactly two axes; recompute so an
+		// explicit higher-dimensional shape still executes them.
+		sq := nearSquareShape(n)
+		h, w = sq[0], sq[1]
+	}
+	mwem := func(cfg MWEMConfig) *ops.Graph {
+		cfg.Rounds = p.Rounds
+		cfg.Total = p.Total
+		return MWEMGraph(mat.RangeQueries(n, p.Workload), eps, cfg)
+	}
+	switch name {
+	case "Identity":
+		return IdentityGraph(eps), nil
+	case "Privelet":
+		return PriveletGraph(eps), nil
+	case "Hierarchical (H2)":
+		return H2Graph(eps), nil
+	case "Hierarchical Opt (HB)":
+		return HBGraph(eps), nil
+	case "Greedy-H":
+		return GreedyHGraph(p.Workload, eps), nil
+	case "Uniform":
+		return UniformGraph(eps), nil
+	case "MWEM":
+		return mwem(MWEMConfig{}), nil
+	case "MWEM variant b":
+		return mwem(MWEMConfig{AugmentH2: true}), nil
+	case "MWEM variant c":
+		return mwem(MWEMConfig{UseNNLS: true}), nil
+	case "MWEM variant d":
+		return mwem(MWEMConfig{AugmentH2: true, UseNNLS: true}), nil
+	case "AHP":
+		return AHPGraph(eps, AHPConfig{}), nil
+	case "DAWA":
+		return DAWAGraph(n, eps, DAWAConfig{Workload: p.Workload}), nil
+	case "Quadtree":
+		return QuadTreeGraph(h, w, eps), nil
+	case "UniformGrid":
+		return UniformGridGraph(h, w, p.Total, eps), nil
+	case "AdaptiveGrid":
+		return AdaptiveGridGraph(h, w, eps, AdaptiveGridConfig{NEst: p.Total}), nil
+	case "HDMM":
+		rng := rand.New(rand.NewPCG(p.Seed, 0x9e3779b97f4a7c15))
+		return HDMMGraph([]mat.Matrix{mat.RangeQueries(n, p.Workload)}, eps, rng), nil
+	case "DAWA-Striped":
+		return DAWAStripedGraph(p.Shape, p.Dim, eps, DAWAStripedConfig{}), nil
+	case "HB-Striped":
+		return HBStripedGraph(p.Shape, p.Dim, eps, solver.Options{}), nil
+	case "HB-Striped_kron":
+		return HBStripedKronGraph(p.Shape, p.Dim, eps, solver.Options{}), nil
+	case "PrivBayesLS":
+		return PrivBayesLSGraph(eps, PrivBayesConfig{Shape: p.Shape}), nil
+	default:
+		return nil, fmt.Errorf("plans: unknown plan %q (see PlanNames)", name)
+	}
+}

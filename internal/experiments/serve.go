@@ -51,6 +51,10 @@ const (
 	serveBenchDomain   = 2048
 	serveBenchRequests = 300 // total requests per client level
 	serveBenchQueries  = 8   // ranges per request
+	// servePlanQueries is the heavier per-request workload of the
+	// plan-mode query phase: large enough that the answering panel pass
+	// (what a cache hit skips) is a visible share of the request cost.
+	servePlanQueries = 512
 )
 
 // ServeBench runs the load experiment at 1 client and each requested
@@ -165,6 +169,255 @@ func serveBenchLevel(url string, clients int) ServeBenchRecord {
 		ReqPerSec:         float64(total) / elapsed.Seconds(),
 		AvgBatchClients:   batchClientsSum / float64(total),
 	}
+}
+
+// ---------------------------------------------------------------------
+// Plan-mode load benchmark (BENCH_5.json).
+// ---------------------------------------------------------------------
+
+// PlanModeRecord times one registry plan executed end to end over HTTP
+// (selection, kernel session, measurement, log append, snapshot-format
+// canonicalization).
+type PlanModeRecord struct {
+	Plan string  `json:"plan"`
+	Eps  float64 `json:"eps"`
+	Rows int     `json:"rows"`
+	Ms   float64 `json:"ms"`
+}
+
+// PlanQueryRecord is one client level of the cached-vs-uncached query
+// phase: the same repeated workloads served with the workload cache on
+// and off.
+type PlanQueryRecord struct {
+	Clients          int     `json:"clients"`
+	Requests         int     `json:"requests"`
+	ReqPerSec        float64 `json:"req_per_sec"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	ReqPerSecNoCache float64 `json:"req_per_sec_no_cache"`
+	// CacheSpeedup is ReqPerSec / ReqPerSecNoCache for identical traffic.
+	CacheSpeedup float64 `json:"cache_speedup"`
+}
+
+// ServePlanBenchReport is the plan-mode serve benchmark output
+// (recorded as BENCH_5.json): per-plan measurement cost over HTTP, then
+// repeated-workload query throughput with and without the
+// workload-answer cache.
+type ServePlanBenchReport struct {
+	GoVersion  string            `json:"go_version"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Domain     int               `json:"domain"`
+	Plans      []PlanModeRecord  `json:"plans"`
+	Query      []PlanQueryRecord `json:"query"`
+}
+
+// planBenchPlans are the registry plans the load phase executes: the
+// shared measure-LS idiom, both data-adaptive partition plans, and an
+// iterative MWEM variant.
+var planBenchPlans = []struct {
+	name string
+	body map[string]any
+}{
+	{"Hierarchical Opt (HB)", map[string]any{"plan": "Hierarchical Opt (HB)", "eps": 0.5}},
+	{"AHP", map[string]any{"plan": "AHP", "eps": 0.5}},
+	{"DAWA", map[string]any{"plan": "DAWA", "eps": 0.5}},
+	{"MWEM", map[string]any{"plan": "MWEM", "eps": 0.5,
+		"params": map[string]any{"rounds": 4, "total": 1e6}}},
+}
+
+// ServePlanBench runs the plan-mode load experiment: each benchmark
+// plan is executed over HTTP against a warm dataset (timed), then the
+// query phase fires repeated range workloads from 1 and each requested
+// parallel client level against a cache-enabled and a cache-disabled
+// server over the identical measurement state.
+func ServePlanBench(clientLevels []int) ServePlanBenchReport {
+	rep := ServePlanBenchReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Domain:     serveBenchDomain,
+	}
+
+	levels := []int{1}
+	for _, c := range clientLevels {
+		if c > 1 {
+			levels = append(levels, c)
+		}
+	}
+
+	// One server per cache mode, identically seeded and identically
+	// measured, so the query phases answer from the same estimate.
+	mkServer := func(cacheSize int) (*serve.Server, *httptest.Server, *serve.Dataset) {
+		s := serve.New(serve.Config{CacheSize: cacheSize})
+		ts := httptest.NewServer(s.Handler())
+		d, err := s.CreateDataset("bench", "piecewise", serveBenchDomain, 1e6, 7, 100)
+		if err != nil {
+			panic(err)
+		}
+		return s, ts, d
+	}
+	cached, cachedTS, _ := mkServer(0)
+	defer cached.Close()
+	defer cachedTS.Close()
+	uncached, uncachedTS, _ := mkServer(-1)
+	defer uncached.Close()
+	defer uncachedTS.Close()
+
+	// Plan phase: timed against the cached server; the uncached server
+	// replays the same plans untimed so both logs match.
+	client := &http.Client{}
+	for _, p := range planBenchPlans {
+		body, err := json.Marshal(p.body)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		resp, err := client.Post(cachedTS.URL+"/v1/datasets/bench/plan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		var res struct {
+			Rows int `json:"rows"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("plan bench: %s: status %d", p.name, resp.StatusCode))
+		}
+		rep.Plans = append(rep.Plans, PlanModeRecord{
+			Plan: p.name, Eps: p.body["eps"].(float64), Rows: res.Rows,
+			Ms: float64(time.Since(start).Microseconds()) / 1000,
+		})
+		resp2, err := client.Post(uncachedTS.URL+"/v1/datasets/bench/plan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		resp2.Body.Close()
+		if resp2.StatusCode != http.StatusOK {
+			// A failed replay would leave the two servers answering from
+			// different measurement state, silently invalidating the
+			// cached-vs-uncached comparison.
+			panic(fmt.Sprintf("plan bench: %s replay: status %d", p.name, resp2.StatusCode))
+		}
+	}
+
+	// Query phase: a small fixed workload set repeated by every client,
+	// so the cache-enabled server answers almost everything from memory.
+	for _, clients := range levels {
+		withCache := servePlanQueryLevel(cachedTS.URL, clients)
+		noCache := servePlanQueryLevel(uncachedTS.URL, clients)
+		rec := PlanQueryRecord{
+			Clients:          clients,
+			Requests:         withCache.requests,
+			ReqPerSec:        withCache.reqPerSec,
+			CacheHitRate:     withCache.hitRate,
+			ReqPerSecNoCache: noCache.reqPerSec,
+		}
+		if noCache.reqPerSec > 0 {
+			rec.CacheSpeedup = withCache.reqPerSec / noCache.reqPerSec
+		}
+		rep.Query = append(rep.Query, rec)
+	}
+	return rep
+}
+
+type planQueryLevel struct {
+	requests  int
+	reqPerSec float64
+	hitRate   float64
+}
+
+// servePlanQueryLevel fires repeated fixed workloads from the given
+// number of parallel clients and reports throughput plus the observed
+// cache hit rate.
+func servePlanQueryLevel(url string, clients int) planQueryLevel {
+	perClient := serveBenchRequests / clients
+	if perClient == 0 {
+		// More clients than the request budget: one request each, so the
+		// hit-rate division below never sees 0/0 (NaN would make the JSON
+		// report unmarshalable).
+		perClient = 1
+	}
+	total := perClient * clients
+	// Four distinct workloads shared by all clients: every request after
+	// each workload's first answer is cache-hittable.
+	bodies := make([][]byte, 4)
+	for w := range bodies {
+		ranges := make([][2]int, servePlanQueries)
+		for q := range ranges {
+			lo := (w*517 + q*257) % (serveBenchDomain - 64)
+			ranges[q] = [2]int{lo, lo + 63}
+		}
+		b, err := json.Marshal(map[string]any{"ranges": ranges})
+		if err != nil {
+			panic(err)
+		}
+		bodies[w] = b
+	}
+
+	var mu sync.Mutex
+	var hits, answered int
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			localHits := 0
+			for i := 0; i < perClient; i++ {
+				resp, err := client.Post(url+"/v1/datasets/bench/query", "application/json",
+					bytes.NewReader(bodies[(c+i)%len(bodies)]))
+				if err != nil {
+					panic(err)
+				}
+				var res struct {
+					Cached bool `json:"cached"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+					panic(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("plan query bench: status %d", resp.StatusCode))
+				}
+				if res.Cached {
+					localHits++
+				}
+			}
+			mu.Lock()
+			hits += localHits
+			answered += perClient
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return planQueryLevel{
+		requests:  total,
+		reqPerSec: float64(total) / elapsed.Seconds(),
+		hitRate:   float64(hits) / float64(answered),
+	}
+}
+
+// ServePlanBenchString renders the plan-mode report as tables.
+func ServePlanBenchString(rep ServePlanBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serve plan-mode load (%s, GOMAXPROCS=%d, NumCPU=%d, domain %d)\n",
+		rep.GoVersion, rep.GoMaxProcs, rep.NumCPU, rep.Domain)
+	fmt.Fprintf(&b, "%-24s %8s %8s %10s\n", "plan", "eps", "rows", "ms")
+	for _, p := range rep.Plans {
+		fmt.Fprintf(&b, "%-24s %8.2f %8d %10.2f\n", p.Plan, p.Eps, p.Rows, p.Ms)
+	}
+	fmt.Fprintf(&b, "%8s %10s %12s %10s %14s %10s\n",
+		"clients", "requests", "req/sec", "hit rate", "req/sec nocache", "speedup")
+	for _, q := range rep.Query {
+		fmt.Fprintf(&b, "%8d %10d %12.0f %10.2f %14.0f %9.2fx\n",
+			q.Clients, q.Requests, q.ReqPerSec, q.CacheHitRate, q.ReqPerSecNoCache, q.CacheSpeedup)
+	}
+	return b.String()
 }
 
 // ServeBenchString renders the report as a table.

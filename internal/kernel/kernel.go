@@ -321,6 +321,32 @@ func (k *Kernel) charge(s *Session, id int, eps float64, kind string) bool {
 	return true
 }
 
+// RestoreConsumed replays previously spent budget onto a fresh kernel:
+// it charges eps directly at the root, attributed to the root session,
+// with a "Restore" history record. Services use it when reloading a
+// persisted measurement log, so a restarted kernel cannot re-grant
+// budget that was already spent before the restart (re-spending would
+// be a privacy violation, not a bookkeeping nit). eps == 0 is a no-op;
+// NaN/Inf are rejected like any other epsilon, and restoring more than
+// the global budget fails with ErrBudgetExceeded.
+func (k *Kernel) RestoreConsumed(eps float64) error {
+	if eps == 0 {
+		return nil
+	}
+	if !validEps(eps) {
+		return fmt.Errorf("kernel: RestoreConsumed requires positive finite eps, got %g", eps)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.nodes[0].budget+eps > k.epsTotal+budgetSlack {
+		return fmt.Errorf("%w: restoring %g over remaining %g", ErrBudgetExceeded, eps, k.epsTotal-k.nodes[0].budget)
+	}
+	k.nodes[0].budget += eps
+	k.rootSess.consumed += eps
+	k.history = append(k.history, QueryRecord{Source: 0, Epsilon: eps, Kind: "Restore"})
+	return nil
+}
+
 // Stability returns the stability of the node's deriving transform.
 func (h *Handle) Stability() float64 { return h.kernel().nodeByID(h.id).stability }
 

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// This file implements the workload-aware panel cache: answered query
+// workloads are memoized per dataset, keyed by the triple
+//
+//	(measurement-log generation, workload fingerprint, solver)
+//
+// so a repeated workload is answered from the cache without touching
+// the estimate panel at all — zero solver iterations, zero MatMat
+// passes. The generation is a per-dataset counter bumped every time new
+// measurements land (fixed-strategy or plan-mode), so a bump invalidates
+// every cached answer at once: stale estimates can never be served. The
+// solver name is part of the key because switching the dataset's block
+// solver changes the (bit-level) estimate without new measurements.
+//
+// Fingerprints are 64-bit hashes of the range workload; because a
+// collision would silently serve another workload's answers, every
+// entry also stores its exact ranges and a hit requires an exact match.
+
+// workloadSeed makes fingerprints process-local (they never leave the
+// process, so stability across runs is not needed).
+var workloadSeed = maphash.MakeSeed()
+
+// fingerprintRanges hashes a 1-D range workload.
+func fingerprintRanges(ranges []mat.Range1D) uint64 {
+	var h maphash.Hash
+	h.SetSeed(workloadSeed)
+	for _, r := range ranges {
+		var buf [16]byte
+		putInt64(buf[:8], int64(r.Lo))
+		putInt64(buf[8:], int64(r.Hi))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func putInt64(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// sameRanges reports exact workload equality (the collision guard).
+func sameRanges(a, b []mat.Range1D) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cacheKey identifies one cached workload answer.
+type cacheKey struct {
+	gen    uint64
+	fp     uint64
+	solver string
+}
+
+// cacheEntry is one memoized workload answer. Answers/Stderr are stored
+// exactly as computed from the generation's estimate panel; batch
+// metadata is not cached (it describes the serving path, not the
+// answer).
+type cacheEntry struct {
+	key    cacheKey
+	ranges []mat.Range1D
+	res    QueryResult
+}
+
+// CacheStats is the cache's public counter snapshot, surfaced through
+// Summary for observability and tests.
+type CacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// panelCache is a bounded LRU of answered workloads for one dataset.
+// A nil *panelCache is a valid disabled cache (every lookup misses,
+// stores are dropped), so Config.CacheSize < 0 needs no branching at
+// the call sites.
+type panelCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[cacheKey]*list.Element // values are *cacheEntry
+	lru     *list.List                 // front = most recent
+	stats   CacheStats
+}
+
+// newPanelCache returns a cache bounded to size entries, or nil when
+// size <= 0 (disabled).
+func newPanelCache(size int) *panelCache {
+	if size <= 0 {
+		return nil
+	}
+	return &panelCache{cap: size, entries: map[cacheKey]*list.Element{}, lru: list.New()}
+}
+
+// get returns the memoized answer for the workload under the key, if
+// present and an exact range match.
+func (c *panelCache) get(key cacheKey, ranges []mat.Range1D) (QueryResult, bool) {
+	if c == nil {
+		return QueryResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if ok {
+		e := el.Value.(*cacheEntry)
+		if sameRanges(e.ranges, ranges) {
+			c.lru.MoveToFront(el)
+			c.stats.Hits++
+			return e.res, true
+		}
+	}
+	c.stats.Misses++
+	return QueryResult{}, false
+}
+
+// put memoizes an answered workload, evicting the least recently used
+// entry when full. Entries from older generations are dead weight (their
+// keys can never match again after a bump) and are evicted first.
+func (c *panelCache) put(key cacheKey, ranges []mat.Range1D, res QueryResult) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		el.Value.(*cacheEntry).ranges = append([]mat.Range1D(nil), ranges...)
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+	}
+	e := &cacheEntry{key: key, ranges: append([]mat.Range1D(nil), ranges...), res: res}
+	c.entries[key] = c.lru.PushFront(e)
+}
+
+// invalidate drops every entry; called when new measurements land (the
+// generation bump already makes old keys unmatchable, this frees their
+// memory eagerly and counts the event).
+func (c *panelCache) invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[cacheKey]*list.Element{}
+	c.lru.Init()
+	c.stats.Invalidations++
+}
+
+// snapshot returns the current counters.
+func (c *panelCache) snapshot() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

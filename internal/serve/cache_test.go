@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mat"
+)
+
+// TestCacheHitSkipsSolveAndPanel is the no-re-solve acceptance check: a
+// repeated workload at one measurement-log generation must be answered
+// from the cache with *zero* additional panel solves (PanelSolves is
+// incremented only inside refreshLocked's solver dispatch) and identical
+// values, and a new measurement must invalidate it.
+func TestCacheHitSkipsSolveAndPanel(t *testing.T) {
+	s := New(Config{BatchWindow: 100 * time.Microsecond})
+	defer s.Close()
+	d, err := s.CreateDataset("c", "piecewise", 64, 10000, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Measure("hb", 2); err != nil {
+		t.Fatal(err)
+	}
+	wl := []mat.Range1D{{Lo: 0, Hi: 63}, {Lo: 5, Hi: 20}}
+
+	first, err := d.Query(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatalf("first answer claims cached: %+v", first)
+	}
+	solvesAfterFirst := d.Summary().PanelSolves
+	if solvesAfterFirst == 0 {
+		t.Fatal("first query did not solve")
+	}
+
+	second, err := d.Query(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatalf("repeat workload not served from cache: %+v", second)
+	}
+	if d.Summary().PanelSolves != solvesAfterFirst {
+		t.Fatalf("cache hit re-solved: %d -> %d", solvesAfterFirst, d.Summary().PanelSolves)
+	}
+	for i := range first.Answers {
+		if second.Answers[i] != first.Answers[i] || second.Stderr[i] != first.Stderr[i] {
+			t.Fatalf("cached answer differs: %+v vs %+v", second, first)
+		}
+	}
+
+	// Different workload at the same generation: miss, but still no
+	// re-solve (the panel itself is warm via the staleness tracking).
+	other, err := d.Query([]mat.Range1D{{Lo: 1, Hi: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Cached {
+		t.Fatalf("different workload claims cached: %+v", other)
+	}
+
+	// New measurement: generation bump invalidates; the same workload
+	// must re-solve and may answer differently.
+	if _, err := d.Measure("identity", 1); err != nil {
+		t.Fatal(err)
+	}
+	third, err := d.Query(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Fatalf("post-measurement answer claims cached: %+v", third)
+	}
+	if got := d.Summary().PanelSolves; got != solvesAfterFirst+1 {
+		t.Fatalf("post-invalidation query solved %d times total, want %d", got, solvesAfterFirst+1)
+	}
+	sum := d.Summary()
+	if sum.Cache.Hits != 1 || sum.Cache.Invalidations != 2 {
+		// Invalidations: one per Measure call (the warm-up included).
+		t.Fatalf("cache stats %+v", sum.Cache)
+	}
+}
+
+// TestCacheKeyedBySolver pins the solver component of the cache key: an
+// answer cached under one block solver must not be served after the
+// dataset switches solvers, even though the generation is unchanged.
+func TestCacheKeyedBySolver(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	d, err := s.CreateDataset("sw", "piecewise", 64, 10000, 11, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Measure("hb", 2); err != nil {
+		t.Fatal(err)
+	}
+	wl := []mat.Range1D{{Lo: 3, Hi: 40}}
+	if _, err := d.Query(wl); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetSolver(SolverLSMR); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Query(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatalf("solver switch served a stale cached answer: %+v", res)
+	}
+}
+
+// TestCacheDisabled checks CacheSize < 0 turns the cache off without
+// changing behavior: repeats are recomputed, never marked cached.
+func TestCacheDisabled(t *testing.T) {
+	s := New(Config{CacheSize: -1})
+	defer s.Close()
+	d, err := s.CreateDataset("off", "piecewise", 32, 1000, 13, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Measure("identity", 2); err != nil {
+		t.Fatal(err)
+	}
+	wl := []mat.Range1D{{Lo: 0, Hi: 31}}
+	a, err := d.Query(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Query(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cached || b.Cached {
+		t.Fatalf("disabled cache served cached answers: %+v %+v", a, b)
+	}
+	if b.Answers[0] != a.Answers[0] {
+		t.Fatalf("answers moved without new measurements: %v vs %v", a.Answers, b.Answers)
+	}
+	if stats := d.Summary().Cache; stats.Hits != 0 || stats.Misses != 0 {
+		t.Fatalf("disabled cache counted traffic: %+v", stats)
+	}
+}
+
+// TestCacheConcurrentClients hammers one dataset with concurrent
+// repeated workloads and interleaved measurements under -race: every
+// answer must be exact for some log generation, cached answers must
+// bit-match an uncached answer of the same workload, and the hit
+// counters must add up.
+func TestCacheConcurrentClients(t *testing.T) {
+	s := New(Config{BatchWindow: 500 * time.Microsecond})
+	defer s.Close()
+	d, err := s.CreateDataset("cc", "piecewise", 64, 10000, 17, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Measure("hb", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	const perClient = 20
+	workloads := [][]mat.Range1D{
+		{{Lo: 0, Hi: 63}},
+		{{Lo: 0, Hi: 63}, {Lo: 10, Hi: 30}},
+		{{Lo: 5, Hi: 6}},
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if c == 0 && i%7 == 6 {
+					if _, err := d.Measure("identity", 0.5); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				wl := workloads[(c+i)%len(workloads)]
+				res, err := d.Query(wl)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(res.Answers) != len(wl) {
+					t.Errorf("client %d: %d answers for %d ranges", c, len(res.Answers), len(wl))
+					return
+				}
+				for _, a := range res.Answers {
+					if math.IsNaN(a) {
+						t.Errorf("client %d: NaN answer", c)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	sum := d.Summary()
+	if sum.Cache.Hits == 0 {
+		t.Fatal("no cache hits under repeated concurrent workloads")
+	}
+	if sum.Cache.Invalidations == 0 {
+		t.Fatal("interleaved measurements did not invalidate")
+	}
+	// Even with every invalidation, far fewer solves than queries must
+	// have run: at most one per (generation, solver) panel refresh.
+	if sum.PanelSolves > int(sum.Generation) {
+		t.Fatalf("%d panel solves for %d generations", sum.PanelSolves, sum.Generation)
+	}
+}

@@ -20,11 +20,13 @@ import (
 //	GET  /v1/datasets/{name}           — one dataset's summary
 //	GET  /v1/datasets/{name}/budget    — remaining-budget report
 //	POST /v1/datasets/{name}/measure   — spend budget on a strategy
+//	                                     (or, with "plan", on a plan)
+//	POST /v1/datasets/{name}/plan      — execute a Fig. 2 registry plan
 //	POST /v1/datasets/{name}/query     — answer a range workload
 //
-// Concurrent clients are first-class: measurement runs in per-request
-// kernel sessions, and query workloads are coalesced into shared panel
-// products by the per-dataset batcher.
+// Concurrent clients are first-class: measurement and plan execution
+// run in per-request kernel sessions, and query workloads are coalesced
+// into shared panel products by the per-dataset batcher.
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -38,6 +40,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}", s.withDataset(s.handleSummary))
 	mux.HandleFunc("GET /v1/datasets/{name}/budget", s.withDataset(s.handleBudget))
 	mux.HandleFunc("POST /v1/datasets/{name}/measure", s.withDataset(s.handleMeasure))
+	mux.HandleFunc("POST /v1/datasets/{name}/plan", s.withDataset(s.handlePlan))
 	mux.HandleFunc("POST /v1/datasets/{name}/query", s.withDataset(s.handleQuery))
 	return mux
 }
@@ -80,8 +83,10 @@ func writeErr(w http.ResponseWriter, err error) {
 
 // clientErr classifies a service-layer error for the HTTP surface:
 // sentinel conditions keep their dedicated status in writeErr (a
-// recovered batch panic stays a 500 — the request was well-formed),
-// anything else from request handling is a client-input problem (400).
+// recovered batch or plan panic stays a 500 — the request was
+// well-formed — and so does a bad persisted snapshot, which is
+// server-side state trouble, not client input), anything else from
+// request handling is a client-input problem (400).
 func clientErr(err error) error {
 	switch {
 	case errors.Is(err, kernel.ErrBudgetExceeded),
@@ -89,7 +94,9 @@ func clientErr(err error) error {
 		errors.Is(err, ErrDuplicateDataset),
 		errors.Is(err, ErrBatcherStopped),
 		errors.Is(err, ErrServerClosed),
-		errors.Is(err, ErrBatchPanic):
+		errors.Is(err, ErrBatchPanic),
+		errors.Is(err, ErrPlanPanic),
+		errors.Is(err, ErrSnapshot):
 		return err
 	}
 	return httpError{http.StatusBadRequest, err.Error()}
@@ -202,12 +209,25 @@ func (s *Server) handleBudget(w http.ResponseWriter, _ *http.Request, d *Dataset
 type measureRequest struct {
 	Strategy string  `json:"strategy"`
 	Eps      float64 `json:"eps"`
+	// Plan selects plan-mode measurement: instead of a fixed strategy,
+	// the named Fig. 2 registry plan is executed end to end (exactly the
+	// body of the /plan endpoint). Mutually exclusive with Strategy.
+	Plan   string      `json:"plan,omitempty"`
+	Params *planParams `json:"params,omitempty"`
 }
 
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, d *Dataset) {
 	var req measureRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, err)
+		return
+	}
+	if req.Plan != "" {
+		if req.Strategy != "" {
+			writeErr(w, httpError{http.StatusBadRequest, "strategy and plan are mutually exclusive"})
+			return
+		}
+		s.runPlan(w, d, planRequest{Plan: req.Plan, Eps: req.Eps, Params: req.Params})
 		return
 	}
 	rows, err := d.Measure(req.Strategy, req.Eps)
@@ -221,6 +241,80 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, d *Datase
 		"consumed":  sum.Consumed,
 		"remaining": sum.Remaining,
 	})
+}
+
+// planParams is the JSON form of plans.Params (see that type for the
+// per-field semantics and defaults). All fields are optional public
+// plan metadata.
+type planParams struct {
+	// Workload is inclusive [lo, hi] pairs over the dataset domain.
+	Workload [][2]int `json:"workload,omitempty"`
+	Rounds   int      `json:"rounds,omitempty"`
+	Total    float64  `json:"total,omitempty"`
+	Shape    []int    `json:"shape,omitempty"`
+	// Dim defaults to the last shape axis when omitted (0 is a valid
+	// explicit value, hence the pointer).
+	Dim  *int   `json:"dim,omitempty"`
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// toPlans converts the wire form to plans.Params.
+func (p *planParams) toPlans() plans.Params {
+	if p == nil {
+		return plans.Params{Dim: -1}
+	}
+	out := plans.Params{
+		Rounds: p.Rounds,
+		Total:  p.Total,
+		Shape:  p.Shape,
+		Dim:    -1,
+		Seed:   p.Seed,
+	}
+	if p.Dim != nil {
+		out.Dim = *p.Dim
+	}
+	if p.Workload != nil {
+		out.Workload = make([]mat.Range1D, len(p.Workload))
+		for i, r := range p.Workload {
+			out.Workload[i] = mat.Range1D{Lo: r[0], Hi: r[1]}
+		}
+	}
+	return out
+}
+
+type planRequest struct {
+	// Plan is a Fig. 2 registry plan name (GET /v1/plans lists them).
+	Plan string `json:"plan"`
+	// Eps is the plan's total budget share, charged through a dedicated
+	// kernel session with Algorithm 2 accounting.
+	Eps    float64     `json:"eps"`
+	Params *planParams `json:"params,omitempty"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, d *Dataset) {
+	var req planRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.runPlan(w, d, req)
+}
+
+// runPlan executes a plan-mode measurement and writes the response; it
+// backs both the /plan endpoint and the measure endpoint's plan mode.
+func (s *Server) runPlan(w http.ResponseWriter, d *Dataset, req planRequest) {
+	if req.Plan == "" {
+		writeErr(w, httpError{http.StatusBadRequest, "plan name required"})
+		return
+	}
+	res, err := d.MeasurePlan(req.Plan, req.Eps, req.Params.toPlans())
+	if err != nil {
+		// Unknown plan names and bad parameters are client errors (400);
+		// budget exhaustion keeps its 402 through the sentinel mapping.
+		writeErr(w, clientErr(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 type queryRequest struct {

@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"repro/internal/mat"
+)
+
+// This file implements measurement-log persistence: each dataset's warm
+// log is written as a versioned JSON snapshot after every measurement
+// (fixed-strategy or plan-mode), and a dataset created with the same
+// name under the same state directory loads the snapshot back — so a
+// restarted ektelo-serve answers from the persisted log bit-identically
+// and, crucially, cannot re-grant budget that was spent before the
+// restart (Kernel.RestoreConsumed replays the consumption).
+//
+// Snapshot format (version 1): one JSON object per dataset with the
+// dataset identity (name, domain, eps_total), the spent budget, the log
+// generation and the measurement blocks. Each block stores the query
+// matrix over the root domain — dense row-major when ≥⅓ of the entries
+// are nonzero, coordinate triplets otherwise — plus the noisy answers
+// and the per-row noise scale. The loader validates everything before
+// committing: a corrupted, truncated or version-skewed snapshot returns
+// an error, never a partial log.
+
+// snapshotVersion is the current on-disk format version. Loaders reject
+// other versions outright: guessing at a skewed layout risks loading a
+// wrong measurement log, which is worse than refusing to start.
+const snapshotVersion = 1
+
+// maxSnapshotDomain bounds the domain (and so every matrix dimension) a
+// loader will accept, so hostile or corrupted snapshots cannot force
+// absurd allocations before validation finishes.
+const maxSnapshotDomain = 1 << 24
+
+// ErrSnapshot wraps every snapshot-loading failure.
+var ErrSnapshot = errors.New("serve: invalid snapshot")
+
+// snapshotTriplet is one sparse matrix entry.
+type snapshotTriplet struct {
+	R int     `json:"r"`
+	C int     `json:"c"`
+	V float64 `json:"v"`
+}
+
+// snapshotBlock is one persisted measurement block.
+type snapshotBlock struct {
+	Rows   int               `json:"rows"`
+	Cols   int               `json:"cols"`
+	Dense  []float64         `json:"dense,omitempty"`  // row-major, len rows*cols
+	Sparse []snapshotTriplet `json:"sparse,omitempty"` // exactly one of Dense/Sparse is set
+	Y      []float64         `json:"y"`
+	Scale  float64           `json:"scale"`
+}
+
+// snapshot is the full persisted state of one dataset's measurement log.
+type snapshot struct {
+	Version    int             `json:"version"`
+	Name       string          `json:"name"`
+	Domain     int             `json:"domain"`
+	EpsTotal   float64         `json:"eps_total"`
+	Consumed   float64         `json:"consumed"`
+	Generation uint64          `json:"generation"`
+	Blocks     []snapshotBlock `json:"blocks"`
+}
+
+// canonicalMatrix re-represents a measurement matrix in the snapshot
+// codec's canonical form: explicit *mat.Dense when at least a third of
+// the entries are nonzero, CSR otherwise; matrices already in one of
+// those forms pass through untouched. Committing warm-log blocks in
+// canonical form makes the in-memory log and a log reloaded from a
+// snapshot feed the solver *byte-identical* operands — the
+// restart-bit-identity guarantee would otherwise break on
+// accumulation-order differences between implicit (Product, Kron,
+// VStack) and rebuilt representations. It also strips plan-mode lineage
+// products down to flat kernels, which the panel tier's Dense/CSR fast
+// paths prefer anyway. Implicit matrices are converted via chunked row
+// extraction (implicitTriplets), never a full dense intermediate, so
+// the conversion's peak memory is O(nnz + (rows+cols)·panel).
+func canonicalMatrix(m mat.Matrix) mat.Matrix {
+	switch m.(type) {
+	case *mat.Dense, *mat.Sparse:
+		return m
+	}
+	rows, cols := m.Dims()
+	ts := implicitTriplets(m)
+	if len(ts)*3 < rows*cols {
+		return mat.NewSparse(rows, cols, ts)
+	}
+	d := mat.NewDense(rows, cols, nil)
+	for _, t := range ts {
+		d.Set(t.Row, t.Col, t.Val)
+	}
+	return d
+}
+
+// implicitTriplets extracts the nonzero entries of a matrix in
+// row-major order without materializing it: rows are pulled through
+// mat.TMatMat in fixed-width basis panels, bounding the scratch memory
+// by O((rows+cols)·canonPanel) however large the matrix is.
+func implicitTriplets(m mat.Matrix) []mat.Triplet {
+	const canonPanel = 64
+	rows, cols := m.Dims()
+	basis := make([]float64, rows*min(canonPanel, rows))
+	panel := make([]float64, cols*min(canonPanel, rows))
+	var ts []mat.Triplet
+	for i0 := 0; i0 < rows; i0 += canonPanel {
+		k := min(canonPanel, rows-i0)
+		e := basis[:rows*k]
+		for i := range e {
+			e[i] = 0
+		}
+		for q := 0; q < k; q++ {
+			e[(i0+q)*k+q] = 1
+		}
+		p := panel[:cols*k] // p[j*k+q] = M[i0+q][j]
+		mat.TMatMat(m, p, e, k)
+		for q := 0; q < k; q++ {
+			for j := 0; j < cols; j++ {
+				if v := p[j*k+q]; v != 0 {
+					ts = append(ts, mat.Triplet{Row: i0 + q, Col: j, Val: v})
+				}
+			}
+		}
+	}
+	return ts
+}
+
+// encodeBlock converts a warm measurement block to its snapshot form.
+// Committed blocks are always canonical (*mat.Dense or *mat.Sparse —
+// see commitBlocksLocked), so encoding mirrors the in-memory
+// representation exactly — dense stays dense, CSR stays triplets — and
+// emits the existing storage without re-materializing anything; the
+// decode side then rebuilds the very same representation, which is what
+// keeps restarted servers bit-identical.
+func encodeBlock(b measBlock) snapshotBlock {
+	out := snapshotBlock{Y: b.y, Scale: b.scale}
+	switch m := b.m.(type) {
+	case *mat.Dense:
+		out.Rows, out.Cols = m.Dims()
+		out.Dense = m.Data()
+	case *mat.Sparse:
+		r, c := m.Dims()
+		out.Rows, out.Cols = r, c
+		out.Sparse = make([]snapshotTriplet, 0, m.NNZ())
+		for i := 0; i < r; i++ {
+			colIdx, vals := m.RowNNZ(i)
+			for j, col := range colIdx {
+				out.Sparse = append(out.Sparse, snapshotTriplet{R: i, C: col, V: vals[j]})
+			}
+		}
+	default:
+		// Defensive: direct callers (tests) may pass an implicit matrix.
+		b.m = canonicalMatrix(b.m)
+		return encodeBlock(b)
+	}
+	return out
+}
+
+// decodeBlock rebuilds a warm measurement block, validating every field
+// against the dataset domain.
+func decodeBlock(i int, b snapshotBlock, domain int) (measBlock, error) {
+	fail := func(format string, args ...any) (measBlock, error) {
+		return measBlock{}, fmt.Errorf("%w: block %d: %s", ErrSnapshot, i, fmt.Sprintf(format, args...))
+	}
+	if b.Rows <= 0 || b.Cols != domain {
+		return fail("dims %dx%d against domain %d", b.Rows, b.Cols, domain)
+	}
+	if len(b.Y) != b.Rows {
+		return fail("%d answers for %d rows", len(b.Y), b.Rows)
+	}
+	for _, v := range b.Y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fail("non-finite answer %g", v)
+		}
+	}
+	if !(b.Scale >= 0) || math.IsInf(b.Scale, 0) {
+		return fail("bad noise scale %g", b.Scale)
+	}
+	if (b.Dense == nil) == (b.Sparse == nil) {
+		return fail("exactly one of dense/sparse must be present")
+	}
+	var m mat.Matrix
+	if b.Dense != nil {
+		if len(b.Dense) != b.Rows*b.Cols {
+			return fail("dense data length %d != %d*%d", len(b.Dense), b.Rows, b.Cols)
+		}
+		for _, v := range b.Dense {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fail("non-finite matrix entry %g", v)
+			}
+		}
+		m = mat.NewDense(b.Rows, b.Cols, append([]float64(nil), b.Dense...))
+	} else {
+		ts := make([]mat.Triplet, len(b.Sparse))
+		for k, t := range b.Sparse {
+			if t.R < 0 || t.R >= b.Rows || t.C < 0 || t.C >= b.Cols {
+				return fail("sparse entry (%d,%d) outside %dx%d", t.R, t.C, b.Rows, b.Cols)
+			}
+			if math.IsNaN(t.V) || math.IsInf(t.V, 0) {
+				return fail("non-finite matrix entry %g", t.V)
+			}
+			ts[k] = mat.Triplet{Row: t.R, Col: t.C, Val: t.V}
+		}
+		m = mat.NewSparse(b.Rows, b.Cols, ts)
+	}
+	return measBlock{m: m, y: append([]float64(nil), b.Y...), scale: b.Scale}, nil
+}
+
+// loadSnapshot parses and fully validates snapshot bytes. It returns the
+// decoded snapshot with every block rebuilt, or an error — never a
+// panic, never a partially valid result.
+func loadSnapshot(data []byte) (*snapshot, []measBlock, error) {
+	var s snapshot
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	if dec.More() {
+		return nil, nil, fmt.Errorf("%w: trailing data after snapshot object", ErrSnapshot)
+	}
+	if s.Version != snapshotVersion {
+		return nil, nil, fmt.Errorf("%w: version %d, loader supports %d", ErrSnapshot, s.Version, snapshotVersion)
+	}
+	if s.Domain <= 0 || s.Domain > maxSnapshotDomain {
+		return nil, nil, fmt.Errorf("%w: domain %d out of range", ErrSnapshot, s.Domain)
+	}
+	if math.IsNaN(s.EpsTotal) || math.IsInf(s.EpsTotal, 0) || s.EpsTotal <= 0 {
+		return nil, nil, fmt.Errorf("%w: eps_total %g", ErrSnapshot, s.EpsTotal)
+	}
+	if !(s.Consumed >= 0) || s.Consumed > s.EpsTotal+1e-9 {
+		return nil, nil, fmt.Errorf("%w: consumed %g outside [0, %g]", ErrSnapshot, s.Consumed, s.EpsTotal)
+	}
+	blocks := make([]measBlock, len(s.Blocks))
+	for i, b := range s.Blocks {
+		mb, err := decodeBlock(i, b, s.Domain)
+		if err != nil {
+			return nil, nil, err
+		}
+		blocks[i] = mb
+	}
+	return &s, blocks, nil
+}
+
+// snapshotPath is the snapshot file for a dataset name under a state
+// directory. The name is path-escaped so client-chosen names cannot
+// traverse outside the directory.
+func snapshotPath(stateDir, name string) string {
+	return filepath.Join(stateDir, url.PathEscape(name)+".snapshot.json")
+}
+
+// persistLocked writes the dataset's current measurement log as a
+// snapshot (atomic temp-file + rename). Caller holds d.mu. A persist
+// failure is logged, not returned: the measurement it records has
+// already been committed (and its budget spent), so failing the request
+// would invite a client retry and a double spend.
+func (d *Dataset) persistLocked() error {
+	if d.statePath == "" {
+		return nil
+	}
+	s := snapshot{
+		Version:    snapshotVersion,
+		Name:       d.name,
+		Domain:     d.n,
+		EpsTotal:   d.kern.EpsTotal(),
+		Consumed:   d.kern.Consumed(),
+		Generation: d.gen,
+		Blocks:     make([]snapshotBlock, len(d.blocks)),
+	}
+	for i, b := range d.blocks {
+		s.Blocks[i] = encodeBlock(b)
+	}
+	data, err := json.Marshal(&s)
+	if err != nil {
+		return fmt.Errorf("serve: encode snapshot %q: %w", d.name, err)
+	}
+	tmp := d.statePath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("serve: write snapshot %q: %w", d.name, err)
+	}
+	if err := os.Rename(tmp, d.statePath); err != nil {
+		return fmt.Errorf("serve: commit snapshot %q: %w", d.name, err)
+	}
+	return nil
+}
+
+// loadState restores the dataset's measurement log from its snapshot
+// file, if one exists. Called once at create time, before the dataset is
+// published. A snapshot that exists but does not validate — or that
+// disagrees with the dataset's identity — fails the create: silently
+// starting fresh would hand back budget that was already spent.
+func (d *Dataset) loadState() error {
+	if d.statePath == "" {
+		return nil
+	}
+	data, err := os.ReadFile(d.statePath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		// Tagged ErrSnapshot so the HTTP layer reports server-side state
+		// trouble as a 500, not a client error.
+		return fmt.Errorf("%w: read for %q: %v", ErrSnapshot, d.name, err)
+	}
+	s, blocks, err := loadSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("snapshot for %q: %w", d.name, err)
+	}
+	if s.Name != d.name || s.Domain != d.n {
+		return fmt.Errorf("%w: snapshot identity %q/%d does not match dataset %q/%d",
+			ErrSnapshot, s.Name, s.Domain, d.name, d.n)
+	}
+	if s.EpsTotal != d.kern.EpsTotal() {
+		return fmt.Errorf("%w: snapshot eps_total %g does not match dataset %g",
+			ErrSnapshot, s.EpsTotal, d.kern.EpsTotal())
+	}
+	if s.Consumed > 0 {
+		if err := d.kern.RestoreConsumed(s.Consumed); err != nil {
+			return fmt.Errorf("snapshot for %q: %w", d.name, err)
+		}
+	}
+	rows := 0
+	for _, b := range blocks {
+		rows += len(b.y)
+	}
+	d.blocks = blocks
+	d.rows = rows
+	d.gen = s.Generation
+	d.stale = true
+	return nil
+}

@@ -6,10 +6,18 @@
 // Each dataset owns one kernel.Kernel; every measurement request runs
 // in its own kernel session (independent noise stream, linearizable
 // Algorithm 2 budget accounting), so any number of clients can spend
-// budget concurrently without coordination. Query answering is pure
-// post-processing: a per-dataset batcher coalesces concurrent clients'
-// range workloads into one panel and answers them with a single
-// mat.MatMat pass over the dataset's estimate panel.
+// budget concurrently without coordination. Measurement is two-mode:
+// fixed named strategies (Measure) or full Fig. 2 registry plans
+// executed by name (MeasurePlan / the /plan endpoint), whose
+// measurements — combinator plans included — land in the same warm log.
+// Query answering is pure post-processing: a per-dataset batcher
+// coalesces concurrent clients' range workloads into one panel and
+// answers them with a single mat.MatMat pass over the dataset's
+// estimate panel, and repeated workloads are memoized by a cache keyed
+// by (measurement-log generation, workload fingerprint, solver) — see
+// cache.go. With Config.StateDir set, the measurement log persists as a
+// versioned snapshot after every measurement and is restored (spent
+// budget included) when the dataset is re-created — see persist.go.
 //
 // The estimate panel is refreshed lazily after new measurements by one
 // block solve — solver.LSMRMulti (the paper's named solver) or
@@ -36,6 +44,8 @@ import (
 	"time"
 
 	"repro/internal/core/inference"
+	"repro/internal/core/ops"
+	"repro/internal/core/plans"
 	"repro/internal/core/selection"
 	"repro/internal/dataset"
 	"repro/internal/kernel"
@@ -66,6 +76,11 @@ var (
 	// recovered. The request itself may be well-formed, so the HTTP
 	// layer reports it as a 500, never a client error.
 	ErrBatchPanic = errors.New("serve: query batch panicked")
+	// ErrPlanPanic: a plan execution panicked server-side and was
+	// recovered (500, like ErrBatchPanic). Recovering matters beyond the
+	// response code: the failed-plan persist must still run so a restart
+	// cannot re-grant the budget the plan charged before dying.
+	ErrPlanPanic = errors.New("serve: plan execution panicked")
 )
 
 // Config tunes the service.
@@ -87,6 +102,15 @@ type Config struct {
 	// (solver.CGLSMulti); "" means "cgls". Datasets created through the
 	// HTTP endpoint may override it per dataset.
 	Solver string
+	// CacheSize bounds the per-dataset workload-answer cache (entries
+	// keyed by measurement-log generation, workload fingerprint and
+	// solver); 0 means 256, negative disables caching.
+	CacheSize int
+	// StateDir, when non-empty, enables measurement-log persistence:
+	// every measurement writes a versioned snapshot under this directory
+	// and creating a dataset with a previously used name loads it back,
+	// budget accounting included.
+	StateDir string
 }
 
 func (c *Config) fill() {
@@ -107,6 +131,12 @@ func (c *Config) fill() {
 	}
 	if c.Solver == "" {
 		c.Solver = SolverCGLS
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0 // disabled; newPanelCache returns nil
 	}
 }
 
@@ -191,10 +221,22 @@ type Dataset struct {
 	boot   *rand.Rand // bootstrap noise: public post-processing randomness
 	work   *mat.Workspace
 	solver string // estimate-panel solver (SolverCGLS or SolverLSMR)
+	// gen is the measurement-log generation: bumped every time new
+	// measurements land, it keys the workload cache and stamps snapshots.
+	gen uint64
+	// panelSolves counts actual block solves (refreshes that ran a
+	// solver), so tests can assert a cache hit performed zero of them.
+	panelSolves int
 	// Last panel solve's termination state, surfaced through Summary and
 	// QueryResult so clients can detect a truncated (non-converged) solve.
 	solveIterations int
 	solveConverged  bool
+
+	// cache memoizes answered workloads per (generation, fingerprint,
+	// solver); nil when disabled.
+	cache *panelCache
+	// statePath is the snapshot file for persistence ("" disables).
+	statePath string
 
 	batch *batcher
 }
@@ -246,6 +288,17 @@ func (s *Server) addDataset(name string, x []float64, seed uint64, epsTotal floa
 		boot:   noise.NewRand(seed ^ 0x9e3779b97f4a7c15),
 		work:   mat.NewWorkspace(),
 		solver: solverName,
+		cache:  newPanelCache(s.cfg.CacheSize),
+	}
+	if s.cfg.StateDir != "" {
+		d.statePath = snapshotPath(s.cfg.StateDir, name)
+		// Restore the persisted measurement log (and its spent budget)
+		// before the dataset becomes visible; a snapshot that exists but
+		// does not validate fails the create rather than silently handing
+		// back budget that was already spent.
+		if err := d.loadState(); err != nil {
+			return nil, err
+		}
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -352,6 +405,12 @@ type Summary struct {
 	// estimate is truncated at MaxIter and answers may be off.
 	SolveIterations int  `json:"solve_iterations"`
 	SolveConverged  bool `json:"solve_converged"`
+	// Generation is the measurement-log generation (bumped per
+	// measurement landing); PanelSolves counts block solves actually run.
+	Generation  uint64 `json:"generation"`
+	PanelSolves int    `json:"panel_solves"`
+	// Cache reports the workload-answer cache counters.
+	Cache CacheStats `json:"cache"`
 }
 
 // Summary reports the dataset's budget and log state.
@@ -360,6 +419,7 @@ func (d *Dataset) Summary() Summary {
 	blocks, rows := len(d.blocks), d.rows
 	solverName := d.solver
 	solveIters, solveConv := d.solveIterations, d.solveConverged
+	gen, solves := d.gen, d.panelSolves
 	d.mu.Unlock()
 	// One Consumed() read keeps the budget triple internally consistent
 	// (consumed + remaining == eps_total) even while other sessions are
@@ -378,6 +438,9 @@ func (d *Dataset) Summary() Summary {
 		Solver:          solverName,
 		SolveIterations: solveIters,
 		SolveConverged:  solveConv,
+		Generation:      gen,
+		PanelSolves:     solves,
+		Cache:           d.cache.snapshot(),
 	}
 }
 
@@ -395,12 +458,137 @@ func (d *Dataset) Measure(strategy string, eps float64) (rows int, err error) {
 	if err != nil {
 		return 0, err
 	}
+	blocks := canonicalBlocks([]measBlock{{m: m, y: y, scale: scale}})
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.blocks = append(d.blocks, measBlock{m: m, y: y, scale: scale})
-	d.rows += len(y)
-	d.stale = true
+	d.commitBlocksLocked(blocks)
 	return len(y), nil
+}
+
+// canonicalBlocks converts every block matrix to snapshot-canonical
+// form. Run before taking d.mu: the conversion can be expensive for
+// implicit plan-mode matrices and needs nothing from the dataset state.
+func canonicalBlocks(blocks []measBlock) []measBlock {
+	for i := range blocks {
+		blocks[i].m = canonicalMatrix(blocks[i].m)
+	}
+	return blocks
+}
+
+// commitBlocksLocked appends newly measured blocks to the warm log,
+// bumps the log generation (invalidating every cached workload answer),
+// marks the panel stale and persists the snapshot. Caller holds d.mu
+// and must pass blocks already in snapshot-canonical form (Dense or
+// CSR, via canonicalBlocks) so a log reloaded after a restart is
+// byte-identical solver input. Canonicalization happens *outside* the
+// lock because implicit-matrix extraction is real matvec work; what
+// stays inside is append/bump plus the snapshot encode+write, so
+// concurrent queries are never answered from a half-committed log.
+func (d *Dataset) commitBlocksLocked(blocks []measBlock) {
+	for _, b := range blocks {
+		d.blocks = append(d.blocks, b)
+		d.rows += len(b.y)
+	}
+	d.gen++
+	d.stale = true
+	d.cache.invalidate()
+	if err := d.persistLocked(); err != nil {
+		// The measurement is committed and its budget spent; failing the
+		// request now would invite a retry and a double spend. Surface the
+		// durability gap loudly instead.
+		log.Printf("serve: dataset %q: snapshot persist failed: %v", d.name, err)
+	}
+}
+
+// PlanResult reports one plan-mode measurement: what executed, what it
+// cost, and what it added to the warm log.
+type PlanResult struct {
+	// Plan and Signature identify the executed registry plan (the
+	// signature is rendered from the actual graph, Fig. 2 notation).
+	Plan      string `json:"plan"`
+	Signature string `json:"signature"`
+	// Trace is the executed-operator audit trail (loops unrolled).
+	Trace []string `json:"trace"`
+	// Rows is the number of measurement rows appended to the warm log.
+	Rows int `json:"rows"`
+	// EpsCharged is the root-budget consumption attributed to this
+	// request's kernel session — exactly the plan's declared epsilon for
+	// every registry plan (parallel composition included).
+	EpsCharged float64 `json:"eps_charged"`
+	Consumed   float64 `json:"consumed"`
+	Remaining  float64 `json:"remaining"`
+	// Generation is the measurement-log generation after the append.
+	Generation uint64 `json:"generation"`
+}
+
+// MeasurePlan executes a Fig. 2 registry plan by name against the
+// dataset through a fresh kernel session — the same Algorithm 2
+// accounting path as fixed-strategy measurement — and appends every
+// measurement the plan took (mapped to the root domain) to the warm
+// log. params is the plan's public parameter set; the zero value works
+// for every registry plan.
+//
+// If the plan fails mid-run (most relevantly: budget exhaustion at an
+// inner operator), the budget its completed operators spent stays spent
+// — the kernel's accounting is the privacy ledger and cannot be rolled
+// back — but no measurements enter the log.
+func (d *Dataset) MeasurePlan(name string, eps float64, params plans.Params) (PlanResult, error) {
+	g, err := plans.GraphByName(name, d.n, eps, params)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	sess := d.kern.NewSession()
+	env := ops.NewEnv(sess.Bind(d.root))
+	execErr := func() (err error) {
+		// A panicking operator must take the same exit as an erroring one:
+		// without this recover, the persist below is skipped and the
+		// budget charged before the panic is re-granted after a restart.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%w: plan %q: %v", ErrPlanPanic, name, r)
+			}
+		}()
+		_, err = g.ExecuteEnv(env)
+		return err
+	}()
+	if execErr != nil {
+		// The operators that completed before the failure have already
+		// charged the kernel, and that spend is permanent. Persist it even
+		// though no measurements land: a snapshot frozen at the
+		// pre-failure consumption would let a restarted server re-grant
+		// the spent budget — the exact violation persistence exists to
+		// prevent.
+		d.mu.Lock()
+		if perr := d.persistLocked(); perr != nil {
+			log.Printf("serve: dataset %q: snapshot persist after failed plan: %v", d.name, perr)
+		}
+		d.mu.Unlock()
+		return PlanResult{}, execErr
+	}
+	nb := env.MS.NumBlocks()
+	blocks := make([]measBlock, 0, nb)
+	rows := 0
+	for i := 0; i < nb; i++ {
+		m, y, scale := env.MS.Block(i)
+		blocks = append(blocks, measBlock{m: m, y: y, scale: scale})
+		rows += len(y)
+	}
+	blocks = canonicalBlocks(blocks)
+	d.mu.Lock()
+	d.commitBlocksLocked(blocks)
+	gen := d.gen
+	d.mu.Unlock()
+	consumed := d.kern.Consumed()
+	return PlanResult{
+		Plan:       name,
+		Signature:  g.Signature(),
+		Trace:      env.Trace,
+		Rows:       rows,
+		EpsCharged: sess.Consumed(),
+		Consumed:   consumed,
+		Remaining:  d.kern.EpsTotal() - consumed,
+		Generation: gen,
+	}, nil
 }
 
 // refreshLocked rebuilds the estimate panel from the measurement log
@@ -458,6 +646,7 @@ func (d *Dataset) refreshLocked() error {
 	} else {
 		res = solver.CGLSMulti(av, panelY, k, opts)
 	}
+	d.panelSolves++
 	d.panel, d.k = res.X, k
 	d.solveIterations, d.solveConverged = res.Iterations, res.Converged
 	if !res.Converged {
@@ -485,6 +674,10 @@ type QueryResult struct {
 	// server's MaxIter and the answers may be degraded.
 	SolveIterations int  `json:"solve_iterations"`
 	SolveConverged  bool `json:"solve_converged"`
+	// Cached marks an answer served from the workload cache: the same
+	// workload was answered earlier at the same measurement-log
+	// generation with the same solver, so no panel work ran at all.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Query answers a workload of 1-D ranges against the dataset's current
@@ -503,17 +696,38 @@ func (d *Dataset) Query(ranges []mat.Range1D) (QueryResult, error) {
 }
 
 // refreshedPanel refreshes the estimate panel if stale and returns it
-// with its solve state. The lock is released by defer so that a panic
-// inside the refresh (assembly or block solve) unwinds with d.mu free —
-// the batcher's recover keeps serving instead of deadlocking every
-// later lock attempt on the dataset.
-func (d *Dataset) refreshedPanel() (panel []float64, k, solveIters int, solveConv bool, err error) {
+// with its solve state plus the (generation, solver) pair the panel
+// belongs to, so cached answers are keyed to exactly the log state that
+// produced them. The lock is released by defer so that a panic inside
+// the refresh (assembly or block solve) unwinds with d.mu free — the
+// batcher's recover keeps serving instead of deadlocking every later
+// lock attempt on the dataset.
+func (d *Dataset) refreshedPanel() (panel []float64, k, solveIters int, solveConv bool, gen uint64, solverName string, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.refreshLocked(); err != nil {
-		return nil, 0, 0, false, err
+		return nil, 0, 0, false, 0, "", err
 	}
-	return d.panel, d.k, d.solveIterations, d.solveConverged, nil
+	return d.panel, d.k, d.solveIterations, d.solveConverged, d.gen, d.solver, nil
+}
+
+// answerCachedRequests answers every request whose workload is cached
+// at the given (generation, solver) and returns the remaining misses.
+func (d *Dataset) answerCachedRequests(reqs []*queryReq, gen uint64, solverName string) []*queryReq {
+	if d.cache == nil {
+		return reqs
+	}
+	misses := reqs[:0]
+	for _, r := range reqs {
+		key := cacheKey{gen: gen, fp: fingerprintRanges(r.ranges), solver: solverName}
+		if res, ok := d.cache.get(key, r.ranges); ok {
+			res.Cached = true
+			r.resp <- queryResp{result: res}
+			continue
+		}
+		misses = append(misses, r)
+	}
+	return misses
 }
 
 // answerBatch answers a coalesced batch of client workloads with one
@@ -522,7 +736,22 @@ func (d *Dataset) refreshedPanel() (panel []float64, k, solveIters int, solveCon
 // the product yields its answers (column 0) and bootstrap standard
 // errors (columns 1..R).
 func (d *Dataset) answerBatch(reqs []*queryReq) {
-	panel, k, solveIters, solveConv, err := d.refreshedPanel()
+	// Cache pass first: a workload answered earlier at the current
+	// (generation, solver) is served verbatim, without refreshing the
+	// panel — a hit costs zero solver iterations and zero MatMat work
+	// even when the panel is stale for other reasons. The generation is
+	// read before the refresh; if a measurement lands in between, the
+	// cached responses are still exact answers of the generation they
+	// were computed at (the same linearization any earlier query had).
+	d.mu.Lock()
+	gen, solverName := d.gen, d.solver
+	d.mu.Unlock()
+	reqs = d.answerCachedRequests(reqs, gen, solverName)
+	if len(reqs) == 0 {
+		return
+	}
+
+	panel, k, solveIters, solveConv, panelGen, panelSolver, err := d.refreshedPanel()
 	if err != nil {
 		for _, r := range reqs {
 			r.resp <- queryResp{err: err}
@@ -566,6 +795,18 @@ func (d *Dataset) answerBatch(reqs []*queryReq) {
 				}
 				res.Stderr[i] = math.Sqrt(ss / float64(k-1))
 			}
+		}
+		// Memoize without the batch metadata: the cached value is the
+		// answer of this (generation, solver) panel, not of this batch.
+		// Entries keyed to a generation that moved on mid-batch are
+		// unreachable (lookups always use the current generation) and are
+		// evicted by the LRU.
+		if d.cache != nil {
+			stored := res
+			stored.BatchQueries = m
+			stored.BatchClients = 1
+			key := cacheKey{gen: panelGen, fp: fingerprintRanges(r.ranges), solver: panelSolver}
+			d.cache.put(key, r.ranges, stored)
 		}
 		r.resp <- queryResp{result: res}
 		off += m
