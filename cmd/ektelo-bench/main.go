@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|matvec|gram|serve|sweep|all [-full] [-json FILE] [-par N,M]
+//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|matvec|gram|serve|sweep|incremental|all [-full] [-json FILE] [-par N,M]
 //
 // Without -full the quick configurations run (small domains, seconds);
 // with -full the paper-scale configurations run (up to the 1.4M-cell
@@ -11,11 +11,13 @@
 // parallel mat-vec engine, the gram experiment benchmarks the blocked
 // Gram kernels against the column-at-a-time baseline, the serve
 // experiment load-tests the ektelo-serve query front end at 1 vs N
-// parallel clients (-par doubles as the client-count list), and the
-// sweep experiment prices one strategy across a multi-epsilon grid in a
-// single LSMRMulti/NNLSMulti panel solve vs per-column scalar solves;
-// with -json each records its report (BENCH_1..4.json) so the perf
-// trajectory is tracked in-repo.
+// parallel clients (-par doubles as the client-count list), the sweep
+// experiment prices one strategy across a multi-epsilon grid in a
+// single LSMRMulti/NNLSMulti panel solve vs per-column scalar solves,
+// and the incremental experiment measures an MWEM/DAWA-style
+// append-query loop on the warm (incremental) vs forced-cold refresh
+// path; with -json each records its report (BENCH_1..6.json) so the
+// perf trajectory is tracked in-repo.
 package main
 
 import (
@@ -42,25 +44,26 @@ func main() {
 	flag.Parse()
 
 	runners := map[string]func(bool){
-		"table4": runTable4,
-		"table5": runTable5,
-		"table6": runTable6,
-		"fig3":   runFig3,
-		"fig4a":  runFig4a,
-		"fig4b":  runFig4b,
-		"fig5":   runFig5,
-		"matvec": runMatVec,
-		"gram":   runGram,
-		"serve":  runServe,
-		"sweep":  runSweep,
+		"table4":      runTable4,
+		"table5":      runTable5,
+		"table6":      runTable6,
+		"fig3":        runFig3,
+		"fig4a":       runFig4a,
+		"fig4b":       runFig4b,
+		"fig5":        runFig5,
+		"matvec":      runMatVec,
+		"gram":        runGram,
+		"serve":       runServe,
+		"sweep":       runSweep,
+		"incremental": runIncremental,
 	}
-	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6", "matvec", "gram", "serve", "sweep"}
+	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6", "matvec", "gram", "serve", "sweep", "incremental"}
 
 	if *exp == "all" {
 		// The benchmark experiments would write the same -json file in
 		// turn, the later clobbering the earlier; require a specific one.
 		if *jsonOut != "" {
-			fmt.Fprintln(os.Stderr, "-json requires a single benchmark experiment (matvec, gram, serve or sweep), not -exp all")
+			fmt.Fprintln(os.Stderr, "-json requires a single benchmark experiment (matvec, gram, serve, sweep or incremental), not -exp all")
 			os.Exit(2)
 		}
 		for _, name := range order {
@@ -216,6 +219,14 @@ func runServe(bool) {
 	done := banner("Serve front end: requests/sec at 1 vs N parallel clients")
 	rep := experiments.ServeBench(parLevels())
 	fmt.Print(experiments.ServeBenchString(rep))
+	writeJSONReport(rep)
+	done()
+}
+
+func runIncremental(full bool) {
+	done := banner("Incremental refresh: warm vs cold panel rebuild per appended generation")
+	rep := experiments.IncrementalBench(full)
+	fmt.Print(experiments.IncrementalBenchString(rep))
 	writeJSONReport(rep)
 	done()
 }

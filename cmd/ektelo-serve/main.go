@@ -6,13 +6,21 @@
 // Usage:
 //
 //	ektelo-serve [-addr :8199] [-window 250us] [-replicates 3]
-//	             [-solver lsmr|cgls] [-state-dir DIR] [-plan-cache 256]
-//	             [-preload name:kind:n:scale:seed:eps ...]
+//	             [-solver lsmr|cgls|normal] [-state-dir DIR]
+//	             [-plan-cache 256] [-preload name:kind:n:scale:seed:eps ...]
 //
 // The estimate panel behind every answer is solved by the block solver
 // named with -solver: lsmr (solver.LSMRMulti, the paper's §7.6 solver;
-// the default) or cgls (solver.CGLSMulti). A dataset created over HTTP
-// may override the choice per dataset with the "solver" field.
+// the default), cgls (solver.CGLSMulti), or normal (solver.NormalMulti
+// over incrementally maintained normal-equation state — refreshes after
+// new measurements cost O(delta rows) instead of a full re-solve, with
+// answers bit-identical to a cold rebuild; see the internal/serve
+// package docs). A dataset created over HTTP may override the choice
+// per dataset with the "solver" field, and may set "damping" (lsmr and
+// normal only) to a Tikhonov λ that regularizes ill-conditioned
+// measurement logs. The iterative solvers also refresh incrementally:
+// each refresh warm-starts from the previous generation's panel and
+// stops at the cold solve's absolute convergence target.
 //
 // With -state-dir every measurement persists the dataset's log as a
 // versioned snapshot under that directory, and re-creating a dataset

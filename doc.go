@@ -7,8 +7,9 @@
 // cmd/ektelo-bench — which regenerates every table and figure of the
 // paper's evaluation plus the engine (-exp matvec), blocked-Gram
 // (-exp gram), serve-load (-exp serve, and -exp serve -plan for the
-// plan-mode/cache load) and multi-epsilon-sweep (-exp sweep) benchmarks
-// that record the repo's performance trajectory (BENCH_1..5.json) — and
+// plan-mode/cache load), multi-epsilon-sweep (-exp sweep) and
+// incremental-refresh (-exp incremental) benchmarks that record the
+// repo's performance trajectory (BENCH_1..6.json) — and
 // cmd/ektelo-serve, the HTTP/JSON query service.
 //
 // # Architecture: operator layer, session kernel, serve front end
@@ -36,11 +37,12 @@
 // sessions, and a per-dataset batcher — hardened to survive a
 // panicking batch — that coalesces concurrent clients' range workloads
 // into one mat.MatMat panel pass over an estimate panel solved by a
-// block solver (solver.LSMRMulti or solver.CGLSMulti, selected by
-// Config.Solver or per dataset at create time; column 0 the LS
-// estimate, the rest parametric-bootstrap replicates that price
-// per-answer error bars into the same solve, with the solve's
-// convergence state surfaced to clients).
+// block solver (solver.LSMRMulti, solver.CGLSMulti or the direct
+// normal-equations solver.NormalMulti, selected by Config.Solver or
+// per dataset at create time, optionally with Tikhonov damping;
+// column 0 the LS estimate, the rest parametric-bootstrap replicates
+// that price per-answer error bars into the same solve, with the
+// solve's convergence state surfaced to clients).
 //
 // Measurement is two-mode. Fixed strategies spend budget on a named
 // matrix (identity, hb, …); plan mode (POST /v1/datasets/{name}/plan,
@@ -61,6 +63,20 @@
 // budget* (kernel.RestoreConsumed), making restarts warm and
 // re-spend-proof; the deterministic golden-session test pins the whole
 // create → plan-measure → query → restart → query response stream.
+//
+// Refreshes across measurement generations are incremental rather than
+// from-scratch. The iterative solvers warm-start each panel solve from
+// the previous generation's estimate (Options.X0) and stop at the cold
+// solve's absolute convergence target (Options.TolFloor), so only the
+// delta the new rows introduced is iterated on; the "normal" solver
+// goes further, maintaining cached weighted normal-equation state
+// (Gram and right-hand side) that new measurement blocks fold into via
+// rank-k mat.GramUpdate passes — O(delta rows) per refresh, with
+// answers bit-identical to a cold rebuild and well-defined cold
+// fallbacks (weight-cap changes, snapshot restores, oversized deltas).
+// Snapshots carry the estimate panel, so restarts warm-start too.
+// ektelo-bench -exp incremental records warm-vs-cold refresh cost
+// (BENCH_6.json) and enforces the bit-identity.
 //
 // Every plan bottoms out in internal/mat's implicit mat-vec kernels;
 // those run on a shared parallel, zero-allocation compute engine (see

@@ -1,0 +1,245 @@
+package experiments
+
+// Incremental-refresh benchmark (BENCH_6.json): an MWEM/DAWA-style
+// append loop — measure, refresh the estimate, query, repeat — driven
+// against two identically seeded serve datasets, one on the incremental
+// solve path (the default) and one forced cold (Config.ColdRefresh).
+// Only the refresh is timed, so the reported ratio is exactly what the
+// incremental path claims: the cost of absorbing one appended
+// generation versus rebuilding from the whole log.
+//
+// The headline phase runs the "normal" solver, where the warm path
+// folds just the delta block into cached Gram/RHS state (mat.GramUpdate
+// + mat.AddScaledTMatMat) and both paths promise *bit-identical*
+// answers — the phase asserts that equality (answers and standard
+// errors) every round and panics on the first mismatch, and panics if
+// the warm path comes out less than 2× faster. A second phase runs the
+// same loop on LSMR, where warm starts seed the Krylov solve from the
+// previous generation's panel: answers there agree to solver tolerance
+// (asserted ≤ 1e-6 relative), and the phase records the iterations the
+// warm starts avoided.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/serve"
+)
+
+// IncrementalSample is one sampled round of an incremental phase.
+type IncrementalSample struct {
+	Round  int   `json:"round"`
+	Rows   int   `json:"rows"` // log rows after this round's append
+	WarmNs int64 `json:"warm_ns"`
+	ColdNs int64 `json:"cold_ns"`
+}
+
+// IncrementalPhaseReport is one solver's warm-vs-cold loop.
+type IncrementalPhaseReport struct {
+	Solver       string `json:"solver"`
+	Domain       int    `json:"domain"`
+	Rounds       int    `json:"rounds"`
+	RowsPerRound int    `json:"rows_per_round"`
+	// WarmNs / ColdNs are total refresh time across all rounds on the
+	// incremental and the forced-cold dataset; Speedup is their ratio.
+	WarmNs  int64   `json:"warm_ns"`
+	ColdNs  int64   `json:"cold_ns"`
+	Speedup float64 `json:"speedup"`
+	// WarmRefreshes / ColdFallbacks are the incremental dataset's own
+	// refresh counters (a fallback is a refresh that had to rebuild).
+	WarmRefreshes int `json:"warm_refreshes"`
+	ColdFallbacks int `json:"cold_fallbacks"`
+	// WarmIterations / ColdIterations sum the per-refresh solver
+	// iterations on each dataset; SavedIterations is the incremental
+	// dataset's own estimate (iterative solvers only).
+	WarmIterations  int `json:"warm_iterations"`
+	ColdIterations  int `json:"cold_iterations"`
+	SavedIterations int `json:"saved_iterations"`
+	// MaxRelDeviation is the largest |warm − cold| / (1 + |cold|) over
+	// every answer of every round; BitIdentical reports whether every
+	// answer and standard error matched exactly.
+	MaxRelDeviation float64             `json:"max_rel_deviation"`
+	BitIdentical    bool                `json:"bit_identical"`
+	Samples         []IncrementalSample `json:"samples,omitempty"`
+}
+
+// IncrementalBenchReport is the full incremental benchmark output
+// (recorded as BENCH_6.json).
+type IncrementalBenchReport struct {
+	GoVersion  string                 `json:"go_version"`
+	GoMaxProcs int                    `json:"gomaxprocs"`
+	NumCPU     int                    `json:"num_cpu"`
+	Normal     IncrementalPhaseReport `json:"normal"`
+	LSMR       IncrementalPhaseReport `json:"lsmr"`
+}
+
+// IncrementalBench runs both phases. With full=false the quick
+// configuration runs (seconds); full scales the domain and round count
+// toward the paper-style workloads.
+func IncrementalBench(full bool) IncrementalBenchReport {
+	rep := IncrementalBenchReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if full {
+		rep.Normal = incrementalPhase(serve.SolverNormal, 256, 150)
+		rep.LSMR = incrementalPhase(serve.SolverLSMR, 128, 50)
+	} else {
+		rep.Normal = incrementalPhase(serve.SolverNormal, 64, 100)
+		rep.LSMR = incrementalPhase(serve.SolverLSMR, 64, 30)
+	}
+	if rep.Normal.Speedup < 2 {
+		panic(fmt.Sprintf("incremental bench: normal-mode warm refresh only %.2fx faster than cold (acceptance floor 2x)",
+			rep.Normal.Speedup))
+	}
+	return rep
+}
+
+// incrementalPhase drives the append loop for one solver and returns
+// its record. Both datasets share a seed, so their measurement noise —
+// and, for the normal solver, their per-block bootstrap noise — is
+// identical draw for draw; any answer divergence is the solve path's.
+func incrementalPhase(solverName string, domain, rounds int) IncrementalPhaseReport {
+	warmSrv := serve.New(serve.Config{})
+	defer warmSrv.Close()
+	coldSrv := serve.New(serve.Config{ColdRefresh: true})
+	defer coldSrv.Close()
+
+	const seed, epsTotal, epsRound = 11, 100, 0.1
+	wd, err := warmSrv.CreateDatasetWithOptions("inc", "piecewise", domain, 1e6, seed, epsTotal, solverName, 0)
+	if err != nil {
+		panic(err)
+	}
+	cd, err := coldSrv.CreateDatasetWithOptions("inc", "piecewise", domain, 1e6, seed, epsTotal, solverName, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	// A fixed range workload queried every round, so the answer
+	// comparison covers the whole loop, not just the final state.
+	const nq = 32
+	ranges := make([]mat.Range1D, nq)
+	for q := range ranges {
+		lo := (q * 37) % (domain - domain/4)
+		ranges[q] = mat.Range1D{Lo: lo, Hi: lo + domain/4 - 1}
+	}
+
+	rec := IncrementalPhaseReport{Solver: solverName, Domain: domain, Rounds: rounds, BitIdentical: true}
+	sampleEvery := rounds / 10
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	var warmNs, coldNs int64
+	for round := 1; round <= rounds; round++ {
+		rows, err := wd.Measure("h2", epsRound)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := cd.Measure("h2", epsRound); err != nil {
+			panic(err)
+		}
+		rec.RowsPerRound = rows
+
+		start := time.Now()
+		if err := wd.Refresh(); err != nil {
+			panic(err)
+		}
+		w := time.Since(start).Nanoseconds()
+		start = time.Now()
+		if err := cd.Refresh(); err != nil {
+			panic(err)
+		}
+		c := time.Since(start).Nanoseconds()
+		warmNs += w
+		coldNs += c
+		if round%sampleEvery == 0 {
+			rec.Samples = append(rec.Samples, IncrementalSample{
+				Round: round, Rows: round * rows, WarmNs: w, ColdNs: c,
+			})
+		}
+
+		wres, err := wd.Query(ranges)
+		if err != nil {
+			panic(err)
+		}
+		cres, err := cd.Query(ranges)
+		if err != nil {
+			panic(err)
+		}
+		rec.WarmIterations += wres.SolveIterations
+		rec.ColdIterations += cres.SolveIterations
+		compareRound(&rec, solverName, round, wres, cres)
+	}
+	rec.WarmNs, rec.ColdNs = warmNs, coldNs
+	if warmNs > 0 {
+		rec.Speedup = float64(coldNs) / float64(warmNs)
+	}
+	sum := wd.Summary()
+	rec.WarmRefreshes = sum.WarmRefreshes
+	rec.ColdFallbacks = sum.ColdRefreshes
+	rec.SavedIterations = sum.SavedIterations
+	return rec
+}
+
+// compareRound checks one round's warm-vs-cold answers. The normal
+// solver must match bit for bit (answers and standard errors); the
+// iterative solvers must agree to 1e-6 relative.
+func compareRound(rec *IncrementalPhaseReport, solverName string, round int, wres, cres serve.QueryResult) {
+	if len(wres.Answers) != len(cres.Answers) || len(wres.Stderr) != len(cres.Stderr) {
+		panic(fmt.Sprintf("incremental bench: %s round %d: answer shape mismatch", solverName, round))
+	}
+	for i, cv := range cres.Answers {
+		wv := wres.Answers[i]
+		if wv != cv {
+			rec.BitIdentical = false
+		}
+		if rel := relDev(wv, cv); rel > rec.MaxRelDeviation {
+			rec.MaxRelDeviation = rel
+		}
+	}
+	for i, cv := range cres.Stderr {
+		if wres.Stderr[i] != cv {
+			rec.BitIdentical = false
+		}
+	}
+	if solverName == serve.SolverNormal && !rec.BitIdentical {
+		panic(fmt.Sprintf("incremental bench: normal-mode warm and cold answers diverged at round %d (max rel dev %g)",
+			round, rec.MaxRelDeviation))
+	}
+	if rec.MaxRelDeviation > 1e-6 {
+		panic(fmt.Sprintf("incremental bench: %s round %d: warm-vs-cold deviation %g exceeds 1e-6",
+			solverName, round, rec.MaxRelDeviation))
+	}
+}
+
+func relDev(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	ab := b
+	if ab < 0 {
+		ab = -ab
+	}
+	return d / (1 + ab)
+}
+
+// IncrementalBenchString renders the report as tables.
+func IncrementalBenchString(rep IncrementalBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "incremental refresh (%s, GOMAXPROCS=%d, NumCPU=%d)\n",
+		rep.GoVersion, rep.GoMaxProcs, rep.NumCPU)
+	fmt.Fprintf(&b, "%-8s %7s %7s %10s %12s %12s %9s %14s %13s\n",
+		"solver", "domain", "rounds", "rows/round", "warm ms", "cold ms", "speedup", "saved iters", "bitwise")
+	for _, p := range []IncrementalPhaseReport{rep.Normal, rep.LSMR} {
+		fmt.Fprintf(&b, "%-8s %7d %7d %10d %12.2f %12.2f %8.2fx %14d %13v\n",
+			p.Solver, p.Domain, p.Rounds, p.RowsPerRound,
+			float64(p.WarmNs)/1e6, float64(p.ColdNs)/1e6, p.Speedup,
+			p.SavedIterations, p.BitIdentical)
+	}
+	return b.String()
+}

@@ -166,8 +166,11 @@ type createRequest struct {
 	Seed     uint64  `json:"seed"`
 	EpsTotal float64 `json:"eps_total"`
 	// Solver optionally overrides the server's estimate-panel solver for
-	// this dataset: "cgls" or "lsmr" (empty: server default).
+	// this dataset: "cgls", "lsmr" or "normal" (empty: server default).
 	Solver string `json:"solver,omitempty"`
+	// Damping is the Tikhonov parameter λ applied to the dataset's panel
+	// solves (lsmr and normal solvers only; zero disables it).
+	Damping float64 `json:"damping,omitempty"`
 }
 
 func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
@@ -185,7 +188,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	// The dataset is constructed directly on the requested solver, so
 	// there is no window where its batcher answers with the default.
-	d, err := s.CreateDatasetWithSolver(req.Name, req.Kind, req.N, req.Scale, req.Seed, req.EpsTotal, req.Solver)
+	d, err := s.CreateDatasetWithOptions(req.Name, req.Kind, req.N, req.Scale, req.Seed, req.EpsTotal, req.Solver, req.Damping)
 	if err != nil {
 		writeErr(w, clientErr(err))
 		return

@@ -21,19 +21,25 @@ import (
 // and, crucially, cannot re-grant budget that was spent before the
 // restart (Kernel.RestoreConsumed replays the consumption).
 //
-// Snapshot format (version 1): one JSON object per dataset with the
+// Snapshot format (version 2): one JSON object per dataset with the
 // dataset identity (name, domain, eps_total), the spent budget, the log
 // generation and the measurement blocks. Each block stores the query
 // matrix over the root domain — dense row-major when ≥⅓ of the entries
 // are nonzero, coordinate triplets otherwise — plus the noisy answers
-// and the per-row noise scale. The loader validates everything before
-// committing: a corrupted, truncated or version-skewed snapshot returns
-// an error, never a partial log.
+// and the per-row noise scale. Version 2 adds the estimate panel as it
+// stood when the snapshot was taken (one generation behind the log,
+// since snapshots are written on commit, before the refresh): a
+// restarted server warm-starts its first solve from it instead of from
+// zero. The loader validates everything before committing: a corrupted,
+// truncated or version-skewed snapshot returns an error, never a
+// partial log.
 
-// snapshotVersion is the current on-disk format version. Loaders reject
-// other versions outright: guessing at a skewed layout risks loading a
-// wrong measurement log, which is worse than refusing to start.
-const snapshotVersion = 1
+// snapshotVersion is the current on-disk format version. Loaders accept
+// the current version and version 1 (which simply lacks the optional
+// warm-start panel) and reject anything else outright: guessing at a
+// skewed layout risks loading a wrong measurement log, which is worse
+// than refusing to start.
+const snapshotVersion = 2
 
 // maxSnapshotDomain bounds the domain (and so every matrix dimension) a
 // loader will accept, so hostile or corrupted snapshots cannot force
@@ -69,6 +75,13 @@ type snapshot struct {
 	Consumed   float64         `json:"consumed"`
 	Generation uint64          `json:"generation"`
 	Blocks     []snapshotBlock `json:"blocks"`
+	// Panel is the domain×PanelK row-major estimate panel at snapshot
+	// time (version ≥ 2, omitted when no solve had run yet). It is a
+	// warm-start seed, not authoritative state: a loader may ignore it,
+	// and the first refresh after restore recomputes the answers from
+	// the measurement log regardless.
+	Panel  []float64 `json:"panel,omitempty"`
+	PanelK int       `json:"panel_k,omitempty"`
 }
 
 // canonicalMatrix re-represents a measurement matrix in the snapshot
@@ -227,7 +240,7 @@ func loadSnapshot(data []byte) (*snapshot, []measBlock, error) {
 	if dec.More() {
 		return nil, nil, fmt.Errorf("%w: trailing data after snapshot object", ErrSnapshot)
 	}
-	if s.Version != snapshotVersion {
+	if s.Version != snapshotVersion && s.Version != 1 {
 		return nil, nil, fmt.Errorf("%w: version %d, loader supports %d", ErrSnapshot, s.Version, snapshotVersion)
 	}
 	if s.Domain <= 0 || s.Domain > maxSnapshotDomain {
@@ -238,6 +251,19 @@ func loadSnapshot(data []byte) (*snapshot, []measBlock, error) {
 	}
 	if !(s.Consumed >= 0) || s.Consumed > s.EpsTotal+1e-9 {
 		return nil, nil, fmt.Errorf("%w: consumed %g outside [0, %g]", ErrSnapshot, s.Consumed, s.EpsTotal)
+	}
+	if s.Panel != nil {
+		if s.PanelK < 1 || s.Domain > maxSnapshotDomain/s.PanelK || len(s.Panel) != s.Domain*s.PanelK {
+			return nil, nil, fmt.Errorf("%w: panel length %d against domain %d × k %d",
+				ErrSnapshot, len(s.Panel), s.Domain, s.PanelK)
+		}
+		for _, v := range s.Panel {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, fmt.Errorf("%w: non-finite panel entry %g", ErrSnapshot, v)
+			}
+		}
+	} else if s.PanelK != 0 {
+		return nil, nil, fmt.Errorf("%w: panel_k %d without a panel", ErrSnapshot, s.PanelK)
 	}
 	blocks := make([]measBlock, len(s.Blocks))
 	for i, b := range s.Blocks {
@@ -277,6 +303,9 @@ func (d *Dataset) persistLocked() error {
 	}
 	for i, b := range d.blocks {
 		s.Blocks[i] = encodeBlock(b)
+	}
+	if d.panel != nil {
+		s.Panel, s.PanelK = d.panel, d.k
 	}
 	data, err := json.Marshal(&s)
 	if err != nil {
@@ -334,6 +363,15 @@ func (d *Dataset) loadState() error {
 	d.blocks = blocks
 	d.rows = rows
 	d.gen = s.Generation
+	// The persisted panel (one generation behind the log) seeds the first
+	// post-restart solve for the iterative solvers; stale stays true so
+	// that solve still happens before any answer goes out. The "normal"
+	// solver's Gram/RHS accumulators are deliberately not persisted — its
+	// first refresh after a restore rebuilds them cold from the log.
+	if s.Panel != nil {
+		d.panel = append([]float64(nil), s.Panel...)
+		d.k = s.PanelK
+	}
 	d.stale = true
 	return nil
 }

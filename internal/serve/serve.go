@@ -20,17 +20,30 @@
 // budget included) when the dataset is re-created — see persist.go.
 //
 // The estimate panel is refreshed lazily after new measurements by one
-// block solve — solver.LSMRMulti (the paper's named solver) or
-// solver.CGLSMulti, selected by Config.Solver or per dataset at create
-// time: column 0 is the least-squares estimate of the data vector from
-// the full measurement log, and the remaining columns are
-// parametric-bootstrap replicates — the same system solved against
-// re-noised right-hand sides — whose spread yields per-answer standard
-// errors. One block solve prices all columns at one pass over the
-// measurement matrix per iteration, and one MatMat pass prices all
+// block solve — solver.LSMRMulti (the paper's named solver),
+// solver.CGLSMulti, or the direct normal-equations solver.NormalMulti,
+// selected by Config.Solver or per dataset at create time (optionally
+// with Tikhonov damping λ): column 0 is the least-squares estimate of
+// the data vector from the full measurement log, and the remaining
+// columns are parametric-bootstrap replicates — the same system solved
+// against re-noised right-hand sides — whose spread yields per-answer
+// standard errors. One block solve prices all columns at one pass over
+// the measurement matrix per iteration, and one MatMat pass prices all
 // clients' answers and error bars together; the solve's termination
 // state is surfaced through Summary and QueryResult so truncated
 // (non-converged) estimates are visible to clients.
+//
+// Refreshes are incremental across measurement generations. The
+// iterative solvers warm-start from the previous generation's panel
+// and stop at the cold solve's absolute convergence target
+// (refreshLocked); the "normal" solver maintains cached weighted
+// normal-equation state that delta blocks fold into with rank-k
+// mat.GramUpdate passes, making a refresh O(delta rows) with answers
+// bit-identical to a cold rebuild (refreshNormalLocked, which also
+// documents the cold-fallback conditions). Summary reports the
+// warm/cold refresh counters, saved iterations, and the covered versus
+// pending log rows; snapshots carry the estimate panel so restarted
+// datasets warm-start too.
 package serve
 
 import (
@@ -111,6 +124,13 @@ type Config struct {
 	// and creating a dataset with a previously used name loads it back,
 	// budget accounting included.
 	StateDir string
+	// ColdRefresh disables the incremental solve path: every refresh
+	// rebuilds the estimate panel from scratch — no warm-started solves,
+	// no cached normal-equation state. It exists as the measured
+	// baseline of the incremental bench (ektelo-bench -exp incremental)
+	// and as a safety valve; the default (false) serves the same answers
+	// faster.
+	ColdRefresh bool
 }
 
 func (c *Config) fill() {
@@ -140,22 +160,35 @@ func (c *Config) fill() {
 	}
 }
 
-// The block solvers refreshLocked dispatches between. Both run k
-// right-hand sides through one MatMat/TMatMat panel pass per iteration;
-// LSMR is the paper's named solver with the monotone ‖Aᵀr‖ stopping
-// rule, CGLS the original default.
+// The estimate-panel solvers refreshLocked dispatches between. CGLS and
+// LSMR run k right-hand sides through one MatMat/TMatMat panel pass per
+// iteration (LSMR is the paper's named solver with the monotone ‖Aᵀr‖
+// stopping rule, CGLS the original default); "normal" maintains the
+// normal-equation state (Gram matrix + right-hand-side panel)
+// incrementally across generations with rank-k mat.GramUpdate passes
+// and solves it directly per refresh (solver.NormalMulti) — the solve
+// path whose warm and cold answers are bit-identical.
 const (
-	SolverCGLS = "cgls"
-	SolverLSMR = "lsmr"
+	SolverCGLS   = "cgls"
+	SolverLSMR   = "lsmr"
+	SolverNormal = "normal"
 )
 
 // Solvers lists the estimate-panel solvers Config.Solver and the
 // create-dataset endpoint accept.
-func Solvers() []string { return []string{SolverCGLS, SolverLSMR} }
+func Solvers() []string { return []string{SolverCGLS, SolverLSMR, SolverNormal} }
 
 // validSolver reports whether name is accepted ("" means the default).
 func validSolver(name string) bool {
-	return name == "" || name == SolverCGLS || name == SolverLSMR
+	return name == "" || name == SolverCGLS || name == SolverLSMR || name == SolverNormal
+}
+
+// dampSolver reports whether the named solver supports Tikhonov
+// damping (the serve "damping" dataset field): LSMR folds λ into its
+// rotations, the normal path adds λ² to the Gram diagonal; CGLS has no
+// damped form.
+func dampSolver(name string) bool {
+	return name == SolverLSMR || name == SolverNormal
 }
 
 // Server is the query service state: a registry of warm datasets.
@@ -202,6 +235,13 @@ type measBlock struct {
 	m     mat.Matrix
 	y     []float64
 	scale float64
+	// boot is the block's parametric-bootstrap noise — len(y)×(k−1),
+	// row-major — drawn lazily (in log order) the first time a
+	// normal-mode refresh covers the block and reused by every later
+	// refresh, warm or cold, so the two paths see identical replicate
+	// right-hand sides and answer bit-identically. The iterative solvers
+	// keep their redraw-per-refresh semantics and ignore it.
+	boot []float64
 }
 
 // Dataset is one protected dataset's warm serving state.
@@ -220,7 +260,8 @@ type Dataset struct {
 	k      int
 	boot   *rand.Rand // bootstrap noise: public post-processing randomness
 	work   *mat.Workspace
-	solver string // estimate-panel solver (SolverCGLS or SolverLSMR)
+	solver string  // estimate-panel solver (one of Solvers())
+	damp   float64 // Tikhonov λ for lsmr/normal solves (0: none)
 	// gen is the measurement-log generation: bumped every time new
 	// measurements land, it keys the workload cache and stamps snapshots.
 	gen uint64
@@ -231,6 +272,36 @@ type Dataset struct {
 	// QueryResult so clients can detect a truncated (non-converged) solve.
 	solveIterations int
 	solveConverged  bool
+	// panelRows is the measurement-log prefix (in rows) the current
+	// estimate panel covers; d.rows − panelRows is the pending delta the
+	// next refresh must absorb.
+	panelRows int
+
+	// Incremental normal-equation state ("normal" solver): the cached
+	// Gram matrix Σ w_b²·m_bᵀm_b and right-hand-side panel
+	// Σ w_b²·m_bᵀY_b covering the log prefix blocks[:nsBlocks]
+	// (nsRows measurement rows), built at panel width nsK with the
+	// per-block weights nsWeights. A refresh folds only the delta blocks
+	// in with rank-k mat.GramUpdate/mat.AddScaledTMatMat passes; see
+	// refreshNormalLocked for the conditions that drop the state and
+	// rebuild cold.
+	nsG       *mat.Dense
+	nsRHS     []float64
+	nsBlocks  int
+	nsRows    int
+	nsK       int
+	nsWeights []float64
+
+	// Warm-vs-cold refresh accounting, surfaced through Summary:
+	// warmRefreshes reused previous-generation state (a warm-started
+	// iterative solve or an incremental normal-state update),
+	// coldRefreshes rebuilt from scratch, and savedIterations is the
+	// iterative solvers' estimated savings (last cold refresh's
+	// iteration count minus each warm refresh's, summed).
+	warmRefreshes   int
+	coldRefreshes   int
+	savedIterations int
+	baselineIters   int // iterations of the last cold iterative refresh
 
 	// cache memoizes answered workloads per (generation, fingerprint,
 	// solver); nil when disabled.
@@ -249,10 +320,20 @@ func (s *Server) CreateDataset(name, kind string, n int, scale float64, seed uin
 }
 
 // CreateDatasetWithSolver is CreateDataset with a per-dataset estimate
-// solver ("cgls" or "lsmr"; empty uses the server default), so the
+// solver (one of Solvers(); empty uses the server default), so the
 // dataset is constructed — batcher and all — already on the requested
 // solver.
 func (s *Server) CreateDatasetWithSolver(name, kind string, n int, scale float64, seed uint64, epsTotal float64, solverName string) (*Dataset, error) {
+	return s.CreateDatasetWithOptions(name, kind, n, scale, seed, epsTotal, solverName, 0)
+}
+
+// CreateDatasetWithOptions is CreateDatasetWithSolver with the
+// per-dataset Tikhonov damping λ (the HTTP "damping" field): the
+// estimate solve minimizes ‖Ax − y‖² + λ²·‖x − x₀‖², which steadies
+// ill-conditioned or rank-deficient measurement logs (restored
+// snapshots included) at the cost of a small bias. Damping requires a
+// solver with a damped form ("lsmr" or "normal").
+func (s *Server) CreateDatasetWithOptions(name, kind string, n int, scale float64, seed uint64, epsTotal float64, solverName string, damping float64) (*Dataset, error) {
 	// !(x > 0) rather than x <= 0: NaN budgets must not reach the
 	// kernel, whose accounting requires a finite positive total.
 	if n <= 0 || !(epsTotal > 0) || math.IsInf(epsTotal, 0) {
@@ -262,7 +343,7 @@ func (s *Server) CreateDatasetWithSolver(name, kind string, n int, scale float64
 		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownSolver, solverName, Solvers())
 	}
 	x := dataset.Synthetic1D(kind, n, scale, seed)
-	return s.addDataset(name, x, seed, epsTotal, solverName)
+	return s.addDataset(name, x, seed, epsTotal, solverName, damping)
 }
 
 // CreateDatasetFromVector registers a dataset from an explicit data
@@ -271,12 +352,19 @@ func (s *Server) CreateDatasetFromVector(name string, x []float64, seed uint64, 
 	if len(x) == 0 || !(epsTotal > 0) || math.IsInf(epsTotal, 0) {
 		return nil, fmt.Errorf("serve: dataset needs positive domain and finite positive budget")
 	}
-	return s.addDataset(name, x, seed, epsTotal, "")
+	return s.addDataset(name, x, seed, epsTotal, "", 0)
 }
 
-func (s *Server) addDataset(name string, x []float64, seed uint64, epsTotal float64, solverName string) (*Dataset, error) {
+func (s *Server) addDataset(name string, x []float64, seed uint64, epsTotal float64, solverName string, damping float64) (*Dataset, error) {
 	if solverName == "" {
 		solverName = s.cfg.Solver
+	}
+	if math.IsNaN(damping) || math.IsInf(damping, 0) || damping < 0 {
+		return nil, fmt.Errorf("serve: damping must be finite and non-negative, got %g", damping)
+	}
+	if damping > 0 && !dampSolver(solverName) {
+		return nil, fmt.Errorf("serve: solver %q has no damped form (damping needs %q or %q)",
+			solverName, SolverLSMR, SolverNormal)
 	}
 	kern, root := kernel.InitVectorSeeded(x, epsTotal, seed)
 	d := &Dataset{
@@ -288,6 +376,7 @@ func (s *Server) addDataset(name string, x []float64, seed uint64, epsTotal floa
 		boot:   noise.NewRand(seed ^ 0x9e3779b97f4a7c15),
 		work:   mat.NewWorkspace(),
 		solver: solverName,
+		damp:   damping,
 		cache:  newPanelCache(s.cfg.CacheSize),
 	}
 	if s.cfg.StateDir != "" {
@@ -362,8 +451,10 @@ func strategyByName(name string, n int) (mat.Matrix, error) {
 	}
 }
 
-// SetSolver switches the dataset's estimate-panel solver ("cgls" or
-// "lsmr") and marks the panel stale so the next query re-solves with it.
+// SetSolver switches the dataset's estimate-panel solver (one of
+// Solvers()) and marks the panel stale so the next query re-solves with
+// it. Switching away from a damped solver while damping is set is
+// rejected, since the target solver could not honor the dataset's λ.
 func (d *Dataset) SetSolver(name string) error {
 	if name == "" {
 		return nil
@@ -373,6 +464,10 @@ func (d *Dataset) SetSolver(name string) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.damp > 0 && !dampSolver(name) {
+		return fmt.Errorf("serve: dataset %q has damping %g; solver %q has no damped form",
+			d.name, d.damp, name)
+	}
 	if d.solver != name {
 		d.solver = name
 		d.stale = true
@@ -385,6 +480,13 @@ func (d *Dataset) Solver() string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.solver
+}
+
+// Damping returns the dataset's Tikhonov λ (0 when undamped).
+func (d *Dataset) Damping() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.damp
 }
 
 // Summary is a dataset's public state.
@@ -409,6 +511,22 @@ type Summary struct {
 	// measurement landing); PanelSolves counts block solves actually run.
 	Generation  uint64 `json:"generation"`
 	PanelSolves int    `json:"panel_solves"`
+	// Damping is the dataset's Tikhonov λ (0: plain least squares).
+	Damping float64 `json:"damping"`
+	// WarmRefreshes / ColdRefreshes split the panel refreshes between
+	// the incremental path (previous-generation state reused: a
+	// warm-started iterative solve or a rank-k normal-state update) and
+	// from-scratch rebuilds; SavedIterations estimates the iterative
+	// solver iterations the warm starts avoided (baselined against the
+	// last cold refresh).
+	WarmRefreshes   int `json:"warm_refreshes"`
+	ColdRefreshes   int `json:"cold_refreshes"`
+	SavedIterations int `json:"saved_iterations"`
+	// CoveredRows is the measurement-log prefix (rows) the current
+	// estimate panel covers; PendingRows is the delta the next refresh
+	// must absorb.
+	CoveredRows int `json:"covered_rows"`
+	PendingRows int `json:"pending_rows"`
 	// Cache reports the workload-answer cache counters.
 	Cache CacheStats `json:"cache"`
 }
@@ -417,9 +535,11 @@ type Summary struct {
 func (d *Dataset) Summary() Summary {
 	d.mu.Lock()
 	blocks, rows := len(d.blocks), d.rows
-	solverName := d.solver
+	solverName, damping := d.solver, d.damp
 	solveIters, solveConv := d.solveIterations, d.solveConverged
 	gen, solves := d.gen, d.panelSolves
+	warm, cold, saved := d.warmRefreshes, d.coldRefreshes, d.savedIterations
+	covered := d.panelRows
 	d.mu.Unlock()
 	// One Consumed() read keeps the budget triple internally consistent
 	// (consumed + remaining == eps_total) even while other sessions are
@@ -440,6 +560,12 @@ func (d *Dataset) Summary() Summary {
 		SolveConverged:  solveConv,
 		Generation:      gen,
 		PanelSolves:     solves,
+		Damping:         damping,
+		WarmRefreshes:   warm,
+		ColdRefreshes:   cold,
+		SavedIterations: saved,
+		CoveredRows:     covered,
+		PendingRows:     rows - covered,
 		Cache:           d.cache.snapshot(),
 	}
 }
@@ -484,6 +610,9 @@ func canonicalBlocks(blocks []measBlock) []measBlock {
 // lock because implicit-matrix extraction is real matvec work; what
 // stays inside is append/bump plus the snapshot encode+write, so
 // concurrent queries are never answered from a half-committed log.
+// Appending advances d.rows while d.panelRows stays at the covered
+// prefix — the gap between the two is the generation delta the next
+// refresh absorbs incrementally (Summary reports it as PendingRows).
 func (d *Dataset) commitBlocksLocked(blocks []measBlock) {
 	for _, b := range blocks {
 		d.blocks = append(d.blocks, b)
@@ -591,15 +720,22 @@ func (d *Dataset) MeasurePlan(name string, eps float64, params plans.Params) (Pl
 	}, nil
 }
 
-// refreshLocked rebuilds the estimate panel from the measurement log
-// with one block solve (LSMRMulti or CGLSMulti per d.solver). Caller
-// holds d.mu.
+// refreshLocked brings the estimate panel up to date with one block
+// solve. The "normal" solver takes the incremental normal-equation path
+// (refreshNormalLocked); the iterative solvers (LSMRMulti or CGLSMulti
+// per d.solver) re-solve the full weighted system, warm-started from
+// the previous generation's panel when one with the same shape exists —
+// the solver then works off only the delta the new measurement rows
+// introduced. Caller holds d.mu.
 func (d *Dataset) refreshLocked() error {
 	if !d.stale && d.panel != nil {
 		return nil
 	}
 	if len(d.blocks) == 0 {
 		return fmt.Errorf("dataset %q: %w", d.name, ErrNoMeasurements)
+	}
+	if d.solver == SolverNormal {
+		return d.refreshNormalLocked()
 	}
 	// Assemble the weighted system through the inference layer's
 	// measurement log (same weighting rules as the plan layer).
@@ -639,7 +775,22 @@ func (d *Dataset) refreshLocked() error {
 			}
 		}
 	}
-	opts := solver.Options{MaxIter: d.cfg.MaxIter, Work: d.work}
+	opts := solver.Options{MaxIter: d.cfg.MaxIter, Work: d.work, Damp: d.damp}
+	// Warm start: the previous generation's estimate panel (possibly
+	// restored from a snapshot) seeds the solve whenever its shape still
+	// matches; a converged panel plus a small row delta then costs a few
+	// iterations instead of a full re-solve. The TolFloor pins each
+	// column's convergence target to the cold solve's absolute target
+	// (tol·‖Aᵀy_c‖) — without it the relative rule would make the warm
+	// solve chase tol times its own already-small start residual, a
+	// strictly tighter target that eats the savings. Warm and cold
+	// answers agree to solver tolerance, not bitwise — the "normal"
+	// solver is the bit-identical path (see the solver package docs).
+	warm := !d.cfg.ColdRefresh && d.panel != nil && d.k == k && len(d.panel) == d.n*k
+	if warm {
+		opts.X0 = d.panel
+		opts.TolFloor = d.coldTargets(av, panelY, k)
+	}
 	var res solver.MultiResult
 	if d.solver == SolverLSMR {
 		res = solver.LSMRMulti(av, panelY, k, opts)
@@ -647,7 +798,17 @@ func (d *Dataset) refreshLocked() error {
 		res = solver.CGLSMulti(av, panelY, k, opts)
 	}
 	d.panelSolves++
+	if warm {
+		d.warmRefreshes++
+		if saved := d.baselineIters - res.Iterations; saved > 0 {
+			d.savedIterations += saved
+		}
+	} else {
+		d.coldRefreshes++
+		d.baselineIters = res.Iterations
+	}
 	d.panel, d.k = res.X, k
+	d.panelRows = rows
 	d.solveIterations, d.solveConverged = res.Iterations, res.Converged
 	if !res.Converged {
 		log.Printf("serve: dataset %q: %s panel solve truncated at %d iterations (MaxIter %d); answers may be degraded",
@@ -655,6 +816,158 @@ func (d *Dataset) refreshLocked() error {
 	}
 	d.stale = false
 	return nil
+}
+
+// coldTargets returns the per-column absolute convergence targets a
+// cold solve of the weighted system (av, panelY) would stop at:
+// tol·‖Aᵀy_c‖, the solver's relative rule applied to the zero start's
+// residual y. A warm-started refresh passes these as Options.TolFloor
+// so it stops at the same absolute quality the cold path reaches and
+// actually banks the iterations the warm start saves. Costs one
+// TMatMat pass over the system — about half an iteration. Each
+// column's floor depends only on that column of panelY, preserving
+// per-column determinism. Caller holds d.mu.
+func (d *Dataset) coldTargets(av mat.Matrix, panelY []float64, k int) []float64 {
+	s := d.work.Get(d.n * k)
+	mat.TMatMat(av, s, panelY, k)
+	floors := make([]float64, k)
+	for c := 0; c < k; c++ {
+		var sum float64
+		for i := c; i < len(s); i += k {
+			sum += s[i] * s[i]
+		}
+		floors[c] = solver.DefaultTol * math.Sqrt(sum)
+	}
+	d.work.Put(s)
+	return floors
+}
+
+// blockWeightsLocked computes the per-block inverse-noise weights of
+// the warm log — the same rule as inference.Measurements.Weights
+// (weight 1/scale, capped at 100× the smallest block weight; scale-free
+// blocks get the cap), which is constant within a block because each
+// block has one noise scale. Caller holds d.mu.
+func (d *Dataset) blockWeightsLocked() []float64 {
+	minW := math.Inf(1)
+	for _, b := range d.blocks {
+		if b.scale > 0 && 1/b.scale < minW {
+			minW = 1 / b.scale
+		}
+	}
+	if math.IsInf(minW, 1) {
+		minW = 1
+	}
+	maxW := minW * 100
+	out := make([]float64, len(d.blocks))
+	for i, b := range d.blocks {
+		w := maxW
+		if b.scale > 0 {
+			w = 1 / b.scale
+			if w > maxW {
+				w = maxW
+			}
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// refreshNormalLocked is the "normal" solver's refresh: it maintains
+// the weighted normal-equation state G = Σ w_b²·m_bᵀm_b and
+// B = Σ w_b²·m_bᵀY_b across generations and folds only the delta
+// blocks in with rank-k mat.GramUpdate / mat.AddScaledTMatMat passes —
+// O(delta) accumulation instead of a from-scratch rebuild — then
+// solves (G + ridge + λ²)·X = B directly (solver.NormalMulti). Both
+// accumulators are strictly serial with per-cell adds in log order, so
+// the warm state equals a cold rebuild over the same blocks bit for
+// bit, and the answers are bit-identical between the two paths.
+//
+// The state is dropped and rebuilt cold when it cannot be extended
+// soundly: Config.ColdRefresh, no state yet (first refresh, or the log
+// was restored from a snapshot — the normal state is not persisted),
+// a panel-width change, a per-block weight change on the covered prefix
+// (a new block can move the weight cap applied to old blocks), or a
+// delta larger than the covered prefix (the update would do most of a
+// rebuild's work anyway, so rebuilding keeps one pass). Caller holds
+// d.mu.
+func (d *Dataset) refreshNormalLocked() error {
+	k := 1 + d.cfg.Replicates
+	n := d.n
+	weights := d.blockWeightsLocked()
+	warm := !d.cfg.ColdRefresh && d.nsG != nil && d.nsK == k && d.nsBlocks > 0 &&
+		d.nsBlocks <= len(d.blocks) && d.rows-d.nsRows <= d.nsRows &&
+		len(d.nsWeights) == d.nsBlocks
+	if warm {
+		for i, w := range d.nsWeights {
+			if weights[i] != w {
+				warm = false
+				break
+			}
+		}
+	}
+	if !warm {
+		d.nsG = mat.NewDense(n, n, nil)
+		d.nsRHS = make([]float64, n*k)
+		d.nsBlocks, d.nsRows, d.nsK = 0, 0, k
+	}
+	for bi := d.nsBlocks; bi < len(d.blocks); bi++ {
+		b := &d.blocks[bi]
+		d.ensureBootNoiseLocked(b, k)
+		// The block's rows×k right-hand-side panel: column 0 the measured
+		// answers, columns 1..R the stored bootstrap re-noisings.
+		yb := make([]float64, len(b.y)*k)
+		for i, v := range b.y {
+			yb[i*k] = v
+			for j := 1; j < k; j++ {
+				yb[i*k+j] = v + b.boot[i*(k-1)+(j-1)]
+			}
+		}
+		w := weights[bi]
+		mat.GramUpdate(d.nsG, b.m, w)
+		mat.AddScaledTMatMat(d.nsRHS, b.m, yb, k, w*w)
+		d.nsRows += len(b.y)
+	}
+	d.nsBlocks = len(d.blocks)
+	d.nsWeights = weights
+	res := solver.NormalMulti(d.nsG, d.nsRHS, k, d.damp, d.work)
+	d.panelSolves++
+	if warm {
+		d.warmRefreshes++
+	} else {
+		d.coldRefreshes++
+	}
+	d.panel, d.k = res.X, k
+	d.panelRows = d.nsRows
+	d.solveIterations, d.solveConverged = res.Iterations, res.Converged
+	d.stale = false
+	return nil
+}
+
+// ensureBootNoiseLocked draws the block's parametric-bootstrap noise —
+// (k−1) Laplace draws per row at the block's own scale, row-major —
+// exactly once, from the dataset's bootstrap stream in log order.
+// Because every block's draw is a contiguous, deterministic chunk of
+// the stream consumed in block order, any refresh schedule (one block
+// per refresh, or several batched) yields the same noise per block,
+// which is what keeps warm and cold normal-mode servers bit-identical.
+// Caller holds d.mu.
+func (d *Dataset) ensureBootNoiseLocked(b *measBlock, k int) {
+	if b.boot != nil || k <= 1 {
+		return
+	}
+	b.boot = make([]float64, len(b.y)*(k-1))
+	for i := range b.boot {
+		b.boot[i] = noise.Laplace(d.boot, b.scale)
+	}
+}
+
+// Refresh forces the estimate panel up to date (a no-op when it is not
+// stale), so callers can separate refresh cost from query cost — the
+// incremental bench times exactly this.
+func (d *Dataset) Refresh() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.refreshLocked()
 }
 
 // QueryResult is the answer to one client's range workload.

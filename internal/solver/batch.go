@@ -29,9 +29,11 @@ type MultiResult struct {
 
 // CGLSMulti solves min ‖A·x_c − y_c‖₂ for the k right-hand sides packed
 // in the rows×k row-major panel y, sharing each iteration's matrix
-// applications across columns via MatMat/TMatMat. opts.X0 is ignored
-// (batched solves start from zero, the pseudo-inverse limit); MaxIter,
-// Tol and Work behave as in CGLS, applied per column.
+// applications across columns via MatMat/TMatMat. opts.X0, when
+// non-nil, is a cols×k row-major panel warm-starting every column (see
+// the package docs for the warm-start contract); MaxIter, Tol, TolFloor
+// (length k when set) and Work behave as in CGLS, applied per column.
+// opts.Damp is ignored.
 func CGLSMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 	rows, cols := a.Dims()
 	if k < 1 {
@@ -40,12 +42,22 @@ func CGLSMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 	if len(y) != rows*k {
 		panic("solver: CGLSMulti rhs panel length mismatch")
 	}
+	if len(opts.TolFloor) != 0 && len(opts.TolFloor) != k {
+		panic("solver: CGLSMulti TolFloor length mismatch")
+	}
 	ws := opts.Work
 	x := make([]float64, cols*k)
 	res := MultiResult{X: x, K: k}
 
-	r := ws.Get(rows * k) // residual panel: y - A·X = y (X starts at zero)
+	r := ws.Get(rows * k) // residual panel: y - A·X (= y when X starts at zero)
 	copy(r, y)
+	if opts.X0 != nil {
+		if len(opts.X0) != cols*k {
+			panic("solver: CGLSMulti X0 panel length mismatch")
+		}
+		copy(x, opts.X0)
+		panelResidual(a, r, x, k, ws)
+	}
 	s := ws.Get(cols * k) // s = Aᵀ·R
 	mat.TMatMat(a, s, r, k)
 	p := ws.Get(cols * k)
@@ -57,6 +69,7 @@ func CGLSMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 	alpha := ws.Get(k)
 	beta := ws.Get(k)
 	norm0 := ws.Get(k)
+	target := ws.Get(k)
 	defer func() {
 		ws.Put(r)
 		ws.Put(s)
@@ -68,20 +81,27 @@ func CGLSMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 		ws.Put(alpha)
 		ws.Put(beta)
 		ws.Put(norm0)
+		ws.Put(target)
 	}()
 
+	tol := opts.tol()
 	colDots(s, s, k, gamma)
 	done := make([]bool, k)
 	active := 0
 	for c := 0; c < k; c++ {
 		norm0[c] = math.Sqrt(gamma[c])
-		if norm0[c] == 0 {
-			done[c] = true // zero gradient: the zero solution is optimal
+		target[c] = tol * norm0[c]
+		if len(opts.TolFloor) > 0 && opts.TolFloor[c] > target[c] {
+			target[c] = opts.TolFloor[c]
+		}
+		if norm0[c] == 0 || (len(opts.TolFloor) > 0 && norm0[c] <= target[c]) {
+			// Zero gradient, or the start point already meets the absolute
+			// floor: x_c (zero or X0) stands.
+			done[c] = true
 		} else {
 			active++
 		}
 	}
-	tol := opts.tol()
 	maxIter := opts.maxIter(cols)
 
 	for it := 0; it < maxIter && active > 0; it++ {
@@ -108,7 +128,7 @@ func CGLSMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 				beta[c] = 0
 				continue
 			}
-			if math.Sqrt(gammaNew[c]) <= tol*norm0[c] {
+			if math.Sqrt(gammaNew[c]) <= target[c] {
 				done[c] = true
 				active--
 				beta[c] = 0
@@ -121,6 +141,20 @@ func CGLSMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 	}
 	res.Converged = active == 0
 	return res
+}
+
+// panelResidual subtracts A·X from the rows×k residual panel r (which
+// holds y on entry): one MatMat pass, then the same elementwise
+// y[i] − ax[i] the scalar solvers compute, so a warm-started column's
+// residual is bit-identical to the scalar warm start's.
+func panelResidual(a mat.Matrix, r, x []float64, k int, ws *mat.Workspace) {
+	rows, _ := a.Dims()
+	ax := ws.Get(rows * k)
+	mat.MatMat(a, ax, x, k)
+	for i, v := range ax {
+		r[i] -= v
+	}
+	ws.Put(ax)
 }
 
 // colDots computes per-column dot products of two rows×k panels:

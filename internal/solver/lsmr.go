@@ -14,6 +14,12 @@ import (
 // the estimate ‖Aᵀr_k‖ decreases monotonically, giving a more reliable
 // stopping rule on ill-conditioned systems. From x₀ = 0 it converges to
 // the minimum-norm least-squares solution.
+//
+// With opts.Damp = λ > 0 it minimizes ‖Ax − y‖² + λ²·‖x − x₀‖² instead
+// (the augmented system [A; λI]): the damping folds into the first
+// plane rotation through α̂ = hypot(ᾱ, λ), and the stopping rule then
+// tracks the augmented gradient ‖Âᵀr̂‖. The λ = 0 path is untouched and
+// stays bit-identical to the undamped algorithm.
 func LSMR(a mat.Matrix, y []float64, opts Options) Result {
 	rows, cols := a.Dims()
 	if len(y) != rows {
@@ -46,7 +52,14 @@ func LSMR(a mat.Matrix, y []float64, opts Options) Result {
 		vec.Scale(1/alpha, v)
 	}
 	normAr0 := alpha * beta
-	if normAr0 == 0 { // x0 is already optimal
+	tol := opts.tol()
+	target := tol * normAr0
+	if len(opts.TolFloor) > 0 && opts.TolFloor[0] > target {
+		target = opts.TolFloor[0]
+	}
+	if normAr0 == 0 || (len(opts.TolFloor) > 0 && normAr0 <= target) {
+		// x0 is already optimal, or its gradient already meets the
+		// absolute floor.
 		res.Converged = true
 		return res
 	}
@@ -62,7 +75,6 @@ func LSMR(a mat.Matrix, y []float64, opts Options) Result {
 	copy(h, v)
 	hBar := ws.GetZero(cols)
 
-	tol := opts.tol()
 	maxIter := opts.maxIter(cols)
 	tmpRow := ws.Get(rows)
 	tmpCol := ws.Get(cols)
@@ -94,10 +106,17 @@ func LSMR(a mat.Matrix, y []float64, opts Options) Result {
 			vec.Scale(1/alphaNext, v)
 		}
 
-		// First plane rotation, eliminating β_{k+1}.
+		// First plane rotation, eliminating β_{k+1}. Damping enters here:
+		// the extra λ row of the augmented system is rotated into ᾱ first
+		// (α̂ = hypot(ᾱ, λ)), and the branch keeps the λ = 0 path
+		// bit-identical to the undamped recurrence.
+		alphaHat := alphaBar
+		if opts.Damp > 0 {
+			alphaHat = math.Hypot(alphaBar, opts.Damp)
+		}
 		rhoOld := rho
-		rho = math.Hypot(alphaBar, beta)
-		c := alphaBar / rho
+		rho = math.Hypot(alphaHat, beta)
+		c := alphaHat / rho
 		s := beta / rho
 		theta := s * alphaNext
 		alphaBar = c * alphaNext
@@ -127,7 +146,7 @@ func LSMR(a mat.Matrix, y []float64, opts Options) Result {
 		alpha = alphaNext
 		res.Iterations = k
 		res.Residual = math.Abs(zetaBar) // estimate of ‖Aᵀr_k‖
-		if res.Residual <= tol*normAr0 {
+		if res.Residual <= target {
 			res.Converged = true
 			break
 		}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/vec"
 )
 
 // This file extends the batched multi-RHS tier (see batch.go) with the
@@ -25,9 +26,11 @@ import (
 
 // LSMRMulti solves min ‖A·x_c − y_c‖₂ for the k right-hand sides packed
 // in the rows×k row-major panel y with the block LSMR of Fong & Saunders
-// run column-wise in lockstep. opts.X0 is ignored (batched solves start
-// from zero, the pseudo-inverse limit); MaxIter, Tol and Work behave as
-// in LSMR, applied per column.
+// run column-wise in lockstep. opts.X0, when non-nil, is a cols×k
+// row-major panel warm-starting every column (see the package docs for
+// the warm-start contract), and opts.Damp adds per-column Tikhonov
+// damping exactly as in LSMR; MaxIter, Tol, TolFloor (length k when
+// set) and Work behave as in LSMR, applied per column.
 func LSMRMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 	rows, cols := a.Dims()
 	if k < 1 {
@@ -36,12 +39,22 @@ func LSMRMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 	if len(y) != rows*k {
 		panic("solver: LSMRMulti rhs panel length mismatch")
 	}
+	if len(opts.TolFloor) != 0 && len(opts.TolFloor) != k {
+		panic("solver: LSMRMulti TolFloor length mismatch")
+	}
 	ws := opts.Work
 	x := make([]float64, cols*k)
 	res := MultiResult{X: x, K: k}
 
-	u := ws.Get(rows * k) // left Lanczos panel; starts as the rhs (X = 0)
+	u := ws.Get(rows * k) // left Lanczos panel; starts as the rhs residual
 	copy(u, y)
+	if opts.X0 != nil {
+		if len(opts.X0) != cols*k {
+			panic("solver: LSMRMulti X0 panel length mismatch")
+		}
+		copy(x, opts.X0)
+		panelResidual(a, u, x, k, ws)
+	}
 	v := ws.Get(cols * k)
 	h := ws.Get(cols * k)
 	hBar := ws.GetZero(cols * k)
@@ -58,6 +71,7 @@ func LSMRMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 	cBar := ws.Get(k)
 	sBar := ws.Get(k)
 	normAr0 := ws.Get(k)
+	target := ws.Get(k)
 	coefHBar := ws.Get(k)
 	step := ws.Get(k)
 	coefH := ws.Get(k)
@@ -80,6 +94,7 @@ func LSMRMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 		ws.Put(cBar)
 		ws.Put(sBar)
 		ws.Put(normAr0)
+		ws.Put(target)
 		ws.Put(coefHBar)
 		ws.Put(step)
 		ws.Put(coefH)
@@ -94,10 +109,17 @@ func LSMRMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 	colNorm2(v, k, nil, alpha, sum)
 	colInvScale(alpha, v, k, nil, inv)
 
+	tol := opts.tol()
 	active := 0
 	for c := 0; c < k; c++ {
 		normAr0[c] = alpha[c] * beta[c]
-		if normAr0[c] == 0 { // zero gradient: x_c = 0 is already optimal
+		target[c] = tol * normAr0[c]
+		if len(opts.TolFloor) > 0 && opts.TolFloor[c] > target[c] {
+			target[c] = opts.TolFloor[c]
+		}
+		if normAr0[c] == 0 || (len(opts.TolFloor) > 0 && normAr0[c] <= target[c]) {
+			// Zero gradient, or the start point already meets the absolute
+			// floor: current x_c (zero or X0) stands.
 			done[c] = true
 			continue
 		}
@@ -112,7 +134,6 @@ func LSMRMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 	}
 	copy(h, v)
 
-	tol := opts.tol()
 	maxIter := opts.maxIter(cols)
 	for it := 1; it <= maxIter && active > 0; it++ {
 		lat := latchMask(done, active, k)
@@ -132,10 +153,16 @@ func LSMRMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 			if done[c] {
 				continue
 			}
-			// First plane rotation, eliminating β_{k+1}.
+			// First plane rotation, eliminating β_{k+1}. Damping enters
+			// through α̂ = hypot(ᾱ, λ), the same fold as scalar LSMR; the
+			// branch keeps λ = 0 bit-identical to the undamped recurrence.
+			alphaHat := alphaBar[c]
+			if opts.Damp > 0 {
+				alphaHat = math.Hypot(alphaBar[c], opts.Damp)
+			}
 			rhoOld := rho[c]
-			rho[c] = math.Hypot(alphaBar[c], beta[c])
-			cos := alphaBar[c] / rho[c]
+			rho[c] = math.Hypot(alphaHat, beta[c])
+			cos := alphaHat / rho[c]
 			sin := beta[c] / rho[c]
 			theta := sin * alphaNext[c]
 			alphaBar[c] = cos * alphaNext[c]
@@ -161,7 +188,7 @@ func LSMRMulti(a mat.Matrix, y []float64, k int, opts Options) MultiResult {
 			if done[c] {
 				continue
 			}
-			if math.Abs(zetaBar[c]) <= tol*normAr0[c] { // estimate of ‖Aᵀr_c‖
+			if math.Abs(zetaBar[c]) <= target[c] { // estimate of ‖Aᵀr_c‖
 				done[c] = true
 				active--
 			}
@@ -334,8 +361,10 @@ func colNorm2(a []float64, k int, done []bool, out, sum []float64) {
 // gradient with a shared step 1/L (L is a property of A alone), sharing
 // each iteration's matrix applications across columns via
 // MatMat/TMatMat. Weights, if non-nil, scale each measurement row as in
-// NNLS. opts.X0 is ignored; MaxIter, Tol and Work behave as in NNLS,
-// applied per column with per-column convergence latches.
+// NNLS. opts.X0, when non-nil, is a cols×k row-major panel whose
+// columns (clamped non-negative, as in NNLS) seed the iteration;
+// MaxIter, Tol and Work behave as in NNLS, applied per column with
+// per-column convergence latches. opts.Damp is ignored.
 func NNLSMulti(a mat.Matrix, y []float64, k int, weights []float64, opts Options) MultiResult {
 	ws := opts.Work
 	if k < 1 {
@@ -361,13 +390,26 @@ func NNLSMulti(a mat.Matrix, y []float64, k int, weights []float64, opts Options
 	}
 	x := make([]float64, cols*k)
 	res := MultiResult{X: x, K: k}
+	if opts.X0 != nil {
+		if len(opts.X0) != cols*k {
+			panic("solver: NNLSMulti X0 panel length mismatch")
+		}
+		copy(x, opts.X0)
+		vec.ClampNonNeg(x)
+	}
 	lip := PowerIterLW(a, 30, ws)
 	if lip == 0 {
+		// Zero operator: return the zero panel exactly as scalar NNLS
+		// does, X0 or not.
+		for i := range x {
+			x[i] = 0
+		}
 		res.Converged = true
 		return res
 	}
 	step := 1 / lip
-	z := ws.GetZero(cols * k) // momentum panel; starts at X = 0
+	z := ws.GetZero(cols * k) // momentum panel; starts at X (zero or clamped X0)
+	copy(z, x)
 	xPrev := ws.Get(cols * k)
 	grad := ws.Get(cols * k)
 	resid := ws.Get(rows * k)
@@ -395,7 +437,7 @@ func NNLSMulti(a mat.Matrix, y []float64, k int, weights []float64, opts Options
 		if it == 0 {
 			colNorm2(grad, k, lat, gradNorm0, diff)
 			for c := 0; c < k; c++ {
-				if gradNorm0[c] == 0 { // zero gradient: x_c = 0 is optimal
+				if gradNorm0[c] == 0 { // zero gradient: current x_c (zero or X0) is optimal
 					done[c] = true
 					active--
 				}

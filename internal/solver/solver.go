@@ -13,6 +13,40 @@
 // all k columns, per-column convergence latches, zero allocations per
 // iteration with a warm Options.Work, and per-column results that match
 // the scalar solver bit for bit on Dense/CSR-ordered kernels.
+//
+// # Warm starts
+//
+// Every solver — scalar and batched — honors Options.X0: the solve
+// starts from the given point (a cols×k row-major panel for the Multi
+// forms) and iterates only on the residual the start point leaves. A
+// converged X0 therefore costs zero iterations, and an X0 from a
+// nearby system (the previous generation of an incrementally grown
+// measurement log) costs only the delta. Two caveats define the
+// contract: (1) warm-started Krylov iterates follow a different
+// trajectory than a cold solve of the same system, so warm and cold
+// answers agree to solver tolerance, not bitwise — callers that need
+// bit-identical warm/cold results should use NormalMulti, whose answer
+// depends only on the (deterministically accumulated) Gram state; and
+// (2) on rank-deficient systems the warm-started solution is the one
+// nearest X0, not the minimum-norm one, so callers should fall back to
+// a cold start whenever X0's provenance is doubtful (solver switched,
+// panel shape changed, state restored from a snapshot).
+//
+// Because Tol is relative to the residual of the start point, a warm
+// start alone makes the absolute target tighter (Tol times an
+// already-small warm residual), which can eat every iteration the warm
+// start would save. Callers that want warm solves to stop at the same
+// absolute quality a cold solve reaches should pair X0 with
+// Options.TolFloor set to the cold target Tol·‖Aᵀy_c‖ per column.
+//
+// # Damping
+//
+// Options.Damp adds Tikhonov regularization to LSMR and LSMRMulti:
+// they minimize ‖Ax − y‖² + Damp²·‖x − x₀‖² (x₀ = 0 when X0 is nil),
+// which keeps ill-conditioned systems — rank-deficient logs restored
+// from snapshots, near-collinear measurement sets — from amplifying
+// noise along tiny singular values. NormalMulti applies the same λ² as
+// a diagonal ridge. The other solvers ignore Damp.
 package solver
 
 import (
@@ -29,8 +63,27 @@ type Options struct {
 	MaxIter int
 	// Tol is the relative residual tolerance; 0 means 1e-10.
 	Tol float64
-	// X0 optionally warm-starts the solve; it is not modified.
+	// X0 optionally warm-starts the solve; it is not modified. The Multi
+	// solvers take a cols×k row-major panel (column c seeds right-hand
+	// side c); see the package docs for the warm-start contract.
 	X0 []float64
+	// Damp, when positive, is the Tikhonov parameter λ of LSMR and
+	// LSMRMulti: they minimize ‖Ax − y‖² + λ²·‖x − x₀‖². Zero (the
+	// default) keeps the plain least-squares problem bit-identical to
+	// the undamped code path. Solvers without damping support ignore it.
+	Damp float64
+	// TolFloor, when non-empty, gives per-right-hand-side absolute
+	// floors on the convergence target: column c stops once its
+	// gradient-norm estimate ‖Aᵀr_c‖ falls below
+	// max(Tol·‖Aᵀr₀_c‖, TolFloor[c]), and a start point whose gradient
+	// is already inside the floor costs zero iterations. Warm-started
+	// solves use it to stop at the absolute quality a cold solve would
+	// reach (Tol·‖Aᵀy_c‖) instead of chasing Tol relative to an
+	// already-small warm residual. The Multi solvers require length k;
+	// the scalar solvers read TolFloor[0]; the NNLS family ignores it
+	// (its stopping rule tracks the projected step, not the gradient).
+	// A nil TolFloor leaves the pure relative rule untouched.
+	TolFloor []float64
 	// Work, when non-nil, supplies the solver's internal vectors so that
 	// repeated solves (MWEM rounds, HDMM scoring, per-epsilon trials)
 	// reuse buffers instead of allocating. The returned solution is never
@@ -45,11 +98,16 @@ func (o Options) maxIter(cols int) int {
 	return 2*cols + 100
 }
 
+// DefaultTol is the relative residual tolerance the solvers use when
+// Options.Tol is zero. Exported so callers computing Options.TolFloor
+// (the cold-equivalent target Tol·‖Aᵀy_c‖) can use the same constant.
+const DefaultTol = 1e-10
+
 func (o Options) tol() float64 {
 	if o.Tol > 0 {
 		return o.Tol
 	}
-	return 1e-10
+	return DefaultTol
 }
 
 // Result reports how a solve terminated.
@@ -94,9 +152,15 @@ func CGLS(a mat.Matrix, y []float64, opts Options) Result {
 	norm0 := math.Sqrt(gamma)
 	tol := opts.tol()
 	maxIter := opts.maxIter(cols)
+	target := tol * norm0
+	if len(opts.TolFloor) > 0 && opts.TolFloor[0] > target {
+		target = opts.TolFloor[0]
+	}
 
 	res := Result{X: x}
-	if norm0 == 0 {
+	if norm0 == 0 || (len(opts.TolFloor) > 0 && norm0 <= target) {
+		// Zero gradient, or the start point already meets the absolute
+		// floor: x (zero or X0) stands.
 		res.Converged = true
 		return res
 	}
@@ -113,7 +177,7 @@ func CGLS(a mat.Matrix, y []float64, opts Options) Result {
 		gammaNew := vec.Dot(s, s)
 		res.Iterations = k + 1
 		res.Residual = math.Sqrt(gammaNew)
-		if res.Residual <= tol*norm0 {
+		if res.Residual <= target {
 			res.Converged = true
 			break
 		}
