@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|matvec|gram|serve|sweep|incremental|all [-full] [-json FILE] [-par N,M]
+//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|matvec|gram|serve|sweep|incremental|wal|all [-full] [-json FILE] [-par N,M]
 //
 // Without -full the quick configurations run (small domains, seconds);
 // with -full the paper-scale configurations run (up to the 1.4M-cell
@@ -16,8 +16,11 @@
 // single LSMRMulti/NNLSMulti panel solve vs per-column scalar solves,
 // and the incremental experiment measures an MWEM/DAWA-style
 // append-query loop on the warm (incremental) vs forced-cold refresh
-// path; with -json each records its report (BENCH_1..6.json) so the
-// perf trajectory is tracked in-repo.
+// path, and the wal experiment counts the durable bytes per measurement
+// commit on the write-ahead-log backend vs the legacy full-snapshot
+// rewrite (with a restart bit-identity check); with -json each records
+// its report (BENCH_1..7.json) so the perf trajectory is tracked
+// in-repo.
 package main
 
 import (
@@ -56,14 +59,15 @@ func main() {
 		"serve":       runServe,
 		"sweep":       runSweep,
 		"incremental": runIncremental,
+		"wal":         runWAL,
 	}
-	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6", "matvec", "gram", "serve", "sweep", "incremental"}
+	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6", "matvec", "gram", "serve", "sweep", "incremental", "wal"}
 
 	if *exp == "all" {
 		// The benchmark experiments would write the same -json file in
 		// turn, the later clobbering the earlier; require a specific one.
 		if *jsonOut != "" {
-			fmt.Fprintln(os.Stderr, "-json requires a single benchmark experiment (matvec, gram, serve, sweep or incremental), not -exp all")
+			fmt.Fprintln(os.Stderr, "-json requires a single benchmark experiment (matvec, gram, serve, sweep, incremental or wal), not -exp all")
 			os.Exit(2)
 		}
 		for _, name := range order {
@@ -219,6 +223,14 @@ func runServe(bool) {
 	done := banner("Serve front end: requests/sec at 1 vs N parallel clients")
 	rep := experiments.ServeBench(parLevels())
 	fmt.Print(experiments.ServeBenchString(rep))
+	writeJSONReport(rep)
+	done()
+}
+
+func runWAL(full bool) {
+	done := banner("WAL persistence: durable bytes per commit vs full snapshot rewrites")
+	rep := experiments.WALBench(full)
+	fmt.Print(experiments.WALBenchString(rep))
 	writeJSONReport(rep)
 	done()
 }

@@ -7,6 +7,9 @@
 //
 //	ektelo-serve [-addr :8199] [-window 250us] [-replicates 3]
 //	             [-solver lsmr|cgls|normal] [-state-dir DIR]
+//	             [-persist wal|snapshot] [-fsync always|interval|never]
+//	             [-fsync-interval 100ms] [-checkpoint-every 64]
+//	             [-shutdown-grace 10s]
 //	             [-plan-cache 256] [-preload name:kind:n:scale:seed:eps ...]
 //
 // The estimate panel behind every answer is solved by the block solver
@@ -22,13 +25,27 @@
 // each refresh warm-starts from the previous generation's panel and
 // stops at the cold solve's absolute convergence target.
 //
-// With -state-dir every measurement persists the dataset's log as a
-// versioned snapshot under that directory, and re-creating a dataset
-// name (preload included) restores the log and its spent budget, so a
-// restarted server answers warm and cannot re-grant spent budget.
+// With -state-dir every measurement commit persists durably under that
+// directory, and re-creating a dataset name (preload included) restores
+// the log and its spent budget, so a restarted server answers
+// bit-identically and cannot re-grant spent budget. The default
+// -persist backend is "wal": each commit appends one CRC-framed record
+// to a per-dataset write-ahead log (O(delta) bytes per commit) that is
+// periodically compacted into a checkpoint (-checkpoint-every records);
+// a torn log tail from a crash is truncated at the first bad frame on
+// restart, never refused. -fsync picks the log durability policy
+// (always per record, interval batched by -fsync-interval, or never);
+// "snapshot" selects the legacy full-rewrite backend (its files load
+// unmodified under "wal", so migration is automatic). On an
+// unrecoverable disk error a dataset degrades to read-only — writes
+// return 503 while queries keep serving from the warm panel.
 // -plan-cache bounds the per-dataset workload-answer cache (repeated
 // workloads at one log generation are answered with zero solver and
 // panel work); -1 disables it.
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener stops
+// accepting, in-flight requests get -shutdown-grace to finish, then
+// every dataset's batcher drains and its log is fsynced and closed.
 //
 // The API (see internal/serve):
 //
@@ -57,17 +74,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"slices"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -77,7 +99,14 @@ func main() {
 	replicates := flag.Int("replicates", 3, "bootstrap columns for per-answer error bars (-1 disables)")
 	solverName := flag.String("solver", "lsmr",
 		fmt.Sprintf("estimate-panel block solver %v; dataset creates may override per dataset", serve.Solvers()))
-	stateDir := flag.String("state-dir", "", "persist measurement-log snapshots under this directory (restores on create)")
+	stateDir := flag.String("state-dir", "", "persist measurement logs durably under this directory (restores on create)")
+	persist := flag.String("persist", serve.PersistWAL,
+		"persistence backend: wal (per-commit log records) or snapshot (legacy full rewrite)")
+	fsync := flag.String("fsync", wal.PolicyAlways,
+		"wal fsync policy: always (per record), interval (batched), never (OS page cache only)")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "max time between wal fsyncs under -fsync interval")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "compact the wal into a checkpoint every N records (0: default 64)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "in-flight request deadline on SIGINT/SIGTERM")
 	planCache := flag.Int("plan-cache", 0, "workload-answer cache entries per dataset (0: default 256, -1: disabled)")
 	var preloads preloadList
 	flag.Var(&preloads, "preload", "preload dataset as name:kind:n:scale:seed:eps (repeatable)")
@@ -86,20 +115,29 @@ func main() {
 	if !slices.Contains(serve.Solvers(), *solverName) {
 		log.Fatalf("unknown -solver %q (have %v)", *solverName, serve.Solvers())
 	}
+	if *persist != serve.PersistWAL && *persist != serve.PersistSnapshot {
+		log.Fatalf("unknown -persist %q (have %q, %q)", *persist, serve.PersistWAL, serve.PersistSnapshot)
+	}
+	if !wal.ValidPolicy(*fsync) {
+		log.Fatalf("unknown -fsync %q (have %q, %q, %q)", *fsync, wal.PolicyAlways, wal.PolicyInterval, wal.PolicyNever)
+	}
 	if *stateDir != "" {
 		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
 			log.Fatalf("state dir: %v", err)
 		}
 	}
 	s := serve.New(serve.Config{
-		BatchWindow: *window,
-		MaxBatch:    *maxBatch,
-		Replicates:  *replicates,
-		Solver:      *solverName,
-		CacheSize:   *planCache,
-		StateDir:    *stateDir,
+		BatchWindow:     *window,
+		MaxBatch:        *maxBatch,
+		Replicates:      *replicates,
+		Solver:          *solverName,
+		CacheSize:       *planCache,
+		StateDir:        *stateDir,
+		Persist:         *persist,
+		Fsync:           *fsync,
+		FsyncInterval:   *fsyncInterval,
+		CheckpointEvery: *checkpointEvery,
 	})
-	defer s.Close()
 
 	for _, p := range preloads {
 		d, err := s.CreateDataset(p.name, p.kind, p.n, p.scale, p.seed, p.eps)
@@ -110,8 +148,42 @@ func main() {
 		log.Printf("preloaded dataset %q: domain %d, ε_total %g", sum.Name, sum.Domain, sum.EpsTotal)
 	}
 
-	log.Printf("ektelo-serve listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+	// The header/read timeouts bound slow or stalled clients; the write
+	// timeout is generous because a cold panel solve on a large domain
+	// legitimately takes seconds.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ektelo-serve listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		s.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting out the drain
+	log.Printf("ektelo-serve shutting down (grace %v)", *shutdownGrace)
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	// With the listener quiet, drain every dataset's batcher and fsync
+	// and close its write-ahead log.
+	s.Close()
+	log.Printf("ektelo-serve stopped")
 }
 
 // preload is one -preload flag value.

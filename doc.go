@@ -56,13 +56,25 @@
 // (measurement-log generation, workload fingerprint, solver): a hit is
 // served with zero solver iterations and zero panel work, and any new
 // measurement bumps the generation, invalidating every cached answer.
-// With Config.StateDir set, each measurement persists the log as a
-// versioned JSON snapshot (matrices canonicalized to Dense/CSR — also
-// the warm in-memory form, so a reloaded log is byte-identical solver
-// input) and re-creating the dataset restores the log *and its spent
-// budget* (kernel.RestoreConsumed), making restarts warm and
-// re-spend-proof; the deterministic golden-session test pins the whole
-// create → plan-measure → query → restart → query response stream.
+// With Config.StateDir set, each measurement commit is made durable
+// before the request returns. The default backend is a per-dataset
+// write-ahead log (internal/wal): one CRC32C-framed record per commit —
+// O(delta) bytes, ~16x fewer than the legacy full-snapshot rewrite
+// (BENCH_7.json) — with configurable fsync policy, periodic compaction
+// into a snapshot-format checkpoint, and torn-tail recovery (a crash
+// mid-append truncates at the first bad frame on restart; the clean
+// prefix always loads). Blocks are stored in the snapshot codec
+// (matrices canonicalized to Dense/CSR — also the warm in-memory form,
+// so a replayed log is byte-identical solver input), and re-creating
+// the dataset restores the log *and its spent budget*
+// (kernel.RestoreConsumed; replay never re-grants), making restarts
+// bit-identical and re-spend-proof. On an unrecoverable disk error the
+// dataset degrades to explicit read-only — writes fail with
+// serve.ErrReadOnly (HTTP 503) while queries keep serving from the warm
+// panel. The deterministic golden-session test pins the whole create →
+// plan-measure → query → restart → query response stream, and a crash
+// matrix (every record boundary, mid-frame tears, arbitrary bit flips)
+// plus a WAL replay fuzzer pin the recovery semantics.
 //
 // Refreshes across measurement generations are incremental rather than
 // from-scratch. The iterative solvers warm-start each panel solve from

@@ -55,7 +55,9 @@ func PrivBayesSelect(h *kernel.Handle, shape []int, eps float64, nRecords float6
 			root = k
 		}
 	}
-	picked := map[int]bool{root: true}
+	picked := make([]bool, d)
+	picked[root] = true
+	nPicked := 1
 	net.Order = []int{root}
 
 	if d > 1 {
@@ -68,15 +70,22 @@ func PrivBayesSelect(h *kernel.Handle, shape []int, eps float64, nRecords float6
 		ws := mat.NewWorkspace()
 		type pair struct{ child, parent int }
 		cands := make([]pair, 0, d*d)
-		for len(picked) < d {
-			// Candidate (child, parent) pairs with parent already picked.
+		for nPicked < d {
+			// Candidate (child, parent) pairs with parent already picked,
+			// enumerated in ascending attribute order. The order must be
+			// deterministic: NoisyMax's selection index maps back into this
+			// slice, and the exponential-mechanism noise is consumed
+			// per-candidate in slice order — iterating a Go map here made
+			// two identically seeded runs pick different structures.
 			cands = cands[:0]
 			for c := 0; c < d; c++ {
 				if picked[c] {
 					continue
 				}
-				for p := range picked {
-					cands = append(cands, pair{child: c, parent: p})
+				for p := 0; p < d; p++ {
+					if picked[p] {
+						cands = append(cands, pair{child: c, parent: p})
+					}
 				}
 			}
 			var scores []float64
@@ -95,6 +104,7 @@ func PrivBayesSelect(h *kernel.Handle, shape []int, eps float64, nRecords float6
 			}
 			sel := cands[idx]
 			picked[sel.child] = true
+			nPicked++
 			net.Parent[sel.child] = sel.parent
 			net.Order = append(net.Order, sel.child)
 		}

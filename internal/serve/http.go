@@ -73,9 +73,11 @@ func writeErr(w http.ResponseWriter, err error) {
 		// The request conflicts with the dataset's current state, not
 		// with its syntax: measure first / pick another name.
 		status = http.StatusConflict
-	case errors.Is(err, ErrBatcherStopped), errors.Is(err, ErrServerClosed):
-		// The service (or this dataset's serving loop) is down; the
-		// request itself may be perfectly valid.
+	case errors.Is(err, ErrBatcherStopped), errors.Is(err, ErrServerClosed),
+		errors.Is(err, ErrReadOnly):
+		// The service (or this dataset's serving loop) is down, or the
+		// dataset has degraded to read-only after a persistence failure;
+		// the request itself may be perfectly valid.
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
@@ -96,7 +98,8 @@ func clientErr(err error) error {
 		errors.Is(err, ErrServerClosed),
 		errors.Is(err, ErrBatchPanic),
 		errors.Is(err, ErrPlanPanic),
-		errors.Is(err, ErrSnapshot):
+		errors.Is(err, ErrSnapshot),
+		errors.Is(err, ErrReadOnly):
 		return err
 	}
 	return httpError{http.StatusBadRequest, err.Error()}

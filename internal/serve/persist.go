@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/mat"
+	"repro/internal/wal"
 )
 
 // This file implements measurement-log persistence: each dataset's warm
@@ -283,15 +284,10 @@ func snapshotPath(stateDir, name string) string {
 	return filepath.Join(stateDir, url.PathEscape(name)+".snapshot.json")
 }
 
-// persistLocked writes the dataset's current measurement log as a
-// snapshot (atomic temp-file + rename). Caller holds d.mu. A persist
-// failure is logged, not returned: the measurement it records has
-// already been committed (and its budget spent), so failing the request
-// would invite a client retry and a double spend.
-func (d *Dataset) persistLocked() error {
-	if d.statePath == "" {
-		return nil
-	}
+// encodeSnapshotLocked marshals the dataset's full current state in
+// the snapshot format — the legacy backend's per-commit write and the
+// WAL backend's checkpoint alike. Caller holds d.mu.
+func (d *Dataset) encodeSnapshotLocked() ([]byte, error) {
 	s := snapshot{
 		Version:    snapshotVersion,
 		Name:       d.name,
@@ -309,14 +305,27 @@ func (d *Dataset) persistLocked() error {
 	}
 	data, err := json.Marshal(&s)
 	if err != nil {
-		return fmt.Errorf("serve: encode snapshot %q: %w", d.name, err)
+		return nil, fmt.Errorf("serve: encode snapshot %q: %w", d.name, err)
 	}
-	tmp := d.statePath + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	return data, nil
+}
+
+// persistLocked writes the dataset's current measurement log as a
+// snapshot (atomic temp-file + rename, through the dataset's FS so
+// tests can inject faults and count bytes). Caller holds d.mu. A
+// persist failure is logged, not returned: the measurement it records
+// has already been committed (and its budget spent), so failing the
+// request would invite a client retry and a double spend.
+func (d *Dataset) persistLocked() error {
+	if d.statePath == "" {
+		return nil
+	}
+	data, err := d.encodeSnapshotLocked()
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteFileAtomic(d.fs, d.statePath, data); err != nil {
 		return fmt.Errorf("serve: write snapshot %q: %w", d.name, err)
-	}
-	if err := os.Rename(tmp, d.statePath); err != nil {
-		return fmt.Errorf("serve: commit snapshot %q: %w", d.name, err)
 	}
 	return nil
 }
@@ -330,7 +339,7 @@ func (d *Dataset) loadState() error {
 	if d.statePath == "" {
 		return nil
 	}
-	data, err := os.ReadFile(d.statePath)
+	data, err := d.fs.ReadFile(d.statePath)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}

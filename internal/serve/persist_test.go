@@ -15,9 +15,12 @@ import (
 )
 
 // newPersistentServer returns a server persisting under dir.
+// CheckpointEvery: 1 compacts the WAL after every commit, so the
+// checkpoint file these tests inspect and corrupt always exists (and
+// the compaction path gets constant exercise).
 func newPersistentServer(t *testing.T, dir string) *Server {
 	t.Helper()
-	s := New(Config{BatchWindow: 100 * time.Microsecond, StateDir: dir})
+	s := New(Config{BatchWindow: 100 * time.Microsecond, StateDir: dir, CheckpointEvery: 1})
 	t.Cleanup(s.Close)
 	return s
 }
@@ -306,7 +309,7 @@ func FuzzLoadSnapshot(f *testing.F) {
 	// Seed with a real snapshot, a truncation, a version skew, and a few
 	// structurally interesting corruptions.
 	dir := f.TempDir()
-	s := New(Config{StateDir: dir})
+	s := New(Config{StateDir: dir, CheckpointEvery: 1})
 	d, err := s.CreateDataset("seed", "piecewise", 16, 100, 1, 5)
 	if err != nil {
 		f.Fatal(err)

@@ -15,9 +15,17 @@
 // answers them with a single mat.MatMat pass over the dataset's
 // estimate panel, and repeated workloads are memoized by a cache keyed
 // by (measurement-log generation, workload fingerprint, solver) — see
-// cache.go. With Config.StateDir set, the measurement log persists as a
-// versioned snapshot after every measurement and is restored (spent
-// budget included) when the dataset is re-created — see persist.go.
+// cache.go. With Config.StateDir set, every measurement commit is made
+// durable before the request returns and is restored (spent budget
+// included) when the dataset is re-created. The default backend
+// (Config.Persist = PersistWAL) appends one CRC-framed record per
+// commit to a per-dataset write-ahead log that is periodically
+// compacted into a snapshot-format checkpoint; torn log tails truncate
+// cleanly on restart, and an unrecoverable disk error degrades the
+// dataset to explicit read-only (ErrReadOnly, HTTP 503) while queries
+// keep serving — see walstate.go. The legacy full-snapshot-per-commit
+// backend remains as Config.Persist = PersistSnapshot (persist.go); its
+// files load unmodified under the WAL backend.
 //
 // The estimate panel is refreshed lazily after new measurements by one
 // block solve — solver.LSMRMulti (the paper's named solver),
@@ -65,6 +73,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/noise"
 	"repro/internal/solver"
+	"repro/internal/wal"
 )
 
 // Sentinel errors of the query service, mapped to distinct HTTP statuses
@@ -119,11 +128,30 @@ type Config struct {
 	// keyed by measurement-log generation, workload fingerprint and
 	// solver); 0 means 256, negative disables caching.
 	CacheSize int
-	// StateDir, when non-empty, enables measurement-log persistence:
-	// every measurement writes a versioned snapshot under this directory
-	// and creating a dataset with a previously used name loads it back,
-	// budget accounting included.
+	// StateDir, when non-empty, enables measurement-log persistence
+	// under this directory: creating a dataset with a previously used
+	// name loads its state back, budget accounting included.
 	StateDir string
+	// Persist selects the durability backend under StateDir: PersistWAL
+	// (the default — one appended, CRC-framed log record per commit,
+	// O(delta) bytes, with checkpoint compaction; see walstate.go) or
+	// PersistSnapshot (the legacy full-snapshot rewrite per commit, kept
+	// behind this flag for one release).
+	Persist string
+	// Fsync is the WAL fsync policy: wal.PolicyAlways (default — one
+	// record is one privacy-relevant commit), wal.PolicyInterval, or
+	// wal.PolicyNever.
+	Fsync string
+	// FsyncInterval is the wal.PolicyInterval sync spacing (0: 100ms).
+	FsyncInterval time.Duration
+	// CheckpointEvery compacts a dataset's WAL into a checkpoint after
+	// this many appended records; 0 means 64, negative disables
+	// compaction.
+	CheckpointEvery int
+	// FS is the persistence filesystem; nil means the real one
+	// (wal.OSFS). Tests inject wal.FaultFS to drive the crash-recovery
+	// matrix and count durable bytes.
+	FS wal.FS
 	// ColdRefresh disables the incremental solve path: every refresh
 	// rebuilds the estimate panel from scratch — no warm-started solves,
 	// no cached normal-equation state. It exists as the measured
@@ -157,6 +185,18 @@ func (c *Config) fill() {
 	}
 	if c.CacheSize < 0 {
 		c.CacheSize = 0 // disabled; newPanelCache returns nil
+	}
+	if c.Persist == "" {
+		c.Persist = PersistWAL
+	}
+	if c.Fsync == "" {
+		c.Fsync = wal.PolicyAlways
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.FS == nil {
+		c.FS = wal.OSFS{}
 	}
 }
 
@@ -201,10 +241,20 @@ type Server struct {
 }
 
 // New returns an empty server. It panics on a Config.Solver outside
-// Solvers() — a startup configuration error, not a runtime condition.
+// Solvers(), an unknown Config.Persist backend, or an invalid
+// Config.Fsync policy — startup configuration errors, not runtime
+// conditions.
 func New(cfg Config) *Server {
 	if !validSolver(cfg.Solver) {
 		panic(fmt.Sprintf("serve: unknown solver %q (have %v)", cfg.Solver, Solvers()))
+	}
+	if !validPersist(cfg.Persist) {
+		panic(fmt.Sprintf("serve: unknown persistence backend %q (have %q, %q)",
+			cfg.Persist, PersistWAL, PersistSnapshot))
+	}
+	if !wal.ValidPolicy(cfg.Fsync) {
+		panic(fmt.Sprintf("serve: unknown fsync policy %q (have %q, %q, %q)",
+			cfg.Fsync, wal.PolicyAlways, wal.PolicyInterval, wal.PolicyNever))
 	}
 	cfg.fill()
 	return &Server{cfg: cfg, datasets: map[string]*Dataset{}}
@@ -226,6 +276,12 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	for _, d := range ds {
 		d.batch.stop()
+	}
+	// With the batchers drained, sync and close every dataset's WAL so a
+	// clean shutdown loses nothing and releases the log files (a
+	// successor process over the same state directory reopens them).
+	for _, d := range ds {
+		d.closePersistence()
 	}
 }
 
@@ -306,8 +362,28 @@ type Dataset struct {
 	// cache memoizes answered workloads per (generation, fingerprint,
 	// solver); nil when disabled.
 	cache *panelCache
-	// statePath is the snapshot file for persistence ("" disables).
+	// statePath is the snapshot/checkpoint file for persistence (""
+	// disables); walPath and panelPath are the WAL backend's log and
+	// advisory warm-start sidecar (walstate.go). All persistence I/O
+	// goes through fs so tests can inject faults and count bytes.
 	statePath string
+	walPath   string
+	panelPath string
+	fs        wal.FS
+	// wlog is the open write-ahead log (nil: snapshot backend or no
+	// persistence); walRecs counts records since the last checkpoint,
+	// triggering compaction at Config.CheckpointEvery.
+	wlog    *wal.Log
+	walRecs int
+	// panelDirty marks the estimate panel as changed since its last
+	// sidecar write; the next commit persists it (legacy snapshot
+	// timing — one generation behind the log).
+	panelDirty bool
+	// readOnly is the graceful-degradation latch: set (with roCause)
+	// when the WAL cannot be appended, it fails further writes with
+	// ErrReadOnly while queries keep serving from the warm panel.
+	readOnly bool
+	roCause  error
 
 	batch *batcher
 }
@@ -378,24 +454,33 @@ func (s *Server) addDataset(name string, x []float64, seed uint64, epsTotal floa
 		solver: solverName,
 		damp:   damping,
 		cache:  newPanelCache(s.cfg.CacheSize),
+		fs:     s.cfg.FS,
 	}
 	if s.cfg.StateDir != "" {
 		d.statePath = snapshotPath(s.cfg.StateDir, name)
 		// Restore the persisted measurement log (and its spent budget)
-		// before the dataset becomes visible; a snapshot that exists but
-		// does not validate fails the create rather than silently handing
-		// back budget that was already spent.
-		if err := d.loadState(); err != nil {
+		// before the dataset becomes visible; persisted state that exists
+		// but does not validate fails the create rather than silently
+		// handing back budget that was already spent.
+		if s.cfg.Persist == PersistWAL {
+			d.walPath = walFilePath(s.cfg.StateDir, name)
+			d.panelPath = panelFilePath(s.cfg.StateDir, name)
+			if err := d.loadStateWAL(); err != nil {
+				return nil, err
+			}
+		} else if err := d.loadState(); err != nil {
 			return nil, err
 		}
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		d.closePersistence()
 		return nil, ErrServerClosed
 	}
 	if _, dup := s.datasets[name]; dup {
 		s.mu.Unlock()
+		d.closePersistence()
 		return nil, fmt.Errorf("dataset %q: %w", name, ErrDuplicateDataset)
 	}
 	// Start the batcher goroutine only once registration is certain, so
@@ -529,6 +614,11 @@ type Summary struct {
 	PendingRows int `json:"pending_rows"`
 	// Cache reports the workload-answer cache counters.
 	Cache CacheStats `json:"cache"`
+	// ReadOnly is set after an unrecoverable persistence failure: writes
+	// are refused (503) while queries keep serving from the warm panel.
+	// PersistError carries the cause.
+	ReadOnly     bool   `json:"read_only,omitempty"`
+	PersistError string `json:"persist_error,omitempty"`
 }
 
 // Summary reports the dataset's budget and log state.
@@ -540,6 +630,7 @@ func (d *Dataset) Summary() Summary {
 	gen, solves := d.gen, d.panelSolves
 	warm, cold, saved := d.warmRefreshes, d.coldRefreshes, d.savedIterations
 	covered := d.panelRows
+	readOnly, roCause := d.readOnly, d.roCause
 	d.mu.Unlock()
 	// One Consumed() read keeps the budget triple internally consistent
 	// (consumed + remaining == eps_total) even while other sessions are
@@ -567,7 +658,17 @@ func (d *Dataset) Summary() Summary {
 		CoveredRows:     covered,
 		PendingRows:     rows - covered,
 		Cache:           d.cache.snapshot(),
+		ReadOnly:        readOnly,
+		PersistError:    errText(roCause),
 	}
+}
+
+// errText renders an optional error for a summary field.
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // Measure spends eps of the dataset's budget measuring the named
@@ -577,6 +678,11 @@ func (d *Dataset) Summary() Summary {
 func (d *Dataset) Measure(strategy string, eps float64) (rows int, err error) {
 	m, err := strategyByName(strategy, d.n)
 	if err != nil {
+		return 0, err
+	}
+	// The read-only gate comes before the budget spend: a degraded
+	// dataset must refuse the charge, not take it and fail to log it.
+	if err := d.checkWritable(); err != nil {
 		return 0, err
 	}
 	sess := d.kern.NewSession()
@@ -621,11 +727,15 @@ func (d *Dataset) commitBlocksLocked(blocks []measBlock) {
 	d.gen++
 	d.stale = true
 	d.cache.invalidate()
-	if err := d.persistLocked(); err != nil {
+	if err := d.persistCommitLocked(blocks); err != nil {
 		// The measurement is committed and its budget spent; failing the
 		// request now would invite a retry and a double spend. Surface the
-		// durability gap loudly instead.
-		log.Printf("serve: dataset %q: snapshot persist failed: %v", d.name, err)
+		// durability gap loudly instead — and on the WAL backend, degrade
+		// to read-only so the gap between memory and disk cannot widen.
+		log.Printf("serve: dataset %q: persist failed: %v", d.name, err)
+		if d.wlog != nil {
+			d.degradeLocked(err)
+		}
 	}
 }
 
@@ -666,6 +776,10 @@ func (d *Dataset) MeasurePlan(name string, eps float64, params plans.Params) (Pl
 	if err != nil {
 		return PlanResult{}, err
 	}
+	// Same gate as Measure: refuse before any operator spends budget.
+	if err := d.checkWritable(); err != nil {
+		return PlanResult{}, err
+	}
 	sess := d.kern.NewSession()
 	env := ops.NewEnv(sess.Bind(d.root))
 	execErr := func() (err error) {
@@ -686,10 +800,13 @@ func (d *Dataset) MeasurePlan(name string, eps float64, params plans.Params) (Pl
 		// though no measurements land: a snapshot frozen at the
 		// pre-failure consumption would let a restarted server re-grant
 		// the spent budget — the exact violation persistence exists to
-		// prevent.
+		// prevent. The WAL backend logs it as one budget-restore record.
 		d.mu.Lock()
-		if perr := d.persistLocked(); perr != nil {
-			log.Printf("serve: dataset %q: snapshot persist after failed plan: %v", d.name, perr)
+		if perr := d.persistSpendLocked(); perr != nil {
+			log.Printf("serve: dataset %q: persist after failed plan: %v", d.name, perr)
+			if d.wlog != nil {
+				d.degradeLocked(perr)
+			}
 		}
 		d.mu.Unlock()
 		return PlanResult{}, execErr
@@ -809,6 +926,7 @@ func (d *Dataset) refreshLocked() error {
 	}
 	d.panel, d.k = res.X, k
 	d.panelRows = rows
+	d.panelDirty = true
 	d.solveIterations, d.solveConverged = res.Iterations, res.Converged
 	if !res.Converged {
 		log.Printf("serve: dataset %q: %s panel solve truncated at %d iterations (MaxIter %d); answers may be degraded",
@@ -938,6 +1056,7 @@ func (d *Dataset) refreshNormalLocked() error {
 	}
 	d.panel, d.k = res.X, k
 	d.panelRows = d.nsRows
+	d.panelDirty = true
 	d.solveIterations, d.solveConverged = res.Iterations, res.Converged
 	d.stale = false
 	return nil

@@ -1,0 +1,498 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"repro/internal/wal"
+)
+
+// This file is the WAL persistence backend (the default; see
+// Config.Persist): instead of rewriting the full snapshot on every
+// commit, each commit appends one CRC-framed record to the dataset's
+// write-ahead log — O(delta) durable bytes per measurement — and a
+// restart rebuilds the exact pre-crash state from the last checkpoint
+// plus a log replay. The checkpoint file IS the snapshot format of
+// persist.go at the same path, so a state directory written by the
+// legacy snapshot backend loads unmodified (and compaction folds a
+// grown log back into that same file).
+//
+// Record payloads (JSON, strict-decoded on replay):
+//
+//	dataset-create    — dataset identity (name, domain, eps_total);
+//	                    first record of a fresh log
+//	measurement-block — one commit: the log generation it produced, the
+//	                    absolute budget consumed at commit time, and the
+//	                    appended blocks in the snapshot codec (which is
+//	                    what keeps a replayed log byte-identical solver
+//	                    input)
+//	budget-restore    — absolute consumed without measurements (a failed
+//	                    plan's partial spend)
+//	checkpoint-marker — generation + consumed of the checkpoint a
+//	                    compacted log sits on
+//
+// Replay is idempotent so compaction's crash windows are harmless:
+// measurement records are skipped when their generation is already
+// covered by the checkpoint, and budget values are absolute (replay
+// takes the max — never re-granting spent budget, even when a record's
+// consumed includes a concurrent session's charge whose own record
+// never landed).
+//
+// The estimate panel is NOT logged per commit (it would dominate the
+// write amplification the WAL exists to remove). It persists to an
+// advisory sidecar file, written at the first commit after a refresh —
+// exactly the panel the legacy backend would have embedded in its
+// snapshot at that commit, so restart warm-start behavior is identical
+// across backends. A missing or invalid sidecar only costs the warm
+// start.
+//
+// When an append fails (disk gone, injected fault), the committed
+// measurement stays committed — its budget is spent and failing the
+// request would invite a retried double spend — but the dataset
+// degrades to explicit read-only: further Measure/MeasurePlan calls
+// fail with ErrReadOnly (HTTP 503) while queries keep serving from the
+// warm panel. A restart recovers the clean log prefix.
+
+// Persistence backends for Config.Persist.
+const (
+	// PersistWAL is the default: per-commit WAL records with periodic
+	// checkpoint compaction.
+	PersistWAL = "wal"
+	// PersistSnapshot is the legacy backend (kept one release behind a
+	// flag): a full snapshot rewrite on every commit.
+	PersistSnapshot = "snapshot"
+)
+
+// validPersist reports whether name is a persistence backend ("" means
+// the default, PersistWAL).
+func validPersist(name string) bool {
+	return name == "" || name == PersistWAL || name == PersistSnapshot
+}
+
+// ErrReadOnly: the dataset degraded to read-only after a persistence
+// failure — writes are refused (503) so the durability gap cannot grow,
+// while queries keep serving from the warm panel.
+var ErrReadOnly = errors.New("serve: dataset is read-only after a persistence failure")
+
+// walCreate is the dataset-create record payload.
+type walCreate struct {
+	Name     string  `json:"name"`
+	Domain   int     `json:"domain"`
+	EpsTotal float64 `json:"eps_total"`
+}
+
+// walMeas is the measurement-block record payload: one commit.
+type walMeas struct {
+	Gen      uint64          `json:"gen"`
+	Consumed float64         `json:"consumed"`
+	Blocks   []snapshotBlock `json:"blocks"`
+}
+
+// walBudget is the budget-restore record payload.
+type walBudget struct {
+	Consumed float64 `json:"consumed"`
+}
+
+// walMarker is the checkpoint-marker record payload.
+type walMarker struct {
+	Gen      uint64  `json:"gen"`
+	Consumed float64 `json:"consumed"`
+}
+
+// panelSidecar is the advisory warm-start panel file.
+type panelSidecar struct {
+	Domain int       `json:"domain"`
+	K      int       `json:"k"`
+	Panel  []float64 `json:"panel"`
+}
+
+// walFilePath and panelFilePath name a dataset's log and panel sidecar
+// under a state directory (path-escaped like snapshotPath).
+func walFilePath(stateDir, name string) string {
+	return filepath.Join(stateDir, url.PathEscape(name)+".wal")
+}
+
+func panelFilePath(stateDir, name string) string {
+	return filepath.Join(stateDir, url.PathEscape(name)+".panel.json")
+}
+
+// decodeStrict unmarshals a record payload rejecting unknown fields and
+// trailing data: a CRC-valid record that does not decode exactly is
+// corruption the checksum cannot see, and replay must fail the create
+// rather than guess.
+func decodeStrict(payload []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data")
+	}
+	return nil
+}
+
+func validConsumed(v float64) bool {
+	return v >= 0 && !math.IsInf(v, 0) // NaN fails the >= 0 comparison
+}
+
+// walOpts builds the dataset's log options from its config.
+func (d *Dataset) walOpts() wal.Options {
+	return wal.Options{Policy: d.cfg.Fsync, Interval: d.cfg.FsyncInterval, FS: d.fs}
+}
+
+// checkIdentity validates a persisted identity (checkpoint or wal
+// create record) against the dataset being created.
+func (d *Dataset) checkIdentity(src, name string, domain int, epsTotal float64) error {
+	if name != d.name || domain != d.n {
+		return fmt.Errorf("%w: %s identity %q/%d does not match dataset %q/%d",
+			ErrSnapshot, src, name, domain, d.name, d.n)
+	}
+	if epsTotal != d.kern.EpsTotal() {
+		return fmt.Errorf("%w: %s eps_total %g does not match dataset %g",
+			ErrSnapshot, src, epsTotal, d.kern.EpsTotal())
+	}
+	return nil
+}
+
+// loadStateWAL restores the dataset from its checkpoint plus a log
+// replay, then leaves the log open for appends. Called once at create
+// time, before the dataset is published. Torn log tails are recovery
+// (the clean prefix loads); a checkpoint or CRC-valid record that fails
+// validation fails the create — silently dropping it could re-grant
+// spent budget.
+func (d *Dataset) loadStateWAL() error {
+	var consumed float64
+	haveCkpt := false
+	data, err := d.fs.ReadFile(d.statePath)
+	switch {
+	case err == nil:
+		s, blocks, lerr := loadSnapshot(data)
+		if lerr != nil {
+			return fmt.Errorf("checkpoint for %q: %w", d.name, lerr)
+		}
+		if err := d.checkIdentity("checkpoint", s.Name, s.Domain, s.EpsTotal); err != nil {
+			return err
+		}
+		d.blocks = blocks
+		for _, b := range blocks {
+			d.rows += len(b.y)
+		}
+		d.gen = s.Generation
+		consumed = s.Consumed
+		if s.Panel != nil {
+			d.panel = append([]float64(nil), s.Panel...)
+			d.k = s.PanelK
+		}
+		haveCkpt = true
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh dataset, or a legacy directory whose snapshot was never
+		// written — the wal (possibly empty) is the whole story.
+	default:
+		return fmt.Errorf("%w: read checkpoint for %q: %v", ErrSnapshot, d.name, err)
+	}
+
+	l, recs, err := wal.Open(d.walPath, d.walOpts())
+	if err != nil {
+		return fmt.Errorf("%w: wal for %q: %v", ErrSnapshot, d.name, err)
+	}
+	fail := func(format string, args ...any) error {
+		l.Close()
+		return fmt.Errorf("%w: wal for %q: %s", ErrSnapshot, d.name, fmt.Sprintf(format, args...))
+	}
+	for i, rec := range recs {
+		switch rec.Type {
+		case wal.TypeDatasetCreate:
+			var c walCreate
+			if err := decodeStrict(rec.Payload, &c); err != nil {
+				return fail("record %d: %v", i, err)
+			}
+			if err := d.checkIdentity("wal", c.Name, c.Domain, c.EpsTotal); err != nil {
+				l.Close()
+				return err
+			}
+		case wal.TypeMeasurementBlock:
+			var m walMeas
+			if err := decodeStrict(rec.Payload, &m); err != nil {
+				return fail("record %d: %v", i, err)
+			}
+			if m.Gen == 0 || !validConsumed(m.Consumed) {
+				return fail("record %d: generation %d, consumed %g", i, m.Gen, m.Consumed)
+			}
+			d.walRecs++
+			if m.Gen <= d.gen {
+				// The checkpoint (or an earlier record) already covers this
+				// generation — the compaction-crash replay window.
+				continue
+			}
+			for bi, sb := range m.Blocks {
+				mb, err := decodeBlock(bi, sb, d.n)
+				if err != nil {
+					return fail("record %d: %v", i, err)
+				}
+				d.blocks = append(d.blocks, mb)
+				d.rows += len(mb.y)
+			}
+			d.gen = m.Gen
+			if m.Consumed > consumed {
+				consumed = m.Consumed
+			}
+		case wal.TypeBudgetRestore:
+			var b walBudget
+			if err := decodeStrict(rec.Payload, &b); err != nil {
+				return fail("record %d: %v", i, err)
+			}
+			if !validConsumed(b.Consumed) {
+				return fail("record %d: consumed %g", i, b.Consumed)
+			}
+			d.walRecs++
+			if b.Consumed > consumed {
+				consumed = b.Consumed
+			}
+		case wal.TypeCheckpointMarker:
+			var mk walMarker
+			if err := decodeStrict(rec.Payload, &mk); err != nil {
+				return fail("record %d: %v", i, err)
+			}
+			if !validConsumed(mk.Consumed) {
+				return fail("record %d: consumed %g", i, mk.Consumed)
+			}
+			// A marker names the checkpoint the log sits on; without that
+			// checkpoint the generations it covers are gone, and loading
+			// the remainder would silently drop measurements (and budget).
+			if !haveCkpt {
+				return fail("record %d: checkpoint marker without a checkpoint file", i)
+			}
+			if mk.Gen > d.gen {
+				return fail("record %d: marker generation %d ahead of checkpoint %d", i, mk.Gen, d.gen)
+			}
+			if mk.Consumed > consumed {
+				consumed = mk.Consumed
+			}
+		default:
+			return fail("record %d: unknown type %d", i, rec.Type)
+		}
+	}
+	if consumed > 0 {
+		if err := d.kern.RestoreConsumed(consumed); err != nil {
+			l.Close()
+			return fmt.Errorf("wal for %q: %w", d.name, err)
+		}
+	}
+	if len(recs) == 0 {
+		// Fresh (or fully torn) log: pin the dataset identity first.
+		payload, err := json.Marshal(&walCreate{Name: d.name, Domain: d.n, EpsTotal: d.kern.EpsTotal()})
+		if err == nil {
+			err = l.Append(wal.TypeDatasetCreate, payload)
+		}
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("%w: wal for %q: %v", ErrSnapshot, d.name, err)
+		}
+	}
+	d.wlog = l
+	d.loadPanelSidecar()
+	d.stale = true
+	return nil
+}
+
+// loadPanelSidecar restores the advisory warm-start panel. Purely
+// best-effort: anything invalid is logged and ignored — the panel is a
+// solve seed, never authoritative state. A sidecar overrides a
+// checkpoint's embedded panel (both are written at commit time; the
+// sidecar is at least as fresh).
+func (d *Dataset) loadPanelSidecar() {
+	data, err := d.fs.ReadFile(d.panelPath)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("serve: dataset %q: panel sidecar read (ignored): %v", d.name, err)
+		}
+		return
+	}
+	var pc panelSidecar
+	if err := decodeStrict(data, &pc); err != nil {
+		log.Printf("serve: dataset %q: panel sidecar decode (ignored): %v", d.name, err)
+		return
+	}
+	if pc.Domain != d.n || pc.K < 1 || pc.Domain > maxSnapshotDomain/pc.K || len(pc.Panel) != d.n*pc.K {
+		log.Printf("serve: dataset %q: panel sidecar shape %d×%d (ignored)", d.name, pc.Domain, pc.K)
+		return
+	}
+	for _, v := range pc.Panel {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			log.Printf("serve: dataset %q: non-finite panel sidecar entry (ignored)", d.name)
+			return
+		}
+	}
+	d.panel, d.k = pc.Panel, pc.K
+}
+
+// degradeLocked flips the dataset to explicit read-only after an
+// unrecoverable persistence failure. Sticky until restart: the on-disk
+// state is a clean prefix of the in-memory state, and accepting more
+// writes would only widen that gap. Caller holds d.mu.
+func (d *Dataset) degradeLocked(cause error) {
+	if d.readOnly {
+		return
+	}
+	d.readOnly = true
+	d.roCause = cause
+	log.Printf("serve: dataset %q: degrading to read-only, queries keep serving: %v", d.name, cause)
+}
+
+// checkWritable gates the commit paths (Measure, MeasurePlan) before
+// any budget is spent: a degraded dataset must refuse the charge, not
+// take it and fail to log it.
+func (d *Dataset) checkWritable() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.readOnly {
+		return fmt.Errorf("dataset %q (%v): %w", d.name, d.roCause, ErrReadOnly)
+	}
+	return nil
+}
+
+// persistCommitLocked makes one commit durable: in WAL mode it appends
+// a single measurement-block record covering exactly the new blocks
+// (O(delta) bytes), then updates the panel sidecar if a refresh ran
+// since the last commit and compacts the log when it is due; in
+// snapshot mode it rewrites the full snapshot. Caller holds d.mu and
+// has already appended blocks to the warm log (they are committed
+// regardless — see commitBlocksLocked).
+func (d *Dataset) persistCommitLocked(blocks []measBlock) error {
+	if d.statePath == "" {
+		return nil
+	}
+	if d.wlog == nil {
+		return d.persistLocked()
+	}
+	if d.readOnly {
+		return nil // already degraded and logged; nothing more to lose durably
+	}
+	rec := walMeas{Gen: d.gen, Consumed: d.kern.Consumed(), Blocks: make([]snapshotBlock, len(blocks))}
+	for i, b := range blocks {
+		rec.Blocks[i] = encodeBlock(b)
+	}
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("serve: encode wal record for %q: %w", d.name, err)
+	}
+	if err := d.wlog.Append(wal.TypeMeasurementBlock, payload); err != nil {
+		return err
+	}
+	d.walRecs++
+	d.persistPanelLocked()
+	d.maybeCompactLocked()
+	return nil
+}
+
+// persistSpendLocked makes a budget charge without measurements durable
+// (a failed plan's partial spend): one budget-restore record carrying
+// the absolute consumed value. Caller holds d.mu.
+func (d *Dataset) persistSpendLocked() error {
+	if d.statePath == "" {
+		return nil
+	}
+	if d.wlog == nil {
+		return d.persistLocked()
+	}
+	if d.readOnly {
+		return nil
+	}
+	payload, err := json.Marshal(&walBudget{Consumed: d.kern.Consumed()})
+	if err != nil {
+		return fmt.Errorf("serve: encode wal record for %q: %w", d.name, err)
+	}
+	if err := d.wlog.Append(wal.TypeBudgetRestore, payload); err != nil {
+		return err
+	}
+	d.walRecs++
+	d.maybeCompactLocked()
+	return nil
+}
+
+// persistPanelLocked writes the panel sidecar if the panel changed
+// since the last write (panelDirty, set by the refresh paths). Writing
+// at commit time — not refresh time — reproduces the legacy backend's
+// restart state exactly: the persisted panel is the one the last commit
+// saw, one generation behind the log. Advisory: failures are logged,
+// never degrade the dataset. Caller holds d.mu.
+func (d *Dataset) persistPanelLocked() {
+	if !d.panelDirty || d.panel == nil || d.panelPath == "" {
+		return
+	}
+	data, err := json.Marshal(&panelSidecar{Domain: d.n, K: d.k, Panel: d.panel})
+	if err == nil {
+		err = wal.WriteFileAtomic(d.fs, d.panelPath, data)
+	}
+	if err != nil {
+		log.Printf("serve: dataset %q: panel sidecar write (advisory): %v", d.name, err)
+		return
+	}
+	d.panelDirty = false
+}
+
+// maybeCompactLocked folds the log into a checkpoint once
+// Config.CheckpointEvery records have accumulated: the full state is
+// written as a snapshot-format checkpoint and the log atomically
+// restarts at a checkpoint marker. A compaction failure is not a
+// durability failure — the pre-compaction log still holds everything —
+// so the dataset keeps serving on the old log when it can reopen it,
+// and degrades only when it cannot. Caller holds d.mu.
+func (d *Dataset) maybeCompactLocked() {
+	if d.cfg.CheckpointEvery <= 0 || d.walRecs < d.cfg.CheckpointEvery {
+		return
+	}
+	data, err := d.encodeSnapshotLocked()
+	if err != nil {
+		log.Printf("serve: dataset %q: checkpoint encode failed, keeping log: %v", d.name, err)
+		return
+	}
+	marker, err := json.Marshal(&walMarker{Gen: d.gen, Consumed: d.kern.Consumed()})
+	if err != nil {
+		log.Printf("serve: dataset %q: checkpoint marker encode failed, keeping log: %v", d.name, err)
+		return
+	}
+	if err := d.wlog.Close(); err != nil {
+		// The records being folded into the checkpoint are already read
+		// back from memory; a failed final sync cannot lose them. Proceed —
+		// Compact replaces the file wholesale.
+		log.Printf("serve: dataset %q: wal close before compaction: %v", d.name, err)
+	}
+	nl, err := wal.Compact(d.walPath, d.statePath, data, marker, d.walOpts())
+	if err != nil {
+		log.Printf("serve: dataset %q: compaction failed: %v", d.name, err)
+		ol, _, oerr := wal.Open(d.walPath, d.walOpts())
+		if oerr != nil {
+			d.degradeLocked(fmt.Errorf("compaction failed (%v) and log reopen failed: %w", err, oerr))
+			return
+		}
+		// Replay-idempotence makes every crash window here safe: whatever
+		// Compact managed to write, checkpoint + surviving log still load
+		// to this exact state.
+		d.wlog = ol
+		return
+	}
+	d.wlog = nl
+	d.walRecs = 0
+}
+
+// closePersistence syncs and closes the dataset's log (no-op for the
+// snapshot backend). Called from Server.Close after the batcher stops.
+func (d *Dataset) closePersistence() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wlog == nil {
+		return
+	}
+	if err := d.wlog.Close(); err != nil {
+		log.Printf("serve: dataset %q: wal close: %v", d.name, err)
+	}
+}

@@ -1,0 +1,410 @@
+// Package wal implements the crash-safe measurement write-ahead log
+// under the serve tier's persistence (ROADMAP open item 1): an
+// append-only, CRC32C-framed record log in which one record is one
+// durable commit — a budget charge plus the measurement block it paid
+// for — so that durability costs O(delta) bytes per measurement instead
+// of a full-snapshot rewrite, and a restart replays the log to the
+// exact pre-crash state.
+//
+// # File format
+//
+// A log file is an 8-byte magic header ("EKWAL001") followed by frames:
+//
+//	uint32 LE payload length | uint8 record type | payload | uint32 LE CRC32C
+//
+// The checksum (Castagnoli polynomial) covers the type byte and the
+// payload, so a flipped bit anywhere in a frame — length, type, body or
+// trailer — fails verification. Payloads are opaque bytes to this
+// package; the serve tier stores JSON there (the same block codec as
+// its snapshots, which is what keeps a replayed log byte-identical
+// solver input).
+//
+// # Torn-tail recovery
+//
+// The reader (Scan, used by Open) accepts the longest clean prefix: it
+// stops at the first frame that is truncated, type-invalid or
+// checksum-mismatched and reports everything before it. A crash mid
+// append therefore never makes a log unreadable — Open truncates the
+// torn tail and resumes appending at the clean length. Corruption in
+// the middle of the file behaves the same way (everything from the
+// first bad frame on is dropped): with prefix-durable appends that is
+// exactly the crash semantics, and for byte rot it is the documented
+// trade — a clean prefix always loads, bytes after damage are gone.
+//
+// # Fsync policy
+//
+// Appends are durable per Options.Policy: PolicyAlways syncs every
+// append (the default — one record is one privacy-relevant commit),
+// PolicyInterval syncs when Options.Interval has elapsed since the last
+// sync, PolicyNever leaves syncing to the OS (and Close). Whatever the
+// policy, Close syncs before closing so clean shutdowns lose nothing.
+//
+// # Checkpoint compaction
+//
+// Compact folds the log into a checkpoint: it durably writes the
+// caller's checkpoint bytes (atomic temp-file + rename), then atomically
+// swaps in a fresh log holding only a checkpoint-marker record. Replay
+// after a crash anywhere in that window is safe because the serve
+// tier's records are idempotent — measurement records carry the log
+// generation (replay skips generations the checkpoint already covers)
+// and budget records carry the absolute consumed value (replay takes
+// the max) — so applying an old log tail on top of a new checkpoint
+// changes nothing.
+//
+// # Fault injection
+//
+// All file I/O goes through the FS interface. OSFS is the real
+// filesystem; FaultFS wraps any FS with byte-accounting plus injectable
+// failures (fail-writes, fail-sync, short-write, crash-after-N-bytes)
+// and drives the crash-recovery test matrix in this package and in
+// internal/serve.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+)
+
+// Magic is the 8-byte log file header.
+const Magic = "EKWAL001"
+
+// Type tags a record. Payload semantics belong to the writer (the
+// serve tier); the reader only validates the tag range.
+type Type uint8
+
+const (
+	// TypeDatasetCreate pins the dataset identity (name, domain, budget)
+	// as the first record of a fresh log.
+	TypeDatasetCreate Type = 1
+	// TypeMeasurementBlock is one durable commit: a budget charge plus
+	// the measurement block(s) it paid for, stamped with the log
+	// generation.
+	TypeMeasurementBlock Type = 2
+	// TypeBudgetRestore records budget spent without measurements
+	// landing (a failed plan's partial spend), as an absolute consumed
+	// value.
+	TypeBudgetRestore Type = 3
+	// TypeCheckpointMarker opens a post-compaction log, recording the
+	// generation and consumed value of the checkpoint it sits on.
+	TypeCheckpointMarker Type = 4
+)
+
+func (t Type) valid() bool { return t >= TypeDatasetCreate && t <= TypeCheckpointMarker }
+
+// Record is one decoded log record.
+type Record struct {
+	Type    Type
+	Payload []byte
+}
+
+// MaxPayload bounds a single record, so a corrupted length prefix
+// cannot force an absurd allocation before the checksum is verified.
+const MaxPayload = 1 << 28
+
+// frameOverhead is the per-record framing cost: length, type, CRC.
+const frameOverhead = 4 + 1 + 4
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// AppendFrame appends the framed encoding of one record to dst and
+// returns the extended slice. Exported so tests and the fuzz target can
+// re-encode what Scan accepted and assert byte-identity.
+func AppendFrame(dst []byte, t Type, payload []byte) []byte {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	crc := crc32.Update(0, castagnoli, hdr[4:5])
+	crc = crc32.Update(crc, castagnoli, payload)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc)
+	return append(dst, sum[:]...)
+}
+
+// Scan decodes the longest clean prefix of a log image: the records of
+// every complete, checksum-valid frame before the first bad one, plus
+// the byte length of that prefix (magic included). It never fails —
+// a missing or corrupt header simply yields an empty prefix — and never
+// returns a partially decoded record. Payload slices alias data.
+func Scan(data []byte) (recs []Record, cleanLen int) {
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		return nil, 0
+	}
+	off := len(Magic)
+	for {
+		rec, n, ok := scanFrame(data[off:])
+		if !ok {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+}
+
+// scanFrame decodes one frame from the head of b, reporting its total
+// length; ok is false on a truncated, oversized, type-invalid or
+// checksum-mismatched frame.
+func scanFrame(b []byte) (rec Record, n int, ok bool) {
+	if len(b) < frameOverhead {
+		return Record{}, 0, false
+	}
+	plen := binary.LittleEndian.Uint32(b[:4])
+	if plen > MaxPayload || int(plen) > len(b)-frameOverhead {
+		return Record{}, 0, false
+	}
+	t := Type(b[4])
+	if !t.valid() {
+		return Record{}, 0, false
+	}
+	end := 5 + int(plen)
+	crc := crc32.Update(0, castagnoli, b[4:end])
+	if binary.LittleEndian.Uint32(b[end:end+4]) != crc {
+		return Record{}, 0, false
+	}
+	return Record{Type: t, Payload: b[5:end]}, end + 4, true
+}
+
+// Fsync policies for Options.Policy.
+const (
+	PolicyAlways   = "always"
+	PolicyInterval = "interval"
+	PolicyNever    = "never"
+)
+
+// ValidPolicy reports whether name is an fsync policy ("" means the
+// default, PolicyAlways).
+func ValidPolicy(name string) bool {
+	return name == "" || name == PolicyAlways || name == PolicyInterval || name == PolicyNever
+}
+
+// Options tunes a log.
+type Options struct {
+	// Policy is the fsync policy: PolicyAlways (default), PolicyInterval
+	// or PolicyNever.
+	Policy string
+	// Interval is the PolicyInterval sync spacing; 0 means 100ms.
+	Interval time.Duration
+	// FS is the filesystem; nil means OSFS.
+	FS FS
+}
+
+func (o Options) fill() Options {
+	if o.Policy == "" {
+		o.Policy = PolicyAlways
+	}
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	return o
+}
+
+// Log is an open write-ahead log positioned for appends.
+type Log struct {
+	fs       FS
+	path     string
+	f        File
+	policy   string
+	interval time.Duration
+	lastSync time.Time
+	size     int64
+	closed   bool
+}
+
+// Open opens (creating if absent) the log at path, recovers the clean
+// prefix, truncates any torn tail, and returns the log positioned for
+// appends along with the recovered records. A torn tail is recovery,
+// not failure; only real I/O errors (or an invalid Options.Policy) fail.
+func Open(path string, opts Options) (*Log, []Record, error) {
+	if !ValidPolicy(opts.Policy) {
+		return nil, nil, fmt.Errorf("wal: unknown fsync policy %q", opts.Policy)
+	}
+	opts = opts.fill()
+	fs := opts.FS
+
+	data, err := fs.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh log: write the header durably before any record.
+		f, err := fs.Create(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: create %s: %w", path, err)
+		}
+		if _, err := f.Write([]byte(Magic)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: write header %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: sync header %s: %w", path, err)
+		}
+		return &Log{fs: fs, path: path, f: f, policy: opts.Policy,
+			interval: opts.Interval, lastSync: time.Now(), size: int64(len(Magic))}, nil, nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+
+	recs, clean := Scan(data)
+	if clean < len(data) {
+		// Torn or corrupt tail: cut back to the clean prefix so appends
+		// continue from a verifiable state. clean == 0 (a destroyed
+		// header) degenerates to an empty log, which Truncate + the
+		// header rewrite below repair.
+		if err := fs.Truncate(path, int64(clean)); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncate torn tail of %s at %d: %w", path, clean, err)
+		}
+	}
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{fs: fs, path: path, f: f, policy: opts.Policy,
+		interval: opts.Interval, lastSync: time.Now(), size: int64(clean)}
+	if clean < len(Magic) {
+		if _, err := f.Write([]byte(Magic)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: rewrite header %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: sync header %s: %w", path, err)
+		}
+		l.size = int64(len(Magic))
+	}
+	// Deep-copy payloads out of the file image before returning them.
+	for i := range recs {
+		recs[i].Payload = append([]byte(nil), recs[i].Payload...)
+	}
+	return l, recs, nil
+}
+
+// Append frames and writes one record, syncing per the log's policy.
+// The frame is written in a single Write call, so with prefix-durable
+// appends a crash leaves either no trace of the record or a torn frame
+// the next Open truncates. Any error leaves the log unusable for
+// further appends (the caller should degrade to read-only and let a
+// restart recover the clean prefix).
+func (l *Log) Append(t Type, payload []byte) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("wal: record payload %d exceeds limit %d", len(payload), MaxPayload)
+	}
+	frame := AppendFrame(make([]byte, 0, frameOverhead+len(payload)), t, payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append to %s: %w", l.path, err)
+	}
+	l.size += int64(len(frame))
+	switch l.policy {
+	case PolicyAlways:
+		return l.Sync()
+	case PolicyInterval:
+		if time.Since(l.lastSync) >= l.interval {
+			return l.Sync()
+		}
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", l.path, err)
+	}
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Close syncs and closes the log. Further operations return ErrClosed.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	serr := l.f.Sync()
+	cerr := l.f.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: sync on close %s: %w", l.path, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: close %s: %w", l.path, cerr)
+	}
+	return nil
+}
+
+// Size returns the log's current byte length (header included).
+func (l *Log) Size() int64 { return l.size }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// WriteFileAtomic durably writes data at path via a temp file: write,
+// sync, rename. Readers of path see the old bytes or the new bytes,
+// never a torn mix.
+func WriteFileAtomic(fs FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Compact folds a log into a checkpoint: it durably writes ckptData at
+// ckptPath, atomically swaps the log at logPath for a fresh one holding
+// only a checkpoint-marker record with the given payload, and returns
+// the fresh log opened for appends. The caller must have closed the old
+// log handle first.
+//
+// Crash safety rests on record idempotence, not ordering alone: if the
+// process dies after the checkpoint lands but before the log swap, the
+// next Open replays the old log's records on top of the new checkpoint
+// — harmless, because measurement records are generation-guarded and
+// budget records are absolute (see the package comment).
+func Compact(logPath, ckptPath string, ckptData, marker []byte, opts Options) (*Log, error) {
+	if !ValidPolicy(opts.Policy) {
+		return nil, fmt.Errorf("wal: unknown fsync policy %q", opts.Policy)
+	}
+	opts = opts.fill()
+	if err := WriteFileAtomic(opts.FS, ckptPath, ckptData); err != nil {
+		return nil, fmt.Errorf("wal: write checkpoint %s: %w", ckptPath, err)
+	}
+	fresh := AppendFrame([]byte(Magic), TypeCheckpointMarker, marker)
+	if err := WriteFileAtomic(opts.FS, logPath, fresh); err != nil {
+		return nil, fmt.Errorf("wal: swap compacted log %s: %w", logPath, err)
+	}
+	l, _, err := Open(logPath, opts)
+	return l, err
+}

@@ -1,0 +1,412 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// logRecords appends n deterministic records through a fresh log and
+// returns the file path and the payloads written.
+func logRecords(t *testing.T, dir string, opts Options, n int) (string, [][]byte) {
+	t.Helper()
+	path := filepath.Join(dir, "t.wal")
+	l, recs, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log recovered %d records", len(recs))
+	}
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf(`{"i":%d,"pad":"%032d"}`, i, i))
+		typ := TypeMeasurementBlock
+		if i == 0 {
+			typ = TypeDatasetCreate
+		}
+		if err := l.Append(typ, payloads[i]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, payloads
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, policy := range []string{PolicyAlways, PolicyInterval, PolicyNever} {
+		t.Run(policy, func(t *testing.T) {
+			path, payloads := logRecords(t, t.TempDir(), Options{Policy: policy}, 7)
+			l, recs, err := Open(path, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			if len(recs) != len(payloads) {
+				t.Fatalf("recovered %d records, wrote %d", len(recs), len(payloads))
+			}
+			for i, r := range recs {
+				if !bytes.Equal(r.Payload, payloads[i]) {
+					t.Fatalf("record %d payload mismatch", i)
+				}
+			}
+			if recs[0].Type != TypeDatasetCreate || recs[1].Type != TypeMeasurementBlock {
+				t.Fatalf("record types lost: %v %v", recs[0].Type, recs[1].Type)
+			}
+			// Appends continue after recovery.
+			if err := l.Append(TypeBudgetRestore, []byte(`{"consumed":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, recs2, err := Open(path, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs2) != len(payloads)+1 {
+				t.Fatalf("after reopen-append: %d records", len(recs2))
+			}
+		})
+	}
+}
+
+// TestTornTailEveryByte is the exhaustive prefix matrix at the wal
+// layer: the log truncated at EVERY byte offset must recover exactly
+// the records whose frames fit completely in the prefix — never a
+// partial record, never an error.
+func TestTornTailEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	path, payloads := logRecords(t, dir, Options{}, 5)
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame boundaries from a full scan.
+	full, clean := Scan(img)
+	if clean != len(img) || len(full) != len(payloads) {
+		t.Fatalf("healthy image: %d records, clean %d of %d", len(full), clean, len(img))
+	}
+	bounds := []int{len(Magic)}
+	off := len(Magic)
+	for _, r := range full {
+		off += frameOverhead + len(r.Payload)
+		bounds = append(bounds, off)
+	}
+	wantAt := func(cut int) int {
+		n := 0
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= cut {
+				n = i
+			}
+		}
+		return n
+	}
+	cutPath := filepath.Join(dir, "cut.wal")
+	for cut := 0; cut <= len(img); cut++ {
+		if err := os.WriteFile(cutPath, img[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, recs, err := Open(cutPath, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		if len(recs) != wantAt(cut) {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(recs), wantAt(cut))
+		}
+		for i, r := range recs {
+			if !bytes.Equal(r.Payload, payloads[i]) {
+				t.Fatalf("cut %d: record %d corrupted", cut, i)
+			}
+		}
+		// Recovery must leave an appendable log.
+		if err := l.Append(TypeBudgetRestore, []byte("x")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, recs2, err := Open(cutPath, Options{}); err != nil || len(recs2) != wantAt(cut)+1 {
+			t.Fatalf("cut %d: reopen after append: %d records, err %v", cut, len(recs2), err)
+		}
+		os.Remove(cutPath)
+	}
+}
+
+// TestCorruptByteTruncatesAtFirstBadFrame flips one byte at a sample of
+// offsets: recovery keeps every record before the damaged frame and
+// drops the rest — and never panics or refuses to start.
+func TestCorruptByteTruncatesAtFirstBadFrame(t *testing.T) {
+	dir := t.TempDir()
+	path, payloads := logRecords(t, dir, Options{}, 5)
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := Scan(img)
+	bounds := []int{len(Magic)}
+	off := len(Magic)
+	for _, r := range full {
+		off += frameOverhead + len(r.Payload)
+		bounds = append(bounds, off)
+	}
+	frameOf := func(pos int) int {
+		for i := 1; i < len(bounds); i++ {
+			if pos < bounds[i] {
+				return i - 1
+			}
+		}
+		return len(bounds) - 1
+	}
+	cutPath := filepath.Join(dir, "corrupt.wal")
+	for pos := 0; pos < len(img); pos += 3 {
+		bad := append([]byte(nil), img...)
+		bad[pos] ^= 0x5a
+		if err := os.WriteFile(cutPath, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, recs, err := Open(cutPath, Options{})
+		if err != nil {
+			t.Fatalf("corrupt @%d: open: %v", pos, err)
+		}
+		l.Close()
+		want := 0
+		if pos >= len(Magic) {
+			want = frameOf(pos)
+		}
+		// A flipped byte can only ever shorten the accepted prefix to the
+		// damaged frame; records before it survive verbatim.
+		if len(recs) > want {
+			t.Fatalf("corrupt @%d: accepted %d records past the damage (want <= %d)", pos, len(recs), want)
+		}
+		for i, r := range recs {
+			if !bytes.Equal(r.Payload, payloads[i]) {
+				t.Fatalf("corrupt @%d: surviving record %d corrupted", pos, i)
+			}
+		}
+		os.Remove(cutPath)
+	}
+}
+
+// TestZeroHoleTruncates models an out-of-order fsync hole: a zeroed
+// span mid-file must stop replay at the hole, keeping the prefix.
+func TestZeroHoleTruncates(t *testing.T) {
+	dir := t.TempDir()
+	path, payloads := logRecords(t, dir, Options{}, 4)
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := Scan(img)
+	secondStart := len(Magic) + frameOverhead + len(full[0].Payload)
+	hole := append([]byte(nil), img...)
+	for i := secondStart; i < secondStart+frameOverhead+len(full[1].Payload); i++ {
+		hole[i] = 0
+	}
+	if err := os.WriteFile(path, hole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, recs, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(recs) != 1 || !bytes.Equal(recs[0].Payload, payloads[0]) {
+		t.Fatalf("hole recovery kept %d records, want exactly the first", len(recs))
+	}
+}
+
+func TestCompactIdempotentReplayWindow(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "d.wal")
+	ckptPath := filepath.Join(dir, "d.ckpt")
+	l, _, err := Open(logPath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(TypeMeasurementBlock, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldImg, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Compact(logPath, ckptPath, []byte("CKPT"), []byte("marker"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Append(TypeMeasurementBlock, []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	nl.Close()
+	ck, err := os.ReadFile(ckptPath)
+	if err != nil || string(ck) != "CKPT" {
+		t.Fatalf("checkpoint bytes %q err %v", ck, err)
+	}
+	_, recs, err := Open(logPath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Type != TypeCheckpointMarker || string(recs[1].Payload) != "post" {
+		t.Fatalf("compacted log contents wrong: %+v", recs)
+	}
+	// The crash window: checkpoint landed, log swap did not. The old log
+	// must still be fully readable so the generation/consumed guards can
+	// no-op its records.
+	if err := os.WriteFile(logPath, oldImg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = Open(logPath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("pre-swap log lost records: %d", len(recs))
+	}
+}
+
+func TestFaultFSCrashAfterBytesLeavesTornFrame(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.wal")
+	ffs := NewFaultFS(nil)
+	l, _, err := Open(path, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(TypeDatasetCreate, []byte("full-record")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash 5 bytes into the next frame.
+	ffs.CrashAfterBytes(5)
+	err = l.Append(TypeMeasurementBlock, []byte("doomed-record"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("append across crash point: %v", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("crash point not latched")
+	}
+	if err := l.Append(TypeMeasurementBlock, []byte("after")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("append after crash: %v", err)
+	}
+	// The on-disk image holds the first record and 5 bytes of torn frame.
+	l2, recs, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(recs) != 1 || string(recs[0].Payload) != "full-record" {
+		t.Fatalf("recovery after injected crash: %+v", recs)
+	}
+}
+
+func TestFaultFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.wal")
+	ffs := NewFaultFS(nil)
+	l, _, err := Open(path, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(TypeDatasetCreate, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.ShortWriteOnce()
+	if err := l.Append(TypeMeasurementBlock, []byte("torn")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write not surfaced: %v", err)
+	}
+	_, recs, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("short-written frame accepted: %d records", len(recs))
+	}
+}
+
+func TestFaultFSFailSync(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	l, _, err := Open(filepath.Join(dir, "f.wal"), Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	ffs.FailSync(boom)
+	if err := l.Append(TypeDatasetCreate, []byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("policy-always append ignored sync failure: %v", err)
+	}
+}
+
+func TestIntervalPolicySyncSpacing(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	boom := errors.New("sync should not run yet")
+	l, _, err := Open(filepath.Join(dir, "i.wal"), Options{FS: ffs, Policy: PolicyInterval, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ffs.FailSync(boom)
+	// Inside the interval no sync runs, so the injected sync failure is
+	// never observed.
+	for i := 0; i < 4; i++ {
+		if err := l.Append(TypeMeasurementBlock, []byte("x")); err != nil {
+			t.Fatalf("interval append %d hit a sync: %v", i, err)
+		}
+	}
+	ffs.FailSync(nil)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsBadPolicy(t *testing.T) {
+	if _, _, err := Open(filepath.Join(t.TempDir(), "x.wal"), Options{Policy: "sometimes"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, _, err := Open(filepath.Join(t.TempDir(), "x.wal"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(TypeDatasetCreate, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append on closed log: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.json")
+	if err := WriteFileAtomic(OSFS{}, path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(OSFS{}, path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "two" {
+		t.Fatalf("atomic write: %q err %v", got, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp file left behind")
+	}
+}
