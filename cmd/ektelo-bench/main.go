@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|matvec|gram|serve|sweep|incremental|wal|all [-full] [-json FILE] [-par N,M]
+//	ektelo-bench -exp table4|table5|table6|fig3|fig4a|fig4b|fig5|matvec|gram|serve|sweep|incremental|wal|cluster|all [-full] [-json FILE] [-par N,M]
 //
 // Without -full the quick configurations run (small domains, seconds);
 // with -full the paper-scale configurations run (up to the 1.4M-cell
@@ -18,9 +18,11 @@
 // append-query loop on the warm (incremental) vs forced-cold refresh
 // path, and the wal experiment counts the durable bytes per measurement
 // commit on the write-ahead-log backend vs the legacy full-snapshot
-// rewrite (with a restart bit-identity check); with -json each records
-// its report (BENCH_1..7.json) so the perf trajectory is tracked
-// in-repo.
+// rewrite (with a restart bit-identity check), and the cluster
+// experiment drives a three-backend sharded serve cluster (router +
+// WAL-shipped read replicas) through read fan-out, replication-lag and
+// failover measurements; with -json each records its report
+// (BENCH_1..8.json) so the perf trajectory is tracked in-repo.
 package main
 
 import (
@@ -60,8 +62,9 @@ func main() {
 		"sweep":       runSweep,
 		"incremental": runIncremental,
 		"wal":         runWAL,
+		"cluster":     runCluster,
 	}
-	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6", "matvec", "gram", "serve", "sweep", "incremental", "wal"}
+	order := []string{"table4", "table5", "fig3", "fig4a", "fig4b", "fig5", "table6", "matvec", "gram", "serve", "sweep", "incremental", "wal", "cluster"}
 
 	if *exp == "all" {
 		// The benchmark experiments would write the same -json file in
@@ -231,6 +234,14 @@ func runWAL(full bool) {
 	done := banner("WAL persistence: durable bytes per commit vs full snapshot rewrites")
 	rep := experiments.WALBench(full)
 	fmt.Print(experiments.WALBenchString(rep))
+	writeJSONReport(rep)
+	done()
+}
+
+func runCluster(full bool) {
+	done := banner("Sharded cluster: routed read fan-out, replication lag, failover")
+	rep := experiments.ClusterBench(full)
+	fmt.Print(experiments.ClusterBenchString(rep))
 	writeJSONReport(rep)
 	done()
 }

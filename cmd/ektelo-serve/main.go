@@ -6,11 +6,12 @@
 // Usage:
 //
 //	ektelo-serve [-addr :8199] [-window 250us] [-replicates 3]
-//	             [-solver lsmr|cgls|normal] [-state-dir DIR]
+//	             [-solver lsmr|cgls|normal|nnls] [-state-dir DIR]
 //	             [-persist wal|snapshot] [-fsync always|interval|never]
 //	             [-fsync-interval 100ms] [-checkpoint-every 64]
 //	             [-shutdown-grace 10s]
 //	             [-plan-cache 256] [-preload name:kind:n:scale:seed:eps ...]
+//	             [-topology FILE -self NAME [-sync-interval 200ms]]
 //
 // The estimate panel behind every answer is solved by the block solver
 // named with -solver: lsmr (solver.LSMRMulti, the paper's §7.6 solver;
@@ -43,15 +44,30 @@
 // workloads at one log generation are answered with zero solver and
 // panel work); -1 disables it.
 //
+// With -topology (a cluster topology file — see internal/cluster) and
+// -self (this process's backend name in it), the process joins a serve
+// cluster as a replica host: a follower manager polls the other
+// backends, creates local read-replica datasets for every dataset the
+// consistent-hash ring places here, and tails each primary's
+// replication stream (its WAL served as verbatim frames over
+// /v1/datasets/{name}/wal). Follower datasets answer reads
+// bit-identically to the primary at equal generation (normal solver)
+// and refuse writes with 421 plus the primary's address; budget is
+// mirrored, never spent. Put the `ektelo-router` binary in front of
+// the cluster to get placement-aware routing.
+//
 // SIGINT/SIGTERM shut the server down gracefully: the listener stops
 // accepting, in-flight requests get -shutdown-grace to finish, then
 // every dataset's batcher drains and its log is fsynced and closed.
 //
 // The API (see internal/serve):
 //
+//	GET  /healthz                      — liveness
+//	GET  /v1/status                    — per-dataset cluster state
 //	GET  /v1/plans                     — the Fig. 2 plan registry
 //	GET  /v1/strategies                — measurement strategies
 //	GET  /v1/datasets                  — dataset summaries
+//	GET  /v1/datasets/{name}/wal       — replication-stream tail
 //	POST /v1/datasets                  — create a synthetic dataset
 //	GET  /v1/datasets/{name}           — one dataset's summary
 //	GET  /v1/datasets/{name}/budget    — remaining-budget report
@@ -88,6 +104,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/wal"
 )
@@ -108,6 +125,9 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "compact the wal into a checkpoint every N records (0: default 64)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "in-flight request deadline on SIGINT/SIGTERM")
 	planCache := flag.Int("plan-cache", 0, "workload-answer cache entries per dataset (0: default 256, -1: disabled)")
+	topologyPath := flag.String("topology", "", "cluster topology file; enables the follower manager (requires -self)")
+	self := flag.String("self", "", "this process's backend name in the -topology file")
+	syncInterval := flag.Duration("sync-interval", 200*time.Millisecond, "follower discovery + tail spacing under -topology")
 	var preloads preloadList
 	flag.Var(&preloads, "preload", "preload dataset as name:kind:n:scale:seed:eps (repeatable)")
 	flag.Parse()
@@ -148,6 +168,26 @@ func main() {
 		log.Printf("preloaded dataset %q: domain %d, ε_total %g", sum.Name, sum.Domain, sum.EpsTotal)
 	}
 
+	// Under -topology this process is a cluster member: the follower
+	// manager keeps local read replicas of every dataset the ring
+	// assigns here, tailing the primaries' replication streams.
+	var mgr *cluster.Manager
+	if (*topologyPath == "") != (*self == "") {
+		log.Fatalf("-topology and -self go together")
+	}
+	if *topologyPath != "" {
+		topo, err := cluster.LoadTopology(*topologyPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mgr, err = cluster.NewManager(s, topo, *self, cluster.Options{ProbeInterval: *syncInterval})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mgr.Start()
+		log.Printf("cluster member %q: following ring placements from %s", *self, *topologyPath)
+	}
+
 	// The header/read timeouts bound slow or stalled clients; the write
 	// timeout is generous because a cold panel solve on a large domain
 	// legitimately takes seconds.
@@ -180,8 +220,11 @@ func main() {
 	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("http shutdown: %v", err)
 	}
-	// With the listener quiet, drain every dataset's batcher and fsync
-	// and close its write-ahead log.
+	// With the listener quiet, stop following, then drain every
+	// dataset's batcher and fsync and close its write-ahead log.
+	if mgr != nil {
+		mgr.Close()
+	}
 	s.Close()
 	log.Printf("ektelo-serve stopped")
 }

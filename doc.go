@@ -8,9 +8,10 @@
 // paper's evaluation plus the engine (-exp matvec), blocked-Gram
 // (-exp gram), serve-load (-exp serve, and -exp serve -plan for the
 // plan-mode/cache load), multi-epsilon-sweep (-exp sweep) and
-// incremental-refresh (-exp incremental) benchmarks that record the
-// repo's performance trajectory (BENCH_1..6.json) — and
-// cmd/ektelo-serve, the HTTP/JSON query service.
+// incremental-refresh (-exp incremental) and sharded-cluster
+// (-exp cluster) benchmarks that record the repo's performance
+// trajectory (BENCH_1..8.json) — cmd/ektelo-serve, the HTTP/JSON query
+// service, and cmd/ektelo-router, the cluster front door.
 //
 // # Architecture: operator layer, session kernel, serve front end
 //
@@ -89,6 +90,23 @@
 // Snapshots carry the estimate panel, so restarts warm-start too.
 // ektelo-bench -exp incremental records warm-vs-cold refresh cost
 // (BENCH_6.json) and enforces the bit-identity.
+//
+// The serve tier scales out as a cluster (internal/cluster,
+// cmd/ektelo-router): a static topology of serve processes, datasets
+// placed on a consistent-hash ring with one primary plus N read
+// replicas, and a thin reverse-proxy router that sends writes only to
+// the ring primary and fans reads across ready replicas (health
+// probes, least-inflight ordering, retry-on-next for idempotent
+// reads). The WAL doubles as the replication stream: primaries serve
+// their per-dataset log as verbatim frames over HTTP, and follower
+// processes (ektelo-serve -topology/-self) tail and apply it through
+// the same strict replay path a restart uses — replicas answer
+// bit-identically at equal generation, mirror but never spend budget
+// (writes are refused with 421 and the primary's address before any
+// kernel session exists), and a dead primary degrades its datasets to
+// explicitly stale read-only serving rather than electing a second
+// writer. ektelo-bench -exp cluster records read fan-out, replication
+// lag and the failover contract (BENCH_8.json).
 //
 // Every plan bottoms out in internal/mat's implicit mat-vec kernels;
 // those run on a shared parallel, zero-allocation compute engine (see

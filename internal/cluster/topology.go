@@ -1,0 +1,117 @@
+// Package cluster is the scale-out tier over the serve front end
+// (ROADMAP item 1): a consistent-hash ring maps each dataset name to
+// one primary serve process and R read replicas; a thin router proxies
+// writes to the primary and fans reads across ready replicas; and a
+// per-process follower manager tails primaries' replication streams
+// (the per-dataset WAL served as verbatim frames) into local follower
+// datasets. Membership is a static topology file — no consensus, no
+// elections: the single writer per dataset is a pure function of the
+// ring, and when a primary is down its datasets degrade to read-only
+// service from the freshest replica (staleness surfaced in response
+// headers) rather than electing a second writer, so Algorithm 2 budget
+// accounting keeps exactly one ledger per dataset.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+)
+
+// Backend is one serve process in the topology.
+type Backend struct {
+	// Name is the backend's stable identity — the ring hashes names, so
+	// an address change (new port after restart) does not reshuffle
+	// dataset placement.
+	Name string `json:"name"`
+	// Addr is the backend's base URL (e.g. "http://10.0.0.3:8081").
+	Addr string `json:"addr"`
+}
+
+// Topology is the static cluster membership (-topology file): the
+// backend set and the replication factor.
+type Topology struct {
+	// Replicas is the number of read replicas per dataset beyond the
+	// primary; it is capped at len(Backends)-1 at placement time.
+	Replicas int `json:"replicas"`
+	// Backends lists every serve process. Order is irrelevant — placement
+	// comes from the consistent-hash ring over the names.
+	Backends []Backend `json:"backends"`
+}
+
+// ParseTopology strict-decodes and validates a topology document.
+func ParseTopology(data []byte) (Topology, error) {
+	var t Topology
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return Topology{}, fmt.Errorf("cluster: topology: %w", err)
+	}
+	if dec.More() {
+		return Topology{}, errors.New("cluster: topology: trailing data")
+	}
+	if err := t.validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}
+
+// LoadTopology reads and validates a topology file.
+func LoadTopology(path string) (Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Topology{}, fmt.Errorf("cluster: topology: %w", err)
+	}
+	return ParseTopology(data)
+}
+
+func (t Topology) validate() error {
+	if len(t.Backends) == 0 {
+		return errors.New("cluster: topology needs at least one backend")
+	}
+	if t.Replicas < 0 {
+		return fmt.Errorf("cluster: topology replicas %d must be >= 0", t.Replicas)
+	}
+	names := make(map[string]bool, len(t.Backends))
+	addrs := make(map[string]bool, len(t.Backends))
+	for i, b := range t.Backends {
+		if b.Name == "" {
+			return fmt.Errorf("cluster: backend %d has no name", i)
+		}
+		if names[b.Name] {
+			return fmt.Errorf("cluster: duplicate backend name %q", b.Name)
+		}
+		names[b.Name] = true
+		u, err := url.Parse(b.Addr)
+		if err != nil || !u.IsAbs() || u.Host == "" {
+			return fmt.Errorf("cluster: backend %q: addr %q is not an absolute URL", b.Name, b.Addr)
+		}
+		if addrs[b.Addr] {
+			return fmt.Errorf("cluster: duplicate backend addr %q", b.Addr)
+		}
+		addrs[b.Addr] = true
+	}
+	return nil
+}
+
+// Backend returns the named backend.
+func (t Topology) Backend(name string) (Backend, bool) {
+	for _, b := range t.Backends {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Backend{}, false
+}
+
+// ownersPerDataset is the placement width: primary + capped replicas.
+func (t Topology) ownersPerDataset() int {
+	n := 1 + t.Replicas
+	if n > len(t.Backends) {
+		n = len(t.Backends)
+	}
+	return n
+}

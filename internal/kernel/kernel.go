@@ -222,6 +222,16 @@ func (k *Kernel) History() []QueryRecord {
 	return append([]QueryRecord(nil), k.history...)
 }
 
+// HistoryLen returns the number of history records in O(1). Summaries
+// and health probes that only need the count must use this instead of
+// len(History()): the full copy holds the kernel lock for O(queries)
+// work, which stalls every concurrent budget charge.
+func (k *Kernel) HistoryLen() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.history)
+}
+
 // NodeState is a public snapshot of one transformation-graph node's
 // bookkeeping (paper §4.4: the stability tracker St and budget tracker
 // B). It contains no private data and exists so that audits and tests

@@ -13,12 +13,16 @@ import (
 
 // This file is the HTTP/JSON surface of the query service:
 //
+//	GET  /healthz                      — liveness (status.go)
+//	GET  /v1/status                    — per-dataset cluster state
 //	GET  /v1/plans                     — the Fig. 2 plan registry
 //	GET  /v1/strategies                — strategies Measure accepts
 //	GET  /v1/datasets                  — dataset summaries
 //	POST /v1/datasets                  — create a synthetic dataset
 //	GET  /v1/datasets/{name}           — one dataset's summary
 //	GET  /v1/datasets/{name}/budget    — remaining-budget report
+//	GET  /v1/datasets/{name}/wal       — replication-stream tail
+//	                                     (?from=offset; status.go)
 //	POST /v1/datasets/{name}/measure   — spend budget on a strategy
 //	                                     (or, with "plan", on a plan)
 //	POST /v1/datasets/{name}/plan      — execute a Fig. 2 registry plan
@@ -26,11 +30,15 @@ import (
 //
 // Concurrent clients are first-class: measurement and plan execution
 // run in per-request kernel sessions, and query workloads are coalesced
-// into shared panel products by the per-dataset batcher.
+// into shared panel products by the per-dataset batcher. In a cluster,
+// writes against a read replica fail with 421 Misdirected Request and
+// the primary's address in the X-Ektelo-Primary header.
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/plans", s.handlePlans)
 	mux.HandleFunc("GET /v1/strategies", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"strategies": Strategies()})
@@ -39,6 +47,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.withDataset(s.handleSummary))
 	mux.HandleFunc("GET /v1/datasets/{name}/budget", s.withDataset(s.handleBudget))
+	mux.HandleFunc("GET /v1/datasets/{name}/wal", s.withDataset(s.handleWALTail))
 	mux.HandleFunc("POST /v1/datasets/{name}/measure", s.withDataset(s.handleMeasure))
 	mux.HandleFunc("POST /v1/datasets/{name}/plan", s.withDataset(s.handlePlan))
 	mux.HandleFunc("POST /v1/datasets/{name}/query", s.withDataset(s.handleQuery))
@@ -61,9 +70,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var he httpError
+	var np *NotPrimaryError
 	switch {
 	case errors.As(err, &he):
 		status = he.status
+	case errors.As(err, &np):
+		// A write reached a read replica: 421 Misdirected Request with
+		// the primary's address, so clients (and the router) know where
+		// writes for this dataset go. No budget was spent — the role
+		// check precedes any kernel session.
+		status = http.StatusMisdirectedRequest
+		w.Header().Set(HeaderPrimary, np.Primary)
 	case errors.Is(err, kernel.ErrBudgetExceeded):
 		// The budget decision is data-independent (paper §4.3), so
 		// reporting it to the client is safe — and essential for a
@@ -99,7 +116,8 @@ func clientErr(err error) error {
 		errors.Is(err, ErrBatchPanic),
 		errors.Is(err, ErrPlanPanic),
 		errors.Is(err, ErrSnapshot),
-		errors.Is(err, ErrReadOnly):
+		errors.Is(err, ErrReadOnly),
+		errors.Is(err, ErrNotPrimary):
 		return err
 	}
 	return httpError{http.StatusBadRequest, err.Error()}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// This file is the replication layer of the serve tier (ROADMAP open
+// item 1, the scale-out half): every dataset exposes its measurement
+// WAL as a logical frame stream that read replicas tail and apply.
+//
+// # The replication stream
+//
+// The stream is the dataset's commit history in the WAL frame encoding
+// (wal.AppendFrame — length|type|payload|CRC32C, no file magic): a
+// dataset-create frame pinning the identity, then one
+// measurement-block frame per commit and a budget-restore frame per
+// failed-plan spend. Offsets are logical byte positions in this
+// stream, independent of the on-disk log — checkpoint compaction can
+// rewrite the physical file without moving a replica's position. The
+// stream is retained in memory; its size is the same order as the warm
+// measurement log the dataset already keeps resident, and it restarts
+// (with a fresh epoch, so followers resynchronize from offset zero)
+// when the process does. On a restart the stream is re-seeded from the
+// restored state as one create frame plus one combined
+// measurement-block frame — replay idempotence (generation-guarded
+// blocks, absolute budget values) makes the collapsed form apply
+// identically to the original commit-by-commit history.
+//
+// # Followers
+//
+// A follower dataset (Server.CreateFollower) is a read replica: it
+// holds no private data (the kernel protects a zero vector — queries
+// are pure post-processing over the replicated measurement log and
+// never touch it), spends no budget (writes are refused with
+// ErrNotPrimary before any kernel session is created; the primary's
+// consumed value is mirrored through RestoreConsumed so summaries
+// agree), and applies shipped frames through the same strict replay
+// path the crash-recovery loader uses (decodeStrict + decodeBlock +
+// generation guard + absolute-budget max). Applied frames are appended
+// verbatim to the follower's own local WAL when persistence is
+// enabled, so a restarted replica recovers its log locally and the
+// tail resumes from wherever the primary's stream stands — re-applying
+// from offset zero is safe by the same idempotence.
+//
+// A replica at generation G answers bit-identically to the primary at
+// generation G when the dataset uses the "normal" solver (whose
+// bootstrap noise is drawn per block in log order — deterministic
+// across any refresh schedule); the iterative solvers agree to solver
+// tolerance, as documented for warm-vs-cold refreshes.
+
+// ErrNotPrimary: a write (Measure/MeasurePlan) reached a read replica.
+// The HTTP layer maps it to 421 Misdirected Request with the primary's
+// address, before any kernel session is created — budget spend on a
+// follower is impossible by construction.
+var ErrNotPrimary = errors.New("serve: dataset is a read replica")
+
+// NotPrimaryError carries the primary's address alongside ErrNotPrimary
+// so the HTTP layer (and the router) can tell the client where writes go.
+type NotPrimaryError struct {
+	Dataset string
+	Primary string
+}
+
+func (e *NotPrimaryError) Error() string {
+	return fmt.Sprintf("serve: dataset %q is a read replica; writes go to primary %s", e.Dataset, e.Primary)
+}
+
+func (e *NotPrimaryError) Unwrap() error { return ErrNotPrimary }
+
+// ErrWALRange: a WAL tail request named an offset outside the stream
+// (HTTP 416). Followers treat it as an epoch change: reset to zero.
+var ErrWALRange = errors.New("serve: wal stream offset out of range")
+
+// replState is a dataset's in-memory replication stream.
+type replState struct {
+	// epoch identifies one process lifetime of the stream: offsets are
+	// only comparable within an epoch, and a follower that observes a new
+	// epoch restarts its tail from offset zero.
+	epoch uint64
+	// buf is the frame stream (wal.AppendFrame encoding, no magic).
+	buf []byte
+}
+
+var replEpochCounter atomic.Uint64
+
+// newReplEpoch returns a process-unique, restart-distinguishing epoch.
+func newReplEpoch() uint64 {
+	return uint64(time.Now().UnixNano()) + replEpochCounter.Add(1)
+}
+
+// appendReplLocked appends one frame to the replication stream. Caller
+// holds d.mu.
+func (d *Dataset) appendReplLocked(t wal.Type, payload []byte) {
+	d.repl.buf = wal.AppendFrame(d.repl.buf, t, payload)
+}
+
+// seedReplStream initializes the replication stream from the dataset's
+// (possibly restored) state: the create frame, then — when a restore
+// brought history back — one combined measurement-block frame carrying
+// every restored block at the restored generation, or a budget-restore
+// frame when budget was spent without measurements surviving. Called
+// once from addDataset before the dataset is published, so no lock is
+// needed; errors are impossible for the types marshaled here short of
+// running out of memory, and are treated as fatal to the create.
+func (d *Dataset) seedReplStream() error {
+	d.repl.epoch = newReplEpoch()
+	payload, err := json.Marshal(&walCreate{Name: d.name, Domain: d.n, EpsTotal: d.kern.EpsTotal()})
+	if err != nil {
+		return fmt.Errorf("serve: seed replication stream for %q: %w", d.name, err)
+	}
+	d.repl.buf = wal.AppendFrame(d.repl.buf, wal.TypeDatasetCreate, payload)
+	consumed := d.kern.Consumed()
+	if d.gen > 0 {
+		payload, err := d.encodeCommitLocked(d.blocks)
+		if err != nil {
+			return fmt.Errorf("serve: seed replication stream for %q: %w", d.name, err)
+		}
+		d.repl.buf = wal.AppendFrame(d.repl.buf, wal.TypeMeasurementBlock, payload)
+	} else if consumed > 0 {
+		payload, err := json.Marshal(&walBudget{Consumed: consumed})
+		if err != nil {
+			return fmt.Errorf("serve: seed replication stream for %q: %w", d.name, err)
+		}
+		d.repl.buf = wal.AppendFrame(d.repl.buf, wal.TypeBudgetRestore, payload)
+	}
+	return nil
+}
+
+// WALTail returns a copy of the replication stream from logical byte
+// offset from to its current end, with the end offset, the stream
+// epoch and the measurement-log generation the returned bytes reach.
+// An empty data slice with next == from means the follower is caught
+// up. Offsets outside [0, len] fail with ErrWALRange (the follower
+// resynchronizes from zero — its offset belongs to an older epoch).
+func (d *Dataset) WALTail(from int64) (data []byte, next int64, epoch, gen uint64, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := int64(len(d.repl.buf))
+	if from < 0 || from > n {
+		return nil, n, d.repl.epoch, d.gen, fmt.Errorf("%w: offset %d outside [0,%d]", ErrWALRange, from, n)
+	}
+	// Copied: the caller releases d.mu before writing the response, and
+	// a later append may grow the buffer in place.
+	return append([]byte(nil), d.repl.buf[from:]...), n, d.repl.epoch, d.gen, nil
+}
+
+// ReplState reports the stream's current (epoch, end offset,
+// generation) triple for status endpoints and lag accounting.
+func (d *Dataset) ReplState() (epoch uint64, offset int64, gen uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.repl.epoch, int64(len(d.repl.buf)), d.gen
+}
+
+// IsFollower reports the dataset's role; Primary is the primary's
+// address ("" on a primary).
+func (d *Dataset) IsFollower() bool { return d.follower }
+
+// Primary returns the primary's address for a follower ("" otherwise).
+func (d *Dataset) Primary() string { return d.primary }
+
+// CreateFollower registers a read replica of a dataset whose primary
+// lives elsewhere: domain, budget, seed, solver and damping are the
+// primary's public dataset metadata (served by /v1/status), primary is
+// its address for write redirection. The replica's kernel protects a
+// zero vector — no private data ever reaches a follower; the
+// measurement log arrives through ApplyWALStream and queries are
+// post-processing over it. With persistence enabled the follower
+// restores its locally shipped log exactly like a primary would.
+func (s *Server) CreateFollower(name string, domain int, epsTotal float64, seed uint64, solverName string, damping float64, primary string) (*Dataset, error) {
+	if domain <= 0 || !(epsTotal > 0) || math.IsInf(epsTotal, 0) {
+		return nil, fmt.Errorf("serve: follower needs positive domain and finite positive budget")
+	}
+	if primary == "" {
+		return nil, fmt.Errorf("serve: follower needs the primary's address")
+	}
+	return s.addDataset(name, make([]float64, domain), seed, epsTotal, solverName, damping, primary)
+}
+
+// ApplyWALStream verifies and applies shipped replication frames to a
+// follower dataset, in order, through the strict replay path: every
+// frame re-checked by CRC (wal.ScanStream), every payload
+// strict-decoded, measurement records generation-guarded and budget
+// values absolute — applying the same stream twice is a no-op.
+// Applied measurement and budget frames are appended verbatim to the
+// follower's local WAL when persistence is enabled. It returns the
+// number of records that changed state. Partial streams fail after
+// applying the clean prefix; the follower simply re-tails.
+func (d *Dataset) ApplyWALStream(data []byte) (applied int, err error) {
+	if !d.follower {
+		return 0, fmt.Errorf("serve: dataset %q is not a follower", d.name)
+	}
+	recs, clean := wal.ScanStream(data)
+	for i, rec := range recs {
+		ok, err := d.applyReplRecord(rec)
+		if err != nil {
+			return applied, fmt.Errorf("serve: replica %q: shipped record %d: %w", d.name, i, err)
+		}
+		if ok {
+			applied++
+		}
+	}
+	if clean != len(data) {
+		return applied, fmt.Errorf("serve: replica %q: torn frame at stream byte %d of %d", d.name, clean, len(data))
+	}
+	return applied, nil
+}
+
+// applyReplRecord applies one shipped record under the dataset lock,
+// reporting whether it changed state.
+func (d *Dataset) applyReplRecord(rec wal.Record) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch rec.Type {
+	case wal.TypeDatasetCreate:
+		var c walCreate
+		if err := decodeStrict(rec.Payload, &c); err != nil {
+			return false, err
+		}
+		// Identity frames recur at the head of every epoch; they assert,
+		// never mutate.
+		return false, d.checkIdentity("shipped stream", c.Name, c.Domain, c.EpsTotal)
+	case wal.TypeMeasurementBlock:
+		var m walMeas
+		if err := decodeStrict(rec.Payload, &m); err != nil {
+			return false, err
+		}
+		ok, err := d.applyMeasLocked(m)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, d.mirrorConsumedLocked(m.Consumed)
+		}
+		d.stale = true
+		d.cache.invalidate()
+		if err := d.mirrorConsumedLocked(m.Consumed); err != nil {
+			return true, err
+		}
+		d.appendReplLocked(rec.Type, rec.Payload)
+		d.shipToLocalLogLocked(rec)
+		return true, nil
+	case wal.TypeBudgetRestore:
+		var b walBudget
+		if err := decodeStrict(rec.Payload, &b); err != nil {
+			return false, err
+		}
+		if !validConsumed(b.Consumed) {
+			return false, fmt.Errorf("consumed %g", b.Consumed)
+		}
+		before := d.kern.Consumed()
+		if err := d.mirrorConsumedLocked(b.Consumed); err != nil {
+			return false, err
+		}
+		if b.Consumed <= before {
+			return false, nil
+		}
+		d.appendReplLocked(rec.Type, rec.Payload)
+		d.shipToLocalLogLocked(rec)
+		return true, nil
+	default:
+		// Checkpoint markers belong to physical log files; the logical
+		// stream never carries them.
+		return false, fmt.Errorf("unexpected record type %d in shipped stream", rec.Type)
+	}
+}
+
+// mirrorConsumedLocked raises the replica's consumed budget to the
+// primary's absolute value (never lowers it — budget only grows).
+// Mirroring uses the same RestoreConsumed path as crash recovery, so a
+// replica's summary agrees with the primary's without any session ever
+// spending on the replica. Caller holds d.mu.
+func (d *Dataset) mirrorConsumedLocked(consumed float64) error {
+	delta := consumed - d.kern.Consumed()
+	if delta <= 0 {
+		return nil
+	}
+	return d.kern.RestoreConsumed(delta)
+}
+
+// shipToLocalLogLocked appends an applied shipped record verbatim to
+// the follower's own WAL, so a restarted replica recovers locally and
+// resumes tailing. Advisory in the same sense as every persist path: a
+// failure degrades local durability (logged, read-only latch) but the
+// in-memory replica keeps applying and serving. Caller holds d.mu.
+func (d *Dataset) shipToLocalLogLocked(rec wal.Record) {
+	if d.wlog == nil || d.readOnly {
+		return
+	}
+	if err := d.wlog.Append(rec.Type, rec.Payload); err != nil {
+		log.Printf("serve: replica %q: local log append failed: %v", d.name, err)
+		d.degradeLocked(err)
+		return
+	}
+	d.walRecs++
+	d.persistPanelLocked()
+	d.maybeCompactLocked()
+}
+
+// applyMeasLocked appends a measurement record's blocks if its
+// generation is not already covered — the strict replay step shared by
+// crash recovery (loadStateWAL) and follower apply. It validates
+// exactly like the loader: bad generations or consumed values and
+// undecodable blocks are errors, an already-covered generation is a
+// clean skip (false, nil). Caller holds d.mu.
+func (d *Dataset) applyMeasLocked(m walMeas) (bool, error) {
+	if m.Gen == 0 || !validConsumed(m.Consumed) {
+		return false, fmt.Errorf("generation %d, consumed %g", m.Gen, m.Consumed)
+	}
+	if m.Gen <= d.gen {
+		return false, nil
+	}
+	for bi, sb := range m.Blocks {
+		mb, err := decodeBlock(bi, sb, d.n)
+		if err != nil {
+			return false, err
+		}
+		d.blocks = append(d.blocks, mb)
+		d.rows += len(mb.y)
+	}
+	d.gen = m.Gen
+	return true, nil
+}

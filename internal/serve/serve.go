@@ -27,6 +27,16 @@
 // backend remains as Config.Persist = PersistSnapshot (persist.go); its
 // files load unmodified under the WAL backend.
 //
+// The WAL doubles as the serve tier's replication stream (repl.go):
+// every dataset serves its commit history as verbatim frames
+// (WALTail, GET /v1/datasets/{name}/wal), and follower datasets
+// (CreateFollower) on other processes apply it through the same strict
+// replay path a restart uses — bit-identical read replicas that mirror
+// but never spend budget and refuse writes with ErrNotPrimary (HTTP
+// 421). internal/cluster builds the consistent-hash routing, health
+// probing and failover tier on top; /healthz and /v1/status (status.go)
+// are the probe surface.
+//
 // The estimate panel is refreshed lazily after new measurements by one
 // block solve — solver.LSMRMulti (the paper's named solver),
 // solver.CGLSMulti, or the direct normal-equations solver.NormalMulti,
@@ -212,15 +222,24 @@ const (
 	SolverCGLS   = "cgls"
 	SolverLSMR   = "lsmr"
 	SolverNormal = "normal"
+	// SolverNNLS (solver.NNLSMulti, FISTA projected gradient) constrains
+	// every panel column non-negative — estimates that are counts stay
+	// counts. It warm-starts from the previous generation's panel
+	// (clamped non-negative) like the other iterative solvers, has no
+	// damped form (Options.Damp is ignored, so damping+nnls is rejected
+	// at create), and its bootstrap noise is redrawn per refresh like
+	// cgls/lsmr — the bit-identical warm-vs-cold path stays "normal".
+	SolverNNLS = "nnls"
 )
 
 // Solvers lists the estimate-panel solvers Config.Solver and the
 // create-dataset endpoint accept.
-func Solvers() []string { return []string{SolverCGLS, SolverLSMR, SolverNormal} }
+func Solvers() []string { return []string{SolverCGLS, SolverLSMR, SolverNormal, SolverNNLS} }
 
 // validSolver reports whether name is accepted ("" means the default).
 func validSolver(name string) bool {
-	return name == "" || name == SolverCGLS || name == SolverLSMR || name == SolverNormal
+	return name == "" || name == SolverCGLS || name == SolverLSMR ||
+		name == SolverNormal || name == SolverNNLS
 }
 
 // dampSolver reports whether the named solver supports Tikhonov
@@ -385,6 +404,20 @@ type Dataset struct {
 	readOnly bool
 	roCause  error
 
+	// seed is the dataset's public noise seed (all kernel and bootstrap
+	// randomness derives from it). Exposed through /v1/status so a
+	// replica can be created with the same streams — that, plus the
+	// replicated log, is what makes normal-mode replica answers
+	// bit-identical to the primary's.
+	seed uint64
+	// follower marks a read replica (repl.go): writes are refused with
+	// ErrNotPrimary (421 + the primary address) before any kernel
+	// session exists, and state arrives only through ApplyWALStream.
+	follower bool
+	primary  string // the primary's address ("" on a primary)
+	// repl is the in-memory replication stream followers tail (repl.go).
+	repl replState
+
 	batch *batcher
 }
 
@@ -419,7 +452,7 @@ func (s *Server) CreateDatasetWithOptions(name, kind string, n int, scale float6
 		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownSolver, solverName, Solvers())
 	}
 	x := dataset.Synthetic1D(kind, n, scale, seed)
-	return s.addDataset(name, x, seed, epsTotal, solverName, damping)
+	return s.addDataset(name, x, seed, epsTotal, solverName, damping, "")
 }
 
 // CreateDatasetFromVector registers a dataset from an explicit data
@@ -428,10 +461,14 @@ func (s *Server) CreateDatasetFromVector(name string, x []float64, seed uint64, 
 	if len(x) == 0 || !(epsTotal > 0) || math.IsInf(epsTotal, 0) {
 		return nil, fmt.Errorf("serve: dataset needs positive domain and finite positive budget")
 	}
-	return s.addDataset(name, x, seed, epsTotal, "", 0)
+	return s.addDataset(name, x, seed, epsTotal, "", 0, "")
 }
 
-func (s *Server) addDataset(name string, x []float64, seed uint64, epsTotal float64, solverName string, damping float64) (*Dataset, error) {
+// addDataset constructs and registers a dataset. A non-empty primary
+// address makes it a follower (read replica — see repl.go): same
+// construction, persistence restore included, but writes are refused
+// and the measurement log arrives through ApplyWALStream.
+func (s *Server) addDataset(name string, x []float64, seed uint64, epsTotal float64, solverName string, damping float64, primary string) (*Dataset, error) {
 	if solverName == "" {
 		solverName = s.cfg.Solver
 	}
@@ -444,17 +481,20 @@ func (s *Server) addDataset(name string, x []float64, seed uint64, epsTotal floa
 	}
 	kern, root := kernel.InitVectorSeeded(x, epsTotal, seed)
 	d := &Dataset{
-		name:   name,
-		cfg:    s.cfg,
-		kern:   kern,
-		root:   root,
-		n:      len(x),
-		boot:   noise.NewRand(seed ^ 0x9e3779b97f4a7c15),
-		work:   mat.NewWorkspace(),
-		solver: solverName,
-		damp:   damping,
-		cache:  newPanelCache(s.cfg.CacheSize),
-		fs:     s.cfg.FS,
+		name:     name,
+		cfg:      s.cfg,
+		kern:     kern,
+		root:     root,
+		n:        len(x),
+		boot:     noise.NewRand(seed ^ 0x9e3779b97f4a7c15),
+		work:     mat.NewWorkspace(),
+		solver:   solverName,
+		damp:     damping,
+		cache:    newPanelCache(s.cfg.CacheSize),
+		fs:       s.cfg.FS,
+		seed:     seed,
+		follower: primary != "",
+		primary:  primary,
 	}
 	if s.cfg.StateDir != "" {
 		d.statePath = snapshotPath(s.cfg.StateDir, name)
@@ -471,6 +511,13 @@ func (s *Server) addDataset(name string, x []float64, seed uint64, epsTotal floa
 		} else if err := d.loadState(); err != nil {
 			return nil, err
 		}
+	}
+	// Seed the replication stream from the (possibly restored) state
+	// before the dataset is visible: followers that connect immediately
+	// see a complete history from offset zero.
+	if err := d.seedReplStream(); err != nil {
+		d.closePersistence()
+		return nil, err
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -619,9 +666,26 @@ type Summary struct {
 	// PersistError carries the cause.
 	ReadOnly     bool   `json:"read_only,omitempty"`
 	PersistError string `json:"persist_error,omitempty"`
+	// Seed is the dataset's public noise seed — replicas are created
+	// with it so their noise streams match the primary's (repl.go).
+	Seed uint64 `json:"seed"`
+	// WALOffset is the end of the replication stream in stream bytes. A
+	// follower is caught up when its applied offset reaches the
+	// primary's WALOffset (at the same stream epoch — the epoch, being
+	// per process lifetime and so nondeterministic, lives in /v1/status
+	// rather than here, keeping summaries bit-reproducible).
+	WALOffset int64 `json:"wal_offset"`
+	// Follower marks a read replica; Primary is where its writes go.
+	Follower bool   `json:"follower,omitempty"`
+	Primary  string `json:"primary,omitempty"`
 }
 
-// Summary reports the dataset's budget and log state.
+// Summary reports the dataset's budget and log state. It is the
+// router's health-probe payload, so it must stay cheap and must not
+// stall writers: everything under d.mu is scalar copies, and the
+// kernel reads are O(1) — in particular the history count comes from
+// kernel.HistoryLen, not History(), whose full copy would hold the
+// kernel mutex for O(queries) work against every concurrent charge.
 func (d *Dataset) Summary() Summary {
 	d.mu.Lock()
 	blocks, rows := len(d.blocks), d.rows
@@ -631,6 +695,7 @@ func (d *Dataset) Summary() Summary {
 	warm, cold, saved := d.warmRefreshes, d.coldRefreshes, d.savedIterations
 	covered := d.panelRows
 	readOnly, roCause := d.readOnly, d.roCause
+	walOffset := int64(len(d.repl.buf))
 	d.mu.Unlock()
 	// One Consumed() read keeps the budget triple internally consistent
 	// (consumed + remaining == eps_total) even while other sessions are
@@ -645,7 +710,7 @@ func (d *Dataset) Summary() Summary {
 		Measurements:    blocks,
 		MeasuredRows:    rows,
 		Sessions:        d.kern.Sessions(),
-		Queries:         len(d.kern.History()),
+		Queries:         d.kern.HistoryLen(),
 		Solver:          solverName,
 		SolveIterations: solveIters,
 		SolveConverged:  solveConv,
@@ -660,6 +725,10 @@ func (d *Dataset) Summary() Summary {
 		Cache:           d.cache.snapshot(),
 		ReadOnly:        readOnly,
 		PersistError:    errText(roCause),
+		Seed:            d.seed,
+		WALOffset:       walOffset,
+		Follower:        d.follower,
+		Primary:         d.primary,
 	}
 }
 
@@ -727,7 +796,15 @@ func (d *Dataset) commitBlocksLocked(blocks []measBlock) {
 	d.gen++
 	d.stale = true
 	d.cache.invalidate()
-	if err := d.persistCommitLocked(blocks); err != nil {
+	// One encode serves both consumers of the commit record: the
+	// replication stream (always — replicas tail memory state, not the
+	// disk) and, below, the WAL append.
+	payload, err := d.encodeCommitLocked(blocks)
+	if err == nil {
+		d.appendReplLocked(wal.TypeMeasurementBlock, payload)
+		err = d.persistCommitLocked(payload)
+	}
+	if err != nil {
 		// The measurement is committed and its budget spent; failing the
 		// request now would invite a retry and a double spend. Surface the
 		// durability gap loudly instead — and on the WAL backend, degrade
@@ -802,7 +879,7 @@ func (d *Dataset) MeasurePlan(name string, eps float64, params plans.Params) (Pl
 		// the spent budget — the exact violation persistence exists to
 		// prevent. The WAL backend logs it as one budget-restore record.
 		d.mu.Lock()
-		if perr := d.persistSpendLocked(); perr != nil {
+		if perr := d.commitSpendLocked(); perr != nil {
 			log.Printf("serve: dataset %q: persist after failed plan: %v", d.name, perr)
 			if d.wlog != nil {
 				d.degradeLocked(perr)
@@ -881,38 +958,52 @@ func (d *Dataset) refreshLocked() error {
 			row++
 		}
 	}
-	// Row weighting: scale matrix rows and right-hand sides alike, as
-	// solver.LeastSquares does for the single-RHS path.
-	av := a
-	if w != nil {
-		av = mat.RowScaled(w, a)
-		for i := 0; i < rows; i++ {
-			for j := 0; j < k; j++ {
-				panelY[i*k+j] *= w[i]
-			}
-		}
-	}
 	opts := solver.Options{MaxIter: d.cfg.MaxIter, Work: d.work, Damp: d.damp}
 	// Warm start: the previous generation's estimate panel (possibly
 	// restored from a snapshot) seeds the solve whenever its shape still
 	// matches; a converged panel plus a small row delta then costs a few
-	// iterations instead of a full re-solve. The TolFloor pins each
-	// column's convergence target to the cold solve's absolute target
-	// (tol·‖Aᵀy_c‖) — without it the relative rule would make the warm
-	// solve chase tol times its own already-small start residual, a
-	// strictly tighter target that eats the savings. Warm and cold
-	// answers agree to solver tolerance, not bitwise — the "normal"
-	// solver is the bit-identical path (see the solver package docs).
+	// iterations instead of a full re-solve. Warm and cold answers agree
+	// to solver tolerance, not bitwise — the "normal" solver is the
+	// bit-identical path (see the solver package docs).
 	warm := !d.cfg.ColdRefresh && d.panel != nil && d.k == k && len(d.panel) == d.n*k
-	if warm {
-		opts.X0 = d.panel
-		opts.TolFloor = d.coldTargets(av, panelY, k)
-	}
 	var res solver.MultiResult
-	if d.solver == SolverLSMR {
-		res = solver.LSMRMulti(av, panelY, k, opts)
+	if d.solver == SolverNNLS {
+		// NNLSMulti applies the row weights itself and projects every
+		// FISTA iterate non-negative; the warm panel seeds it (clamped
+		// non-negative inside the solver). No TolFloor: FISTA's stopping
+		// rule is already absolute in the initial gradient norm, so a warm
+		// start cannot tighten its own target the way the relative
+		// cgls/lsmr rule would.
+		if warm {
+			opts.X0 = d.panel
+		}
+		res = solver.NNLSMulti(a, panelY, k, w, opts)
 	} else {
-		res = solver.CGLSMulti(av, panelY, k, opts)
+		// Row weighting: scale matrix rows and right-hand sides alike, as
+		// solver.LeastSquares does for the single-RHS path.
+		av := a
+		if w != nil {
+			av = mat.RowScaled(w, a)
+			for i := 0; i < rows; i++ {
+				for j := 0; j < k; j++ {
+					panelY[i*k+j] *= w[i]
+				}
+			}
+		}
+		// The TolFloor pins each warm column's convergence target to the
+		// cold solve's absolute target (tol·‖Aᵀy_c‖) — without it the
+		// relative rule would make the warm solve chase tol times its own
+		// already-small start residual, a strictly tighter target that
+		// eats the savings.
+		if warm {
+			opts.X0 = d.panel
+			opts.TolFloor = d.coldTargets(av, panelY, k)
+		}
+		if d.solver == SolverLSMR {
+			res = solver.LSMRMulti(av, panelY, k, opts)
+		} else {
+			res = solver.CGLSMulti(av, panelY, k, opts)
+		}
 	}
 	d.panelSolves++
 	if warm {

@@ -223,25 +223,16 @@ func (d *Dataset) loadStateWAL() error {
 			if err := decodeStrict(rec.Payload, &m); err != nil {
 				return fail("record %d: %v", i, err)
 			}
-			if m.Gen == 0 || !validConsumed(m.Consumed) {
-				return fail("record %d: generation %d, consumed %g", i, m.Gen, m.Consumed)
+			// applyMeasLocked is the strict replay step shared with follower
+			// apply (repl.go): generation guard (a skip is the
+			// compaction-crash replay window), block decode, append. The
+			// dataset is unpublished, so holding no lock is fine.
+			ok, err := d.applyMeasLocked(m)
+			if err != nil {
+				return fail("record %d: %v", i, err)
 			}
 			d.walRecs++
-			if m.Gen <= d.gen {
-				// The checkpoint (or an earlier record) already covers this
-				// generation — the compaction-crash replay window.
-				continue
-			}
-			for bi, sb := range m.Blocks {
-				mb, err := decodeBlock(bi, sb, d.n)
-				if err != nil {
-					return fail("record %d: %v", i, err)
-				}
-				d.blocks = append(d.blocks, mb)
-				d.rows += len(mb.y)
-			}
-			d.gen = m.Gen
-			if m.Consumed > consumed {
+			if ok && m.Consumed > consumed {
 				consumed = m.Consumed
 			}
 		case wal.TypeBudgetRestore:
@@ -349,24 +340,45 @@ func (d *Dataset) degradeLocked(cause error) {
 
 // checkWritable gates the commit paths (Measure, MeasurePlan) before
 // any budget is spent: a degraded dataset must refuse the charge, not
-// take it and fail to log it.
+// take it and fail to log it — and a follower must refuse with the
+// primary's address. Both run before any kernel session is created, so
+// budget spend on a replica is impossible by construction.
 func (d *Dataset) checkWritable() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.follower {
+		return &NotPrimaryError{Dataset: d.name, Primary: d.primary}
+	}
 	if d.readOnly {
 		return fmt.Errorf("dataset %q (%v): %w", d.name, d.roCause, ErrReadOnly)
 	}
 	return nil
 }
 
+// encodeCommitLocked builds the measurement-block record payload for a
+// commit that just appended blocks at the current generation — shared
+// by the replication stream (which carries it even without persistence)
+// and the WAL append. Caller holds d.mu.
+func (d *Dataset) encodeCommitLocked(blocks []measBlock) ([]byte, error) {
+	rec := walMeas{Gen: d.gen, Consumed: d.kern.Consumed(), Blocks: make([]snapshotBlock, len(blocks))}
+	for i, b := range blocks {
+		rec.Blocks[i] = encodeBlock(b)
+	}
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode wal record for %q: %w", d.name, err)
+	}
+	return payload, nil
+}
+
 // persistCommitLocked makes one commit durable: in WAL mode it appends
-// a single measurement-block record covering exactly the new blocks
-// (O(delta) bytes), then updates the panel sidecar if a refresh ran
-// since the last commit and compacts the log when it is due; in
-// snapshot mode it rewrites the full snapshot. Caller holds d.mu and
-// has already appended blocks to the warm log (they are committed
-// regardless — see commitBlocksLocked).
-func (d *Dataset) persistCommitLocked(blocks []measBlock) error {
+// the already-encoded measurement-block record (O(delta) bytes — the
+// same payload commitBlocksLocked put on the replication stream), then
+// updates the panel sidecar if a refresh ran since the last commit and
+// compacts the log when it is due; in snapshot mode it rewrites the
+// full snapshot. Caller holds d.mu and has already appended blocks to
+// the warm log (they are committed regardless — see commitBlocksLocked).
+func (d *Dataset) persistCommitLocked(payload []byte) error {
 	if d.statePath == "" {
 		return nil
 	}
@@ -375,14 +387,6 @@ func (d *Dataset) persistCommitLocked(blocks []measBlock) error {
 	}
 	if d.readOnly {
 		return nil // already degraded and logged; nothing more to lose durably
-	}
-	rec := walMeas{Gen: d.gen, Consumed: d.kern.Consumed(), Blocks: make([]snapshotBlock, len(blocks))}
-	for i, b := range blocks {
-		rec.Blocks[i] = encodeBlock(b)
-	}
-	payload, err := json.Marshal(&rec)
-	if err != nil {
-		return fmt.Errorf("serve: encode wal record for %q: %w", d.name, err)
 	}
 	if err := d.wlog.Append(wal.TypeMeasurementBlock, payload); err != nil {
 		return err
@@ -393,10 +397,22 @@ func (d *Dataset) persistCommitLocked(blocks []measBlock) error {
 	return nil
 }
 
-// persistSpendLocked makes a budget charge without measurements durable
-// (a failed plan's partial spend): one budget-restore record carrying
-// the absolute consumed value. Caller holds d.mu.
-func (d *Dataset) persistSpendLocked() error {
+// commitSpendLocked records a budget charge without measurements (a
+// failed plan's partial spend) on the replication stream and in the
+// durability backend: one budget-restore record carrying the absolute
+// consumed value. Caller holds d.mu.
+func (d *Dataset) commitSpendLocked() error {
+	payload, err := json.Marshal(&walBudget{Consumed: d.kern.Consumed()})
+	if err != nil {
+		return fmt.Errorf("serve: encode wal record for %q: %w", d.name, err)
+	}
+	d.appendReplLocked(wal.TypeBudgetRestore, payload)
+	return d.persistSpendLocked(payload)
+}
+
+// persistSpendLocked makes the encoded budget-restore record durable.
+// Caller holds d.mu.
+func (d *Dataset) persistSpendLocked(payload []byte) error {
 	if d.statePath == "" {
 		return nil
 	}
@@ -405,10 +421,6 @@ func (d *Dataset) persistSpendLocked() error {
 	}
 	if d.readOnly {
 		return nil
-	}
-	payload, err := json.Marshal(&walBudget{Consumed: d.kern.Consumed()})
-	if err != nil {
-		return fmt.Errorf("serve: encode wal record for %q: %w", d.name, err)
 	}
 	if err := d.wlog.Append(wal.TypeBudgetRestore, payload); err != nil {
 		return err

@@ -1,0 +1,25 @@
+package wal
+
+// Frame-level access for log shipping (the cluster tier's replication
+// stream): a primary serves its per-dataset WAL as verbatim frames —
+// the exact length|type|payload|CRC encoding of AppendFrame, without
+// the file magic — and a follower re-verifies every frame before
+// applying it, so a bit flipped anywhere between the two processes is
+// caught by the same checksum that guards the on-disk log.
+
+// ScanStream decodes a headerless frame stream (as shipped by the
+// serve tier's WAL tail endpoint): the records of every complete,
+// checksum-valid frame before the first bad one, plus the byte length
+// of that clean prefix. Unlike Scan there is no magic header — offset 0
+// is the first frame. Payload slices alias data.
+func ScanStream(data []byte) (recs []Record, cleanLen int) {
+	off := 0
+	for {
+		rec, n, ok := scanFrame(data[off:])
+		if !ok {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+}

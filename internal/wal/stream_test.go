@@ -1,0 +1,81 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildStream frames the given payloads as a headerless stream, the
+// encoding the serve tier's WAL tail endpoint ships.
+func buildStream(payloads ...[]byte) []byte {
+	var buf []byte
+	for i, p := range payloads {
+		buf = AppendFrame(buf, Type(1+i%4), p)
+	}
+	return buf
+}
+
+func TestScanStreamRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte(`{"a":1}`),
+		{},
+		bytes.Repeat([]byte{0xab}, 1000),
+	}
+	stream := buildStream(payloads...)
+	recs, clean := ScanStream(stream)
+	if clean != len(stream) {
+		t.Fatalf("clean prefix %d, want full %d", clean, len(stream))
+	}
+	if len(recs) != len(payloads) {
+		t.Fatalf("got %d records, want %d", len(recs), len(payloads))
+	}
+	for i, rec := range recs {
+		if !bytes.Equal(rec.Payload, payloads[i]) {
+			t.Fatalf("record %d payload mismatch", i)
+		}
+		if rec.Type != Type(1+i%4) {
+			t.Fatalf("record %d type %d, want %d", i, rec.Type, 1+i%4)
+		}
+	}
+	if got, _ := ScanStream(nil); len(got) != 0 {
+		t.Fatalf("empty stream returned %d records", len(got))
+	}
+}
+
+func TestScanStreamTornTail(t *testing.T) {
+	stream := buildStream([]byte("one"), []byte("two"))
+	whole, _ := ScanStream(stream)
+	if len(whole) != 2 {
+		t.Fatalf("got %d records, want 2", len(whole))
+	}
+	// Every strict prefix that tears mid-frame yields exactly the clean
+	// frames before the tear, and cleanLen points at the tear.
+	firstLen := len(buildStream([]byte("one")))
+	for cut := 0; cut < len(stream); cut++ {
+		recs, clean := ScanStream(stream[:cut])
+		switch {
+		case cut < firstLen:
+			if len(recs) != 0 || clean != 0 {
+				t.Fatalf("cut %d: got %d recs, clean %d; want 0,0", cut, len(recs), clean)
+			}
+		default:
+			if len(recs) != 1 || clean != firstLen {
+				t.Fatalf("cut %d: got %d recs, clean %d; want 1,%d", cut, len(recs), clean, firstLen)
+			}
+		}
+	}
+}
+
+func TestScanStreamCorruptFrame(t *testing.T) {
+	stream := buildStream([]byte("first"), []byte("second"))
+	firstLen := len(buildStream([]byte("first")))
+	// Flip one payload bit in the second frame: its CRC fails, the first
+	// frame still loads, and the clean prefix stops at the frame border —
+	// the follower's guarantee that a corrupt shipped byte cannot apply.
+	corrupt := append([]byte(nil), stream...)
+	corrupt[firstLen+5] ^= 0x01
+	recs, clean := ScanStream(corrupt)
+	if len(recs) != 1 || clean != firstLen {
+		t.Fatalf("got %d recs, clean %d; want 1,%d", len(recs), clean, firstLen)
+	}
+}
