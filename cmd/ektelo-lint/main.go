@@ -1,0 +1,297 @@
+// Command ektelo-lint runs the project's invariant checkers — custom
+// static analyzers that each mechanize a bug class a past PR fixed by
+// hand (see internal/analysis) — over the module's packages.
+//
+// Usage:
+//
+//	go run ./cmd/ektelo-lint [flags] [./... | ./internal/... | ./cmd/... | dir ...]
+//
+// With no patterns it analyzes ./internal/... and ./cmd/... (what
+// "./..." also means here). The tool is dependency-free: packages are
+// loaded with go/parser + go/types and the stdlib source importer.
+//
+// Flags:
+//
+//	-json      emit the machine-readable report (schema below) to stdout
+//	-group     group text findings by analyzer (CI-log friendly)
+//	-enable    comma-separated analyzer names to run (default: all)
+//	-disable   comma-separated analyzer names to skip
+//	-list      print the analyzer inventory and exit
+//	-waived    also print findings suppressed by //lint:ignore waivers
+//
+// Exit status: 0 when no active findings (waived ones don't count),
+// 1 when findings exist, 2 on a usage or load error.
+//
+// JSON schema (version 1):
+//
+//	{
+//	  "version": 1,
+//	  "module": "repro",
+//	  "packages": 23,
+//	  "findings": [
+//	    {"analyzer": "nansafe", "file": "internal/noise/noise.go",
+//	     "line": 48, "col": 5, "message": "...",
+//	     "waived": false, "waive_reason": ""}
+//	  ],
+//	  "counts": {"nansafe": 1},
+//	  "active": 1,
+//	  "waived": 0
+//	}
+//
+// Waivers: a deliberate finding is suppressed in place with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory and
+// reasonless, unknown-analyzer or no-longer-suppressing waivers are
+// findings themselves. Range-over-map statements additionally accept
+// //lint:sorted (see the mapdeterminism analyzer).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut    = flag.Bool("json", false, "emit the machine-readable JSON report")
+		group      = flag.Bool("group", false, "group text findings by analyzer (CI-log friendly)")
+		enable     = flag.String("enable", "", "comma-separated analyzer names to run (default: all)")
+		disable    = flag.String("disable", "", "comma-separated analyzer names to skip")
+		list       = flag.Bool("list", false, "print the analyzer inventory and exit")
+		showWaived = flag.Bool("waived", false, "also print waived findings in text output")
+	)
+	flag.Parse()
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ektelo-lint:", err)
+		return 2
+	}
+	all := analysis.Default(loader.Module)
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, allEnabled, err := selectAnalyzers(all, *enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ektelo-lint:", err)
+		return 2
+	}
+
+	roots, err := patternRoots(loader, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ektelo-lint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadTree(roots...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ektelo-lint:", err)
+		return 2
+	}
+
+	knownNames := make([]string, 0, len(all))
+	for _, a := range all {
+		knownNames = append(knownNames, a.Name)
+	}
+	diags := analysis.Run(pkgs, analyzers, allEnabled, knownNames)
+	active, waived := 0, 0
+	for _, d := range diags {
+		if d.Waived {
+			waived++
+		} else {
+			active++
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		emitJSON(loader.Module, len(pkgs), diags, active, waived)
+	case *group:
+		emitGrouped(analyzers, diags, *showWaived)
+	default:
+		for _, d := range diags {
+			if d.Waived && !*showWaived {
+				continue
+			}
+			fmt.Println(d)
+		}
+		fmt.Fprintf(os.Stderr, "ektelo-lint: %d package(s), %d finding(s), %d waived\n", len(pkgs), active, waived)
+	}
+	if active > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -enable/-disable; allEnabled reports whether
+// the full default set runs (gates the unused-waiver check).
+func selectAnalyzers(all []*analysis.Analyzer, enable, disable string) ([]*analysis.Analyzer, bool, error) {
+	names := func(csv string) (map[string]bool, error) {
+		if csv == "" {
+			return nil, nil
+		}
+		m := map[string]bool{}
+		for _, n := range strings.Split(csv, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			found := false
+			for _, a := range all {
+				if a.Name == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("unknown analyzer %q (use -list)", n)
+			}
+			m[n] = true
+		}
+		return m, nil
+	}
+	en, err := names(enable)
+	if err != nil {
+		return nil, false, err
+	}
+	dis, err := names(disable)
+	if err != nil {
+		return nil, false, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if en != nil && !en[a.Name] {
+			continue
+		}
+		if dis[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, false, fmt.Errorf("no analyzers selected")
+	}
+	return out, len(out) == len(all), nil
+}
+
+// patternRoots maps go-style package patterns to module-relative walk
+// roots. Supported: "./..." (internal + cmd), "./<dir>/..." and plain
+// directories.
+func patternRoots(loader *analysis.Loader, args []string) ([]string, error) {
+	if len(args) == 0 {
+		return []string{"internal", "cmd"}, nil
+	}
+	var roots []string
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			roots = append(roots, "internal", "cmd")
+		case strings.HasSuffix(arg, "/..."):
+			roots = append(roots, strings.TrimPrefix(strings.TrimSuffix(arg, "/..."), "./"))
+		default:
+			rel := strings.TrimPrefix(arg, "./")
+			if filepath.IsAbs(rel) {
+				var err error
+				rel, err = filepath.Rel(loader.Root, rel)
+				if err != nil || strings.HasPrefix(rel, "..") {
+					return nil, fmt.Errorf("directory %s is outside the module", arg)
+				}
+			}
+			roots = append(roots, rel)
+		}
+	}
+	sort.Strings(roots)
+	return roots, nil
+}
+
+type jsonReport struct {
+	Version  int                   `json:"version"`
+	Module   string                `json:"module"`
+	Packages int                   `json:"packages"`
+	Findings []analysis.Diagnostic `json:"findings"`
+	Counts   map[string]int        `json:"counts"`
+	Active   int                   `json:"active"`
+	Waived   int                   `json:"waived"`
+}
+
+func emitJSON(module string, pkgs int, diags []analysis.Diagnostic, active, waived int) {
+	counts := map[string]int{}
+	for _, d := range diags {
+		if !d.Waived {
+			counts[d.Analyzer]++
+		}
+	}
+	if diags == nil {
+		diags = []analysis.Diagnostic{}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(jsonReport{
+		Version:  1,
+		Module:   module,
+		Packages: pkgs,
+		Findings: diags,
+		Counts:   counts,
+		Active:   active,
+		Waived:   waived,
+	})
+}
+
+// emitGrouped prints findings grouped by analyzer with per-analyzer
+// headers and counts — the diff-friendly CI-log mode: two runs'
+// outputs line up per analyzer regardless of interleaving.
+func emitGrouped(analyzers []*analysis.Analyzer, diags []analysis.Diagnostic, showWaived bool) {
+	names := make([]string, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	names = append(names, "waiver")
+	for _, name := range names {
+		var sel []analysis.Diagnostic
+		waivedN := 0
+		for _, d := range diags {
+			if d.Analyzer != name {
+				continue
+			}
+			if d.Waived {
+				waivedN++
+				if !showWaived {
+					continue
+				}
+			}
+			sel = append(sel, d)
+		}
+		if len(sel) == 0 && waivedN == 0 {
+			continue
+		}
+		fmt.Printf("== %s: %d finding(s), %d waived\n", name, len(sel)-countWaived(sel), waivedN)
+		for _, d := range sel {
+			fmt.Println("  " + d.String())
+		}
+	}
+}
+
+func countWaived(diags []analysis.Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if d.Waived {
+			n++
+		}
+	}
+	return n
+}

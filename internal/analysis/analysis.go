@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: an invariant violation (or a waiver
+// hygiene problem) at a position.
+type Diagnostic struct {
+	// Analyzer is the name of the analyzer that produced the finding
+	// ("waiver" for waiver-hygiene findings produced by the runner).
+	Analyzer string `json:"analyzer"`
+	// File is the path as registered in the FileSet (repo-root-relative
+	// when loaded through Loader).
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message states the violated invariant and the suggested fix.
+	Message string `json:"message"`
+	// Waived marks a finding suppressed by a //lint:ignore (or
+	// //lint:sorted) waiver; waived findings do not fail the run but are
+	// kept in reports so the judgment calls stay visible.
+	Waived bool `json:"waived,omitempty"`
+	// WaiveReason is the reason text of the suppressing waiver.
+	WaiveReason string `json:"waive_reason,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	if d.Waived {
+		s += fmt.Sprintf(" [waived: %s]", d.WaiveReason)
+	}
+	return s
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the identifier used in reports, -enable/-disable flags and
+	// //lint:ignore waivers.
+	Name string
+	// Doc is a one-line description of the invariant.
+	Doc string
+	// Run inspects one package and reports findings on the pass.
+	Run func(*Pass)
+}
+
+// Pass is the per-(analyzer, package) unit of work handed to
+// Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package; PkgPath its import path.
+	Pkg     *types.Package
+	PkgPath string
+	// Info carries full resolution: Types, Defs, Uses and Selections are
+	// populated.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// CalleeName resolves a call expression to a normalized full function
+// name: "pkg/path.Func" for package functions, "pkg/path.Type.Method"
+// for methods (pointer receivers normalized away), "" when the callee
+// is not a statically resolvable *types.Func (function values, type
+// conversions, builtins).
+func (p *Pass) CalleeName(call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return ""
+	}
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return normalizeFuncName(fn)
+}
+
+// CalleePkg returns the import path of the package a call's callee
+// belongs to, or "".
+func (p *Pass) CalleePkg(call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return ""
+	}
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// normalizeFuncName renders a *types.Func as "pkg.Func" or
+// "pkg.Type.Method", stripping pointer-receiver decoration so denylist
+// entries don't need to distinguish (*T) from (T).
+func normalizeFuncName(fn *types.Func) string {
+	name := fn.FullName() // "(*net/http.Client).Do", "os.WriteFile", ...
+	name = strings.ReplaceAll(name, "(*", "")
+	name = strings.ReplaceAll(name, "(", "")
+	name = strings.ReplaceAll(name, ")", "")
+	return name
+}
+
+// Run type-checks nothing itself: it executes each analyzer over each
+// already-loaded package, applies waivers, enforces waiver hygiene and
+// returns all diagnostics sorted by position. allEnabled tells the
+// runner whether the full Default() analyzer set ran, which gates the
+// unused-waiver check (a subset run would see every other analyzer's
+// waivers as unused). knownNames is the full analyzer registry for the
+// unknown-analyzer waiver check — it must include disabled analyzers,
+// or a -enable subset run would misreport their waivers as unknown;
+// nil means "the analyzers that ran are the whole registry".
+func Run(pkgs []*Package, analyzers []*Analyzer, allEnabled bool, knownNames []string) []Diagnostic {
+	var diags []Diagnostic
+	known := make(map[string]bool, len(analyzers)+len(knownNames))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, n := range knownNames {
+		known[n] = true
+	}
+	var waivers []*waiver
+	for _, pkg := range pkgs {
+		ws := collectWaivers(pkg)
+		waivers = append(waivers, ws...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				PkgPath:  pkg.Path,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	diags = applyWaivers(diags, waivers)
+	diags = append(diags, waiverHygiene(waivers, known, allEnabled)...)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}

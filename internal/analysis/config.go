@@ -1,0 +1,74 @@
+package analysis
+
+// Default returns the production analyzer suite for the given module
+// path ("repro"), each configured with the repo's invariant inventory.
+// This is the single place the invariants live; the fixture tests
+// construct analyzers with narrow test configs instead.
+func Default(module string) []*Analyzer {
+	mod := func(s string) string { return module + "/" + s }
+	lockedPkgs := []string{
+		mod("internal/serve"),
+		mod("internal/kernel"),
+		mod("internal/cluster"),
+	}
+	return []*Analyzer{
+		NanSafe(),
+		LockScope(LockScopeConfig{
+			Packages:     lockedPkgs,
+			LockedSuffix: true,
+			Deny: []DenyEntry{
+				// The seed entry — the PR 8 fix itself. History() copies
+				// the whole O(rows) query log; Summary holding the dataset
+				// mutex across it let write load starve /healthz probes.
+				{Func: mod("internal/kernel") + ".Kernel.History", Why: "O(rows) history copy; use HistoryLen (O(1)) or copy outside the lock"},
+				// I/O, fsync and network: a blocked syscall under a hot
+				// mutex stalls every reader and writer behind it.
+				{Func: mod("internal/wal") + ".Log.Append", Why: "WAL append does file I/O and possibly fsync"},
+				{Func: mod("internal/wal") + ".Log.Sync", Why: "fsync under a lock stalls all sessions behind disk latency"},
+				{Func: mod("internal/wal") + ".Compact", Why: "compaction rewrites the whole checkpoint file"},
+				{Func: mod("internal/wal") + ".Open", Why: "log open scans the file from disk"},
+				{Func: mod("internal/wal") + ".Log.Close", Why: "close syncs (fsync) before releasing the file"},
+				{Func: mod("internal/wal") + ".WriteFileAtomic", Why: "atomic file rewrite does full-file I/O plus fsync"},
+				{Func: "os.WriteFile", Why: "file I/O"},
+				{Func: "os.ReadFile", Why: "file I/O"},
+				{Func: "os.Create", Why: "file I/O"},
+				{Func: "os.Open", Why: "file I/O"},
+				{Func: "os.OpenFile", Why: "file I/O"},
+				{Func: "os.Remove", Why: "file I/O"},
+				{Func: "os.Rename", Why: "file I/O"},
+				{Func: "os.MkdirAll", Why: "file I/O"},
+				{Func: "os.File.Sync", Why: "fsync"},
+				{Func: "os.File.Write", Why: "file I/O"},
+				{Func: "net/http.*", Why: "network round-trip"},
+				// Blocking and logging: log serializes on its own mutex
+				// and writes to stderr; Sleep is a lock-hold by design.
+				{Func: "time.Sleep", Why: "blocking sleep"},
+				{Func: "log.Printf", Why: "logging serializes on the log package mutex and writes stderr"},
+				{Func: "log.Print", Why: "logging serializes on the log package mutex and writes stderr"},
+				{Func: "log.Println", Why: "logging serializes on the log package mutex and writes stderr"},
+				{Func: "fmt.Printf", Why: "stdout I/O"},
+				{Func: "fmt.Println", Why: "stdout I/O"},
+				{Func: "fmt.Print", Why: "stdout I/O"},
+			},
+		}),
+		MapDeterminism(pinnedDefault(module)),
+		GuardOrder(GuardOrderConfig{
+			Packages: []string{mod("internal/serve")},
+			Guards:   []string{"checkWritable"},
+			Targets:  []string{mod("internal/kernel") + ".Kernel.NewSession"},
+		}),
+		WSPool(WSPoolConfig{
+			// Scoped to the packages that actually use the pools; an
+			// empty scope would walk everything for no additional
+			// coverage.
+			Packages: []string{
+				mod("internal/mat"),
+				mod("internal/core/inference"),
+			},
+			Pairs: []PoolPair{
+				{Checkout: mod("internal/mat") + ".getScratch", ReleaseMethod: "put"},
+				{Checkout: "sync.Pool.Get", ReleaseFunc: "sync.Pool.Put"},
+			},
+		}),
+	}
+}

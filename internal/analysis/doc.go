@@ -1,0 +1,78 @@
+// Package analysis is ektelo-lint's dependency-free static-analysis
+// framework: a package loader built on go/parser + go/types (stdlib
+// source importer only — the module has zero dependencies and keeps it
+// that way), a small Analyzer/Pass driver, and a waiver layer for
+// documented judgment calls.
+//
+// Ektelo's core claim (Zhang et al., SIGMOD '18) is that privacy safety
+// should be enforced structurally — by restricting which operator
+// classes touch private data — rather than re-audited per plan. This
+// package extends that philosophy to the Go source itself: each
+// analyzer mechanizes an invariant that a past PR established by fixing
+// a real bug, so the bug class cannot be silently reintroduced.
+//
+// The analyzers and their motivating history:
+//
+//   - nansafe (PR 4): any rejection guard on an epsilon / budget /
+//     sensitivity float must use the NaN-rejecting !(x > 0) form (or an
+//     explicit math.IsNaN / math.IsInf check). The naive `eps <= 0`
+//     guard lets NaN through — every comparison with NaN is false — and
+//     a NaN epsilon was a full budget bypass: Algorithm 2's overdraft
+//     comparison is also false for NaN, so the charge was granted and
+//     the poisoned tracker made every later overdraft check false.
+//
+//   - lockscope (PR 8): between mu.Lock() and the matching Unlock in
+//     internal/serve, internal/kernel and internal/cluster — including
+//     the bodies of functions following the `xxxLocked` caller-holds-
+//     the-mutex naming convention — calls that do I/O, HTTP, fsync,
+//     logging, blocking sleeps, or known O(n) walks are forbidden via a
+//     curated (package, function) denylist. Seeded with the PR 8 fix:
+//     Summary called kernel.History() (an O(rows) copy) under the
+//     dataset mutex, letting write load starve health probes.
+//
+//   - mapdeterminism (PR 7): `range` over a map is forbidden in any
+//     package whose tests pin bit-identical output (internal/mat,
+//     internal/solver, internal/core/plans, internal/serve) unless the
+//     statement carries a //lint:sorted waiver asserting iteration
+//     order cannot reach an output. PrivBayes candidate enumeration
+//     iterated a map and flaked a bit-identity pin for three PRs.
+//
+//   - guardorder (PR 8): in internal/serve, a checkWritable /
+//     follower-guard call must dominate any kernel session creation.
+//     Replicas answer writes with 421 + the primary's address BEFORE
+//     any budget machinery runs; a session created ahead of the guard
+//     would let a follower or degraded dataset spend budget it must
+//     refuse.
+//
+//   - wspool (PRs 1–2): a scratch buffer or solver workspace checked
+//     out of a pool (mat.getScratch, the inference wsPool) must be
+//     released on every return path, defer-style. A leaked checkout
+//     silently re-introduces the per-call allocations the
+//     zero-allocation engine exists to remove.
+//
+// # Waivers
+//
+// A true finding that is a deliberate design decision is waived in
+// place, never globally:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line immediately above. The reason is
+// mandatory: a waiver without one is itself a finding, as is a waiver
+// naming an unknown analyzer or one that no longer suppresses
+// anything. mapdeterminism additionally accepts
+//
+//	//lint:sorted
+//
+// on a range-over-map statement as the idiomatic "order cannot reach an
+// output" assertion.
+//
+// # Extending
+//
+// An Analyzer is a name, a doc string and a Run(*Pass) func; the Pass
+// carries the parsed files, the type-checked package and an Info with
+// full use/def/selection resolution. Register new analyzers in
+// Default() (config.go) and give each one a fixture test in the style
+// of the existing *_test.go files: known-bad and known-good snippets
+// type-checked in memory, asserting the exact flagged lines.
+package analysis

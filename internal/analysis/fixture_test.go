@@ -1,0 +1,152 @@
+package analysis
+
+// Fixture harness: each analyzer test type-checks a small Go source
+// string in-memory as package "fixture" (import path "fixture") and
+// asserts that exactly the marked lines are flagged. Expected findings
+// are written inline as trailing `// want <analyzer>` markers — the
+// fixture reads like the bug it reproduces, and the assertion cannot
+// drift from the code it points at.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	// One FileSet + source importer for the whole test binary: the
+	// importer memoizes stdlib packages, so "sync" and "math" are
+	// type-checked from source once, not per fixture.
+	fixtureFset = token.NewFileSet()
+	fixtureImp  types.Importer
+	fixtureOnce sync.Once
+
+	fixtureMu  sync.Mutex
+	fixtureSeq int
+)
+
+// loadFixture parses and type-checks src as a single-file package
+// "fixture". Fixtures may import anything from the standard library.
+func loadFixture(t *testing.T, src string) *Package {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureImp = importer.ForCompiler(fixtureFset, "source", nil)
+	})
+	fixtureMu.Lock()
+	fixtureSeq++
+	name := fmt.Sprintf("fixture_%03d.go", fixtureSeq)
+	fixtureMu.Unlock()
+	f, err := parser.ParseFile(fixtureFset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: fixtureImp}
+	tpkg, err := conf.Check("fixture", fixtureFset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	return &Package{Path: "fixture", Fset: fixtureFset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// runFixture loads src and runs the given analyzers over it, waivers
+// and hygiene included (the full-set unused-waiver check is on).
+func runFixture(t *testing.T, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	pkg := loadFixture(t, src)
+	return Run([]*Package{pkg}, analyzers, true, nil)
+}
+
+// checkFixture runs analyzers over src and asserts the active
+// (non-waived) findings land exactly on the `// want <analyzer>`
+// marker lines — no misses, no extras, exact line numbers.
+func checkFixture(t *testing.T, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	diags := runFixture(t, src, analyzers...)
+	want := wantMarkers(src)
+	got := map[int][]string{}
+	for _, d := range diags {
+		if d.Waived {
+			continue
+		}
+		got[d.Line] = append(got[d.Line], d.Analyzer)
+	}
+	lines := strings.Split(src, "\n")
+	text := func(n int) string {
+		if n >= 1 && n <= len(lines) {
+			return strings.TrimSpace(lines[n-1])
+		}
+		return "<out of range>"
+	}
+	for line, w := range want {
+		g := got[line]
+		sort.Strings(w)
+		sort.Strings(g)
+		if !equalStrings(w, g) {
+			t.Errorf("line %d %q: want findings %v, got %v", line, text(line), w, g)
+		}
+	}
+	for line, g := range got {
+		if _, ok := want[line]; !ok {
+			t.Errorf("line %d %q: unexpected findings %v", line, text(line), g)
+		}
+	}
+	return diags
+}
+
+// wantMarkers extracts `// want a b` trailing markers: line number ->
+// expected analyzer names on that line.
+func wantMarkers(src string) map[int][]string {
+	out := map[int][]string{}
+	for i, line := range strings.Split(src, "\n") {
+		_, rest, ok := strings.Cut(line, "// want ")
+		if !ok {
+			continue
+		}
+		if names := strings.Fields(rest); len(names) > 0 {
+			out[i+1] = names
+		}
+	}
+	return out
+}
+
+// lineOf returns the 1-based line number of the first line containing
+// snippet, failing the test when absent — the regression tests use it
+// to assert exact flagged lines without hand-counting.
+func lineOf(t *testing.T, src, snippet string) int {
+	t.Helper()
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, snippet) {
+			return i + 1
+		}
+	}
+	t.Fatalf("fixture does not contain %q", snippet)
+	return 0
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWantMarkers(t *testing.T) {
+	src := "package fixture\n\nvar x = 1 // want nansafe\nvar y = 2\nvar z = 3 // want lockscope waiver\n"
+	got := wantMarkers(src)
+	if len(got) != 2 || !equalStrings(got[3], []string{"nansafe"}) || !equalStrings(got[5], []string{"lockscope", "waiver"}) {
+		t.Fatalf("wantMarkers = %v", got)
+	}
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// GuardOrderConfig scopes the guardorder analyzer.
+type GuardOrderConfig struct {
+	// Packages are the import paths (exact match) the invariant applies
+	// to.
+	Packages []string
+	// Guards are method/function names whose call establishes the write
+	// guard (e.g. "checkWritable").
+	Guards []string
+	// Targets are normalized callee names that must only execute behind
+	// a guard (e.g. "repro/internal/kernel.Kernel.NewSession").
+	Targets []string
+}
+
+// GuardOrder returns the guardorder analyzer: in serve write paths, a
+// checkWritable/follower-guard call must dominate any kernel session
+// creation.
+//
+// The PR 8 contract: a follower answers writes with 421 + the
+// primary's address BEFORE any kernel machinery runs, and a dataset
+// degraded to read-only refuses the charge rather than taking it and
+// failing to log it. Both properties hold only if the guard runs
+// before the session exists — budget spending is impossible without a
+// session, so session creation is the choke point the analyzer gates.
+// Dominance is checked syntactically: the guard call must appear
+// earlier in source order AND in a block that encloses the target call
+// (a guard inside one branch does not protect a target outside it).
+func GuardOrder(cfg GuardOrderConfig) *Analyzer {
+	scoped := make(map[string]bool, len(cfg.Packages))
+	for _, p := range cfg.Packages {
+		scoped[p] = true
+	}
+	guards := make(map[string]bool, len(cfg.Guards))
+	for _, g := range cfg.Guards {
+		guards[g] = true
+	}
+	targets := make(map[string]bool, len(cfg.Targets))
+	for _, t := range cfg.Targets {
+		targets[t] = true
+	}
+	a := &Analyzer{
+		Name: "guardorder",
+		Doc:  "write guards (checkWritable) must dominate kernel session creation in serve write paths (PR 8)",
+	}
+	a.Run = func(pass *Pass) {
+		if !scoped[pass.PkgPath] {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkGuardOrder(pass, fn, guards, targets)
+			}
+		}
+	}
+	return a
+}
+
+// callSite is one call with the stack of blocks enclosing it.
+type callSite struct {
+	call   *ast.CallExpr
+	blocks []*ast.BlockStmt
+}
+
+func checkGuardOrder(pass *Pass, fn *ast.FuncDecl, guards, targets map[string]bool) {
+	var guardSites, targetSites []callSite
+	var stack []*ast.BlockStmt
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				stack = append(stack, n)
+				for _, st := range n.List {
+					walk(st)
+				}
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.FuncLit:
+				// Closure bodies are walked with the closure's block on the
+				// stack, so a guard inside a closure can only dominate a
+				// target inside the same closure (its innermost block is on
+				// no outer target's ancestor stack), and a target inside a
+				// closure still demands a guard that encloses the closure.
+				walk(n.Body)
+				return false
+			case *ast.CallExpr:
+				name := pass.CalleeName(n)
+				if targets[name] {
+					targetSites = append(targetSites, callSite{n, append([]*ast.BlockStmt(nil), stack...)})
+				}
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && guards[sel.Sel.Name] {
+					guardSites = append(guardSites, callSite{n, append([]*ast.BlockStmt(nil), stack...)})
+				} else if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && guards[id.Name] {
+					guardSites = append(guardSites, callSite{n, append([]*ast.BlockStmt(nil), stack...)})
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Body)
+	for _, t := range targetSites {
+		if !dominated(t, guardSites) {
+			pass.Reportf(t.call.Pos(),
+				"%s without a dominating write guard (%s): a follower or read-only dataset must be refused before any session exists — PR 8 421-before-budget contract",
+				pass.CalleeName(t.call), guardList(guards))
+		}
+	}
+}
+
+func guardList(guards map[string]bool) string {
+	names := make([]string, 0, len(guards))
+	for g := range guards {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "/")
+}
+
+// dominated reports whether some guard call precedes t in source order
+// from a block that encloses t.
+func dominated(t callSite, guards []callSite) bool {
+	enclosing := make(map[*ast.BlockStmt]bool, len(t.blocks))
+	for _, b := range t.blocks {
+		enclosing[b] = true
+	}
+	for _, g := range guards {
+		if g.call.Pos() >= t.call.Pos() {
+			continue
+		}
+		// The guard's innermost block must be on the target's block
+		// stack: a guard buried in a sibling branch does not dominate.
+		if len(g.blocks) == 0 || enclosing[g.blocks[len(g.blocks)-1]] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import "testing"
+
+func guardOrderFixtureConfig() GuardOrderConfig {
+	return GuardOrderConfig{
+		Packages: []string{"fixture"},
+		Guards:   []string{"checkWritable"},
+		Targets:  []string{"fixture.Kernel.NewSession"},
+	}
+}
+
+func TestGuardOrderRequiresDominatingGuard(t *testing.T) {
+	src := `package fixture
+
+type Kernel struct{}
+
+func (k *Kernel) NewSession() int { return 1 }
+
+type dataset struct {
+	k        *Kernel
+	writable bool
+}
+
+func (d *dataset) checkWritable() bool { return d.writable }
+
+// The guard runs after the session exists: by then a follower has
+// already spun up kernel machinery it must not have.
+func (d *dataset) badGuardAfter() int {
+	s := d.k.NewSession() // want guardorder
+	if !d.checkWritable() {
+		return -1
+	}
+	return s
+}
+
+func (d *dataset) badNoGuard() int {
+	return d.k.NewSession() // want guardorder
+}
+
+func (d *dataset) goodGuardFirst() int {
+	if !d.checkWritable() {
+		return -1
+	}
+	return d.k.NewSession()
+}
+`
+	checkFixture(t, src, GuardOrder(guardOrderFixtureConfig()))
+}
+
+func TestGuardOrderBranchGuardDoesNotDominate(t *testing.T) {
+	src := `package fixture
+
+type Kernel struct{}
+
+func (k *Kernel) NewSession() int { return 1 }
+
+type dataset struct {
+	k        *Kernel
+	writable bool
+}
+
+func (d *dataset) checkWritable() bool { return d.writable }
+
+// A guard buried in one branch proves nothing about the paths that
+// skip the branch.
+func (d *dataset) badBranchGuard(fast bool) int {
+	if fast {
+		if !d.checkWritable() {
+			return -1
+		}
+	}
+	return d.k.NewSession() // want guardorder
+}
+
+// A guard inside a closure does not dominate a target outside it: the
+// closure may never run.
+func (d *dataset) badClosureGuard() int {
+	probe := func() bool { return d.checkWritable() }
+	_ = probe
+	return d.k.NewSession() // want guardorder
+}
+
+// Guard in an if-condition sits at function-body level and dominates
+// the deeper target.
+func (d *dataset) goodCondGuard(n int) int {
+	if !d.checkWritable() {
+		return -1
+	}
+	if n > 0 {
+		return d.k.NewSession()
+	}
+	return 0
+}
+`
+	checkFixture(t, src, GuardOrder(guardOrderFixtureConfig()))
+}
+
+func TestGuardOrderScopedToConfiguredPackages(t *testing.T) {
+	src := `package fixture
+
+type Kernel struct{}
+
+func (k *Kernel) NewSession() int { return 1 }
+
+func open(k *Kernel) int { return k.NewSession() }
+`
+	cfg := guardOrderFixtureConfig()
+	cfg.Packages = []string{"some/other/pkg"}
+	if diags := runFixture(t, src, GuardOrder(cfg)); len(diags) != 0 {
+		t.Fatalf("out-of-scope package flagged: %v", diags)
+	}
+}

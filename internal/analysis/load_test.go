@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The loader is exercised against the real repository: internal/noise
+// is small (math + math/rand/v2 only) and carries swept NaN-safe
+// guards, so the default suite must come back clean on it.
+func TestLoaderLoadsRealPackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if l.Module != "repro" {
+		t.Fatalf("module = %q, want repro", l.Module)
+	}
+	pkg, err := l.Load("repro/internal/noise")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if pkg.Path != "repro/internal/noise" || len(pkg.Files) == 0 {
+		t.Fatalf("bad package: %+v", pkg)
+	}
+	// Positions register repo-root-relative so diagnostics are stable
+	// regardless of the tool's working directory.
+	pos := pkg.Fset.Position(pkg.Files[0].Pos())
+	if !strings.HasPrefix(pos.Filename, "internal/noise/") {
+		t.Fatalf("position not repo-relative: %q", pos.Filename)
+	}
+	diags := Run([]*Package{pkg}, Default(l.Module), true, nil)
+	for _, d := range diags {
+		if !d.Waived {
+			t.Errorf("swept package has active finding: %v", d)
+		}
+	}
+	// Memoization: a second Load returns the same package.
+	again, err := l.Load("repro/internal/noise")
+	if err != nil || again != pkg {
+		t.Fatalf("Load not memoized: %v %v", again, err)
+	}
+}
+
+func TestDefaultSuiteInventory(t *testing.T) {
+	all := Default("repro")
+	want := []string{"nansafe", "lockscope", "mapdeterminism", "guardorder", "wspool"}
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc line", a.Name)
+		}
+	}
+}

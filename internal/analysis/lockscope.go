@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DenyEntry is one forbidden-under-lock callee.
+type DenyEntry struct {
+	// Func is the normalized callee name ("log.Printf",
+	// "repro/internal/kernel.Kernel.History") or a whole-package
+	// wildcard "pkg/path.*".
+	Func string
+	// Why is appended to the finding so the message teaches the reader
+	// what the call costs inside a critical section.
+	Why string
+}
+
+// LockScopeConfig scopes the lockscope analyzer.
+type LockScopeConfig struct {
+	// Packages are the import paths (exact match) the invariant applies
+	// to.
+	Packages []string
+	// Deny is the forbidden-under-lock callee list.
+	Deny []DenyEntry
+	// LockedSuffix additionally treats the whole body of any function
+	// whose name ends in "Locked" as a critical section — the project's
+	// caller-holds-the-mutex naming convention.
+	LockedSuffix bool
+}
+
+// LockScope returns the lockscope analyzer: no I/O, HTTP, fsync,
+// logging, blocking sleeps or known-O(n) walks between mu.Lock() and
+// the matching Unlock.
+//
+// The PR 8 bug class: Summary called kernel.History() — an O(rows)
+// defensive copy — while holding the dataset mutex, so sustained write
+// load starved the health probes that the cluster router uses to keep
+// a backend in rotation. The critical-section tracking is
+// intra-procedural and linear: a denylisted call is flagged when it
+// appears (in source order) after a Lock/RLock and before the next
+// Unlock/RUnlock on the same receiver, or anywhere after a
+// `defer mu.Unlock()`; bodies of functions named `xxxLocked` count as
+// critical sections in full when LockedSuffix is set. Function-literal
+// bodies are skipped (goroutines and deferred closures do not in
+// general run under the lock).
+func LockScope(cfg LockScopeConfig) *Analyzer {
+	scoped := make(map[string]bool, len(cfg.Packages))
+	for _, p := range cfg.Packages {
+		scoped[p] = true
+	}
+	exact := map[string]string{}
+	wildcard := map[string]string{}
+	for _, d := range cfg.Deny {
+		if pkg, ok := strings.CutSuffix(d.Func, ".*"); ok {
+			wildcard[pkg] = d.Why
+		} else {
+			exact[d.Func] = d.Why
+		}
+	}
+	a := &Analyzer{
+		Name: "lockscope",
+		Doc:  "no I/O, logging, sleeps or O(n) walks inside mutex critical sections (PR 8)",
+	}
+	a.Run = func(pass *Pass) {
+		if !scoped[pass.PkgPath] {
+			return
+		}
+		ls := &lockScope{pass: pass, exact: exact, wildcard: wildcard}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if cfg.LockedSuffix && strings.HasSuffix(fn.Name.Name, "Locked") {
+					// The whole body runs under the caller's mutex.
+					ls.checkSection(fn.Body.List, "the "+fn.Name.Name+" critical section (xxxLocked convention: caller holds the mutex)")
+					continue
+				}
+				ls.walkFunc(fn.Body)
+			}
+		}
+	}
+	return a
+}
+
+type lockScope struct {
+	pass     *Pass
+	exact    map[string]string
+	wildcard map[string]string
+}
+
+// lockCall classifies stmt as a Lock/RLock or Unlock/RUnlock call on a
+// sync.Mutex or sync.RWMutex, returning the receiver's textual form.
+func (ls *lockScope) lockCall(stmt ast.Stmt) (recv string, lock, unlock bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", false, false
+	}
+	return ls.mutexCall(call)
+}
+
+func (ls *lockScope) mutexCall(call *ast.CallExpr) (recv string, lock, unlock bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	name := ls.pass.CalleeName(call)
+	switch name {
+	case "sync.Mutex.Lock", "sync.RWMutex.Lock", "sync.RWMutex.RLock":
+		return typesExprString(sel.X), true, false
+	case "sync.Mutex.Unlock", "sync.RWMutex.Unlock", "sync.RWMutex.RUnlock":
+		return typesExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// walkFunc scans a function body for explicit Lock..Unlock sections.
+// Tracking is a linear source-order state machine per receiver: this
+// under-approximates branchy lock dances (an early-Unlock-and-return
+// branch ends the section for the scan) but never flags code that runs
+// outside the lock on every path.
+func (ls *lockScope) walkFunc(body *ast.BlockStmt) {
+	var flat []ast.Stmt
+	flatten(body, &flat)
+	type section struct {
+		recv     string
+		deferred bool
+	}
+	var open []*section
+	held := func() *section {
+		if len(open) == 0 {
+			return nil
+		}
+		return open[len(open)-1]
+	}
+	for _, stmt := range flat {
+		if ds, ok := stmt.(*ast.DeferStmt); ok {
+			if recv, _, unlock := ls.mutexCall(ds.Call); unlock {
+				for _, s := range open {
+					if s.recv == recv {
+						s.deferred = true
+					}
+				}
+			}
+			continue
+		}
+		recv, lock, unlock := ls.lockCall(stmt)
+		switch {
+		case lock:
+			open = append(open, &section{recv: recv})
+			continue
+		case unlock:
+			for i := len(open) - 1; i >= 0; i-- {
+				if open[i].recv == recv && !open[i].deferred {
+					open = append(open[:i], open[i+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		if s := held(); s != nil {
+			ls.checkStmt(stmt, "the "+s.recv+" critical section")
+		}
+	}
+}
+
+// flatten appends every statement in body in source order, descending
+// into blocks and control-flow bodies but not into function literals.
+func flatten(stmt ast.Stmt, out *[]ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			flatten(st, out)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			flatten(s.Init, out)
+		}
+		*out = append(*out, &ast.ExprStmt{X: s.Cond})
+		flatten(s.Body, out)
+		if s.Else != nil {
+			flatten(s.Else, out)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			flatten(s.Init, out)
+		}
+		if s.Cond != nil {
+			*out = append(*out, &ast.ExprStmt{X: s.Cond})
+		}
+		flatten(s.Body, out)
+		if s.Post != nil {
+			flatten(s.Post, out)
+		}
+	case *ast.RangeStmt:
+		*out = append(*out, &ast.ExprStmt{X: s.X})
+		flatten(s.Body, out)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			flatten(s.Init, out)
+		}
+		flatten(s.Body, out)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			flatten(s.Init, out)
+		}
+		flatten(s.Body, out)
+	case *ast.CaseClause:
+		for _, st := range s.Body {
+			flatten(st, out)
+		}
+	case *ast.SelectStmt:
+		flatten(s.Body, out)
+	case *ast.CommClause:
+		for _, st := range s.Body {
+			flatten(st, out)
+		}
+	case *ast.LabeledStmt:
+		flatten(s.Stmt, out)
+	default:
+		*out = append(*out, stmt)
+	}
+}
+
+// checkSection checks a statement list known to run under a lock.
+func (ls *lockScope) checkSection(stmts []ast.Stmt, where string) {
+	for _, stmt := range stmts {
+		ls.checkStmt(stmt, where)
+	}
+}
+
+// checkStmt flags denylisted calls anywhere in stmt, skipping function
+// literals.
+func (ls *lockScope) checkStmt(stmt ast.Stmt, where string) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ls.pass.CalleeName(call)
+		if name == "" {
+			return true
+		}
+		if why, ok := ls.exact[name]; ok {
+			ls.pass.Reportf(call.Pos(), "%s inside %s: %s (PR 8 bug class)", name, where, why)
+			return true
+		}
+		if why, ok := ls.wildcard[ls.pass.CalleePkg(call)]; ok {
+			ls.pass.Reportf(call.Pos(), "%s inside %s: %s (PR 8 bug class)", name, where, why)
+		}
+		return true
+	})
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import "testing"
+
+// lockScopeFixtureConfig scopes the analyzer to the fixture package
+// with a fixture-local denylist mirroring the production shape: one
+// method entry (the History seed), one function entry, one wildcard.
+func lockScopeFixtureConfig() LockScopeConfig {
+	return LockScopeConfig{
+		Packages:     []string{"fixture"},
+		LockedSuffix: true,
+		Deny: []DenyEntry{
+			{Func: "fixture.Kernel.History", Why: "O(rows) history copy"},
+			{Func: "fixture.writeDisk", Why: "disk I/O"},
+			{Func: "log.*", Why: "logging"},
+		},
+	}
+}
+
+func TestLockScopeFlagsDenylistedCallsUnderLock(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type Kernel struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	rows []int
+}
+
+func (k *Kernel) History() []int {
+	out := make([]int, len(k.rows))
+	copy(out, k.rows)
+	return out
+}
+
+func writeDisk() {}
+
+func (k *Kernel) badDeferredUnlock() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	h := k.History() // want lockscope
+	return len(h)
+}
+
+func (k *Kernel) badExplicitUnlock() {
+	k.mu.Lock()
+	writeDisk() // want lockscope
+	k.mu.Unlock()
+	writeDisk()
+}
+
+func (k *Kernel) badReadLock() int {
+	k.rw.RLock()
+	defer k.rw.RUnlock()
+	return len(k.History()) // want lockscope
+}
+
+func (k *Kernel) goodCopyOutsideLock() int {
+	k.mu.Lock()
+	n := len(k.rows)
+	k.mu.Unlock()
+	h := k.History()
+	return n + len(h)
+}
+`
+	checkFixture(t, src, LockScope(lockScopeFixtureConfig()))
+}
+
+func TestLockScopeLockedSuffixConvention(t *testing.T) {
+	src := `package fixture
+
+func writeDisk() {}
+
+// xxxLocked names promise the caller holds the mutex: the whole body
+// is a critical section even though no Lock() is visible here.
+func flushLocked() {
+	writeDisk() // want lockscope
+}
+
+func flush() {
+	writeDisk()
+}
+`
+	checkFixture(t, src, LockScope(lockScopeFixtureConfig()))
+}
+
+func TestLockScopeSkipsFunctionLiterals(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type Kernel struct{ mu sync.Mutex }
+
+func writeDisk() {}
+
+// A closure built under the lock does not in general run under it:
+// goroutines and deferred cleanups execute after Unlock.
+func (k *Kernel) goodClosure() func() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return func() { writeDisk() }
+}
+`
+	checkFixture(t, src, LockScope(lockScopeFixtureConfig()))
+}
+
+func TestLockScopeWildcardAndScope(t *testing.T) {
+	src := `package fixture
+
+import (
+	"log"
+	"sync"
+)
+
+type Kernel struct{ mu sync.Mutex }
+
+func (k *Kernel) badLog() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	log.Println("under lock") // want lockscope
+}
+`
+	checkFixture(t, src, LockScope(lockScopeFixtureConfig()))
+
+	// The same source is clean when the fixture package is out of scope.
+	cfg := lockScopeFixtureConfig()
+	cfg.Packages = []string{"some/other/pkg"}
+	if diags := runFixture(t, src, LockScope(cfg)); len(diags) != 0 {
+		t.Fatalf("out-of-scope package flagged: %v", diags)
+	}
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapDeterminism returns the mapdeterminism analyzer: no `range` over a
+// map in a bit-identity-pinned package.
+//
+// The PR 7 bug class: PrivBayes candidate enumeration iterated a map,
+// so two runs with identical seeds could visit candidates in different
+// orders and break a bit-identity pin — a flake that survived three
+// PRs because it only reproduced standalone. In packages whose tests
+// pin bit-identical output, map iteration order must never reach a
+// computation; ranging a map is forbidden unless the statement carries
+// a //lint:sorted waiver asserting exactly that (e.g. the loop only
+// accumulates an order-independent reduction, or iterates a
+// pre-sorted key slice instead).
+//
+// pinnedPkgs are import paths (exact match) the invariant applies to;
+// other packages are ignored.
+func MapDeterminism(pinnedPkgs []string) *Analyzer {
+	pinned := make(map[string]bool, len(pinnedPkgs))
+	for _, p := range pinnedPkgs {
+		pinned[p] = true
+	}
+	a := &Analyzer{
+		Name: "mapdeterminism",
+		Doc:  "no range-over-map in bit-identity-pinned packages; sort keys or waive with //lint:sorted (PR 7)",
+	}
+	a.Run = func(pass *Pass) {
+		if !pinned[pass.PkgPath] {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				pass.Reportf(rs.Pos(),
+					"range over map %s in a bit-identity-pinned package: iteration order is randomized (the PR 7 PrivBayes flake); range sorted keys instead, or waive with //lint:sorted if order cannot reach an output",
+					exprText(rs.X))
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// exprText renders a short expression for messages, falling back to a
+// placeholder for anything exotic.
+func exprText(e ast.Expr) string {
+	s := typesExprString(e)
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}
+
+func typesExprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return typesExprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return typesExprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return typesExprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}
+
+// pinnedDefault lists the packages whose tests pin bit-identical
+// output as of this PR; keep in sync with the bit-identity test
+// inventory (bitident_test.go, golden_session, replica bit-identity).
+func pinnedDefault(module string) []string {
+	suffixes := []string{
+		"internal/mat",
+		"internal/solver",
+		"internal/core/plans",
+		"internal/serve",
+	}
+	out := make([]string, len(suffixes))
+	for i, s := range suffixes {
+		out[i] = strings.TrimSuffix(module, "/") + "/" + s
+	}
+	return out
+}

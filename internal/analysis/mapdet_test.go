@@ -1,0 +1,82 @@
+package analysis
+
+import "testing"
+
+func TestMapDeterminismFlagsRangeOverMap(t *testing.T) {
+	src := `package fixture
+
+func badIter(m map[string]float64) float64 {
+	max := 0.0
+	for _, v := range m { // want mapdeterminism
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+type table struct{ cols map[string]int }
+
+func badField(t *table) int {
+	n := 0
+	for range t.cols { // want mapdeterminism
+		n++
+	}
+	return n
+}
+
+func goodSlice(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+func goodSortedKeys(m map[string]int, keys []string) int {
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+`
+	checkFixture(t, src, MapDeterminism([]string{"fixture"}))
+}
+
+func TestMapDeterminismSortedWaiver(t *testing.T) {
+	src := `package fixture
+
+func waivedSum(m map[string]int) int {
+	total := 0
+	//lint:sorted commutative sum: order cannot reach the output
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`
+	diags := runFixture(t, src, MapDeterminism([]string{"fixture"}))
+	if len(diags) != 1 || !diags[0].Waived {
+		t.Fatalf("want one waived finding, got %v", diags)
+	}
+	if diags[0].WaiveReason == "" {
+		t.Fatalf("sorted waiver lost its canned reason: %+v", diags[0])
+	}
+}
+
+func TestMapDeterminismScopedToPinnedPackages(t *testing.T) {
+	src := `package fixture
+
+func iter(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+`
+	if diags := runFixture(t, src, MapDeterminism([]string{"repro/internal/mat"})); len(diags) != 0 {
+		t.Fatalf("unpinned package flagged: %v", diags)
+	}
+}

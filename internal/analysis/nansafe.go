@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// NanSafe returns the nansafe analyzer: rejection guards on epsilon /
+// budget / sensitivity floats must be NaN-rejecting.
+//
+// The PR 4 bug class: `if eps <= 0 { reject }` lets NaN through
+// (every comparison with NaN is false), and a NaN epsilon poisoned
+// Algorithm 2's budget tracker into granting unlimited spending. The
+// safe form is `if !(eps > 0)`, which rejects NaN, optionally paired
+// with math.IsInf for the +Inf saturation case. A guard is exempt when
+// the enclosing function explicitly checks math.IsNaN or math.IsInf on
+// the same expression.
+func NanSafe() *Analyzer {
+	a := &Analyzer{
+		Name: "nansafe",
+		Doc:  "epsilon/budget/sensitivity guards must reject NaN: use !(x > 0), not x <= 0 (PR 4)",
+	}
+	a.Run = runNanSafe
+	return a
+}
+
+// nanSensitiveWords are the identifier words that mark a float as a
+// privacy parameter. Matching is per camelCase/snake_case word so that
+// `steps` does not match `eps` while `epsTotal` and `rowSens` do.
+var nanSensitiveWords = map[string]bool{
+	"eps":         true,
+	"epsilon":     true,
+	"budget":      true,
+	"sens":        true,
+	"sensitivity": true,
+}
+
+func runNanSafe(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			// Pre-collect IsNaN/IsInf-guarded expressions: a function that
+			// explicitly handles non-finite values has made the judgment
+			// call the analyzer exists to force.
+			guarded := nanGuardedExprs(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				// Normalize to <param> OP <literal>.
+				param, op := be.X, be.Op
+				lit := be.Y
+				if isZeroLit(be.X) {
+					param, lit = be.Y, be.X
+					op = flipCmp(op)
+				}
+				if !isZeroLit(lit) {
+					return true
+				}
+				if op != token.LEQ && op != token.LSS {
+					return true
+				}
+				if !isFloat(pass.TypeOf(param)) || !nanSensitiveName(param) {
+					return true
+				}
+				if guarded[types.ExprString(ast.Unparen(param))] {
+					return true
+				}
+				name := types.ExprString(ast.Unparen(param))
+				pass.Reportf(be.Pos(),
+					"%q lets NaN through (every NaN comparison is false — the PR 4 budget bypass); use !(%s > 0), or guard with math.IsNaN/IsInf",
+					name+" "+op.String()+" 0", name)
+				return true
+			})
+			return false
+		})
+	}
+}
+
+// nanGuardedExprs returns the textual forms of expressions passed to
+// math.IsNaN or math.IsInf anywhere in body.
+func nanGuardedExprs(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := pass.CalleeName(call)
+		if (name == "math.IsNaN" || name == "math.IsInf") && len(call.Args) > 0 {
+			out[types.ExprString(ast.Unparen(call.Args[0]))] = true
+		}
+		return true
+	})
+	return out
+}
+
+// nanSensitiveName reports whether the compared expression's
+// identifier (x, s.epsTotal, d.budget) contains a privacy-parameter
+// word.
+func nanSensitiveName(e ast.Expr) bool {
+	var name string
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return false
+	}
+	for _, w := range splitWords(name) {
+		if nanSensitiveWords[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// splitWords splits an identifier into lowercase camelCase /
+// snake_case words: "epsTotal" -> [eps total], "row_sens" -> [row sens].
+func splitWords(name string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range name {
+		switch {
+		case r == '_':
+			flush()
+		case unicode.IsUpper(r):
+			flush()
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return words
+}
+
+func isZeroLit(e ast.Expr) bool {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	switch bl.Value {
+	case "0", "0.0", "0.", ".0":
+		return true
+	}
+	return false
+}
+
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.GEQ: // 0 >= x  ==  x <= 0
+		return token.LEQ
+	case token.GTR: // 0 > x  ==  x < 0
+		return token.LSS
+	case token.LEQ:
+		return token.GEQ
+	case token.LSS:
+		return token.GTR
+	}
+	return op
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

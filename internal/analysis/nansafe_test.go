@@ -1,0 +1,77 @@
+package analysis
+
+import "testing"
+
+func TestNanSafeFlagsNonNaNSafeGuards(t *testing.T) {
+	src := `package fixture
+
+type accountant struct {
+	epsTotal float64
+	budget   float64
+}
+
+func bad(eps, sens float64, a *accountant) bool {
+	if eps <= 0 { // want nansafe
+		return false
+	}
+	if sens < 0 { // want nansafe
+		return false
+	}
+	if 0 >= a.epsTotal { // want nansafe
+		return false
+	}
+	if 0.0 > a.budget { // want nansafe
+		return false
+	}
+	return true
+}
+`
+	checkFixture(t, src, NanSafe())
+}
+
+func TestNanSafeAcceptsSafeForms(t *testing.T) {
+	src := `package fixture
+
+import "math"
+
+// The !(x > 0) form rejects NaN; an explicit math.IsNaN/IsInf check on
+// the same expression is the judgment call the analyzer forces, so a
+// <= guard next to one is exempt.
+func good(eps, sens float64) bool {
+	if !(eps > 0) {
+		return false
+	}
+	if math.IsNaN(sens) || math.IsInf(sens, 0) || sens <= 0 {
+		return false
+	}
+	return true
+}
+
+// Word-boundary matching: "steps" must not match "eps", and non-float
+// or non-privacy parameters are out of scope entirely.
+func unrelated(steps float64, count float64, eps int) bool {
+	if steps <= 0 {
+		return false
+	}
+	if count < 0 {
+		return false
+	}
+	if eps <= 0 {
+		return false
+	}
+	return true
+}
+
+// Compound identifiers split on camelCase/snake_case words.
+func compound(epsTotal, rowSens float64) bool {
+	if epsTotal <= 0 { // want nansafe
+		return false
+	}
+	if rowSens < 0 { // want nansafe
+		return false
+	}
+	return true
+}
+`
+	checkFixture(t, src, NanSafe())
+}

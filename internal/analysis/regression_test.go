@@ -1,0 +1,126 @@
+package analysis
+
+// Regression fixtures that re-introduce, verbatim in shape, the two
+// hand-fixed bugs that motivated this linter — and assert ektelo-lint
+// flags each at the exact line, with the fixed twin passing clean.
+
+import "testing"
+
+// PR 4: `if eps <= 0 { reject }` let NaN through (every NaN comparison
+// is false), and a NaN epsilon poisoned Algorithm 2's budget tracker
+// into granting unlimited spending.
+func TestRegressionPR4NaNEpsilonBudgetBypass(t *testing.T) {
+	bad := `package fixture
+
+type Kernel struct{ spent float64 }
+
+func (k *Kernel) Charge(eps float64) bool {
+	if eps <= 0 {
+		return false
+	}
+	k.spent += eps
+	return true
+}
+`
+	diags := runFixture(t, bad, NanSafe())
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one finding, got %v", diags)
+	}
+	if want := lineOf(t, bad, "if eps <= 0 {"); diags[0].Line != want || diags[0].Analyzer != "nansafe" {
+		t.Fatalf("want nansafe at line %d, got %+v", want, diags[0])
+	}
+
+	good := `package fixture
+
+type Kernel struct{ spent float64 }
+
+func (k *Kernel) Charge(eps float64) bool {
+	if !(eps > 0) { // rejects NaN: the PR 4 fix shape
+		return false
+	}
+	k.spent += eps
+	return true
+}
+`
+	if diags := runFixture(t, good, NanSafe()); len(diags) != 0 {
+		t.Fatalf("fixed twin flagged: %v", diags)
+	}
+}
+
+// PR 8: Summary called kernel.History() — an O(rows) defensive copy —
+// while holding the dataset mutex, so sustained write load starved the
+// /healthz probes the cluster router uses to keep a backend in
+// rotation.
+func TestRegressionPR8HistoryWalkUnderLock(t *testing.T) {
+	cfg := LockScopeConfig{
+		Packages: []string{"fixture"},
+		Deny: []DenyEntry{
+			{Func: "fixture.Kernel.History", Why: "O(rows) history copy; use HistoryLen (O(1)) or copy outside the lock"},
+		},
+	}
+	bad := `package fixture
+
+import "sync"
+
+type Kernel struct{ rows []int }
+
+func (k *Kernel) History() []int {
+	out := make([]int, len(k.rows))
+	copy(out, k.rows)
+	return out
+}
+
+func (k *Kernel) HistoryLen() int { return len(k.rows) }
+
+type dataset struct {
+	mu sync.Mutex
+	k  *Kernel
+}
+
+func (d *dataset) Summary() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.k.History())
+}
+`
+	diags := runFixture(t, bad, LockScope(cfg))
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one finding, got %v", diags)
+	}
+	if want := lineOf(t, bad, "return len(d.k.History())"); diags[0].Line != want || diags[0].Analyzer != "lockscope" {
+		t.Fatalf("want lockscope at line %d, got %+v", want, diags[0])
+	}
+
+	good := `package fixture
+
+import "sync"
+
+type Kernel struct{ rows []int }
+
+func (k *Kernel) History() []int {
+	out := make([]int, len(k.rows))
+	copy(out, k.rows)
+	return out
+}
+
+func (k *Kernel) HistoryLen() int { return len(k.rows) }
+
+type dataset struct {
+	mu sync.Mutex
+	k  *Kernel
+}
+
+// The PR 8 fix shape: the O(1) length under the lock, the O(rows)
+// copy outside it.
+func (d *dataset) Summary() int {
+	d.mu.Lock()
+	n := d.k.HistoryLen()
+	d.mu.Unlock()
+	h := d.k.History()
+	return n + len(h)
+}
+`
+	if diags := runFixture(t, good, LockScope(cfg)); len(diags) != 0 {
+		t.Fatalf("fixed twin flagged: %v", diags)
+	}
+}

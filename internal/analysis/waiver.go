@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// waiver is one //lint:ignore or //lint:sorted comment.
+type waiver struct {
+	pos      token.Position
+	analyzer string // analyzer the waiver targets; "mapdeterminism" for //lint:sorted
+	reason   string
+	sorted   bool // the //lint:sorted shorthand (no reason required)
+	used     bool
+}
+
+// collectWaivers scans every comment in the package for waiver
+// directives. A waiver applies to findings on its own line (trailing
+// comment) or on the line immediately below (comment-above idiom).
+func collectWaivers(pkg *Package) []*waiver {
+	var out []*waiver
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				pos := pkg.Fset.Position(c.Pos())
+				switch {
+				case text == "lint:sorted" || strings.HasPrefix(text, "lint:sorted "):
+					out = append(out, &waiver{
+						pos:      pos,
+						analyzer: "mapdeterminism",
+						reason:   "sorted keys / order cannot reach an output",
+						sorted:   true,
+					})
+				case strings.HasPrefix(text, "lint:ignore"):
+					fields := strings.Fields(text)
+					w := &waiver{pos: pos}
+					if len(fields) >= 2 {
+						w.analyzer = fields[1]
+					}
+					if len(fields) >= 3 {
+						w.reason = strings.Join(fields[2:], " ")
+					}
+					out = append(out, w)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applyWaivers marks findings covered by a well-formed waiver as
+// waived. A reasonless //lint:ignore never suppresses: the invariant
+// finding stays alongside the hygiene finding until a reason is
+// written down.
+func applyWaivers(diags []Diagnostic, waivers []*waiver) []Diagnostic {
+	for i := range diags {
+		d := &diags[i]
+		for _, w := range waivers {
+			if w.analyzer != d.Analyzer || w.reason == "" {
+				continue
+			}
+			if w.pos.Filename != d.File {
+				continue
+			}
+			if d.Line != w.pos.Line && d.Line != w.pos.Line+1 {
+				continue
+			}
+			w.used = true
+			d.Waived = true
+			d.WaiveReason = w.reason
+			break
+		}
+	}
+	return diags
+}
+
+// waiverHygiene enforces the waiver contract: every waiver names a
+// known analyzer, carries a reason, and actually suppresses something.
+// The unused check only runs when the full analyzer set did (checkUnused),
+// so -enable subsets don't misreport other analyzers' waivers.
+func waiverHygiene(waivers []*waiver, known map[string]bool, checkUnused bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(w *waiver, msg string) {
+		out = append(out, Diagnostic{
+			Analyzer: "waiver",
+			File:     w.pos.Filename,
+			Line:     w.pos.Line,
+			Col:      w.pos.Column,
+			Message:  msg,
+		})
+	}
+	for _, w := range waivers {
+		switch {
+		case w.analyzer == "":
+			report(w, "//lint:ignore needs an analyzer name and a reason: //lint:ignore <analyzer> <reason>")
+		case !known[w.analyzer]:
+			report(w, "//lint:ignore names unknown analyzer "+w.analyzer)
+		case w.reason == "":
+			report(w, "//lint:ignore "+w.analyzer+" has no reason; every waiver is a documented judgment call")
+		case checkUnused && !w.used:
+			report(w, "waiver suppresses nothing (stale after a fix, or on the wrong line)")
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+const waiverFixtureGuard = `package fixture
+
+func charge(eps float64) bool {
+	%s
+	if eps <= 0 {
+		return false
+	}
+	return true
+}
+`
+
+func TestWaiverSuppressesWithReason(t *testing.T) {
+	src := strings.Replace(waiverFixtureGuard, "%s",
+		"//lint:ignore nansafe demo fixture keeps the historical guard shape", 1)
+	diags := runFixture(t, src, NanSafe())
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+	d := diags[0]
+	if !d.Waived || d.WaiveReason != "demo fixture keeps the historical guard shape" {
+		t.Fatalf("waiver not applied: %+v", d)
+	}
+}
+
+func TestWaiverTrailingSameLine(t *testing.T) {
+	src := `package fixture
+
+func charge(eps float64) bool {
+	if eps <= 0 { //lint:ignore nansafe trailing form on the flagged line
+		return false
+	}
+	return true
+}
+`
+	diags := runFixture(t, src, NanSafe())
+	if len(diags) != 1 || !diags[0].Waived {
+		t.Fatalf("trailing waiver not applied: %v", diags)
+	}
+}
+
+func TestWaiverWithoutReasonNeverSuppresses(t *testing.T) {
+	src := strings.Replace(waiverFixtureGuard, "%s", "//lint:ignore nansafe", 1)
+	diags := runFixture(t, src, NanSafe())
+	var active, hygiene int
+	for _, d := range diags {
+		if d.Waived {
+			t.Fatalf("reasonless waiver suppressed a finding: %+v", d)
+		}
+		switch d.Analyzer {
+		case "nansafe":
+			active++
+		case "waiver":
+			hygiene++
+			if !strings.Contains(d.Message, "no reason") {
+				t.Fatalf("wrong hygiene message: %q", d.Message)
+			}
+		}
+	}
+	if active != 1 || hygiene != 1 {
+		t.Fatalf("want the finding AND the hygiene finding, got %v", diags)
+	}
+}
+
+func TestWaiverUnknownAnalyzer(t *testing.T) {
+	src := strings.Replace(waiverFixtureGuard, "%s", "//lint:ignore nonsense some reason", 1)
+	diags := runFixture(t, src, NanSafe())
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "waiver" && strings.Contains(d.Message, "unknown analyzer nonsense") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unknown-analyzer waiver not reported: %v", diags)
+	}
+}
+
+func TestWaiverStaleIsReported(t *testing.T) {
+	src := `package fixture
+
+//lint:ignore nansafe nothing here to suppress anymore
+func clean(eps float64) bool {
+	return !(eps > 0)
+}
+`
+	diags := runFixture(t, src, NanSafe())
+	if len(diags) != 1 || diags[0].Analyzer != "waiver" ||
+		!strings.Contains(diags[0].Message, "suppresses nothing") {
+		t.Fatalf("stale waiver not reported: %v", diags)
+	}
+}
+
+// A -enable subset run must not misreport other analyzers' waivers as
+// unknown (knownNames carries the full registry) nor as stale (the
+// unused check is gated off).
+func TestWaiverSubsetRunKeepsRegistryKnown(t *testing.T) {
+	src := `package fixture
+
+func clean(eps float64) bool {
+	//lint:ignore lockscope a waiver for an analyzer this run skips
+	return !(eps > 0)
+}
+`
+	pkg := loadFixture(t, src)
+	diags := Run([]*Package{pkg}, []*Analyzer{NanSafe()}, false, []string{"nansafe", "lockscope"})
+	if len(diags) != 0 {
+		t.Fatalf("subset run misreported a disabled analyzer's waiver: %v", diags)
+	}
+	// Without the registry the same waiver is (correctly) unknown.
+	diags = Run([]*Package{pkg}, []*Analyzer{NanSafe()}, false, nil)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unknown analyzer") {
+		t.Fatalf("want unknown-analyzer finding without registry, got %v", diags)
+	}
+}

@@ -1,0 +1,409 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// PoolPair describes one checkout/release pair the wspool analyzer
+// tracks.
+type PoolPair struct {
+	// Checkout is the normalized callee name that checks a value out of
+	// a pool ("repro/internal/mat.getScratch", "sync.Pool.Get").
+	Checkout string
+	// ReleaseMethod, when non-empty, is the method name on the
+	// checked-out value that returns it ("put").
+	ReleaseMethod string
+	// ReleaseFunc, when non-empty, is the normalized callee name of a
+	// function/method releasing the value passed as its first argument
+	// ("sync.Pool.Put").
+	ReleaseFunc string
+}
+
+// WSPoolConfig scopes the wspool analyzer.
+type WSPoolConfig struct {
+	// Packages are the import paths (exact match) to check; empty means
+	// every package.
+	Packages []string
+	Pairs    []PoolPair
+}
+
+// WSPool returns the wspool analyzer: a workspace or scratch buffer
+// checked out of a pool must be released on every return path.
+//
+// The PRs 1–2 zero-allocation engine exists because per-call
+// allocations dominate wall time once matrices are implicit; a leaked
+// checkout quietly brings them back (the pool refills from make on the
+// next Get) without failing any test but the alloc assertions, and
+// only when the leaking path is hot. The analyzer tracks each variable
+// assigned from a checkout call within its innermost enclosing
+// statement list (its scope) and requires, on every path out of that
+// scope after the checkout: a release (method or function form), a
+// defer containing one, or a panic (losing one buffer on a panic path
+// is fine — the pool is a cache, not a resource). Variables captured
+// by function literals are skipped: closures transfer release
+// responsibility in ways a syntactic pass cannot track (e.g. a
+// returned cleanup func), and such escapes are rare and reviewed.
+func WSPool(cfg WSPoolConfig) *Analyzer {
+	scoped := make(map[string]bool, len(cfg.Packages))
+	for _, p := range cfg.Packages {
+		scoped[p] = true
+	}
+	byCheckout := make(map[string]PoolPair, len(cfg.Pairs))
+	for _, p := range cfg.Pairs {
+		byCheckout[p.Checkout] = p
+	}
+	a := &Analyzer{
+		Name: "wspool",
+		Doc:  "pooled workspaces/scratch buffers must be released on every return path (PRs 1-2)",
+	}
+	a.Run = func(pass *Pass) {
+		if len(scoped) > 0 && !scoped[pass.PkgPath] {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				fn, ok := n.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					return true
+				}
+				checkWSPool(pass, fn, byCheckout)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkout is one tracked pooled variable within a function.
+type checkout struct {
+	name string // variable name
+	pair PoolPair
+	stmt *ast.AssignStmt // the checkout statement
+	// deferred: a defer statement after the checkout contains a release.
+	deferred bool
+	// escapes: the variable is referenced inside a function literal.
+	escapes bool
+}
+
+func checkWSPool(pass *Pass, fn *ast.FuncDecl, byCheckout map[string]PoolPair) {
+	// Pass 1: find checkout assignments `v := <checkout>(...)`
+	// (possibly through a type assertion), defers releasing them, and
+	// closure captures.
+	var cos []*checkout
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			rhs := ast.Unparen(n.Rhs[0])
+			if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+				rhs = ast.Unparen(ta.X)
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pair, ok := byCheckout[pass.CalleeName(call)]; ok {
+				cos = append(cos, &checkout{name: id.Name, pair: pair, stmt: n})
+			}
+		case *ast.DeferStmt:
+			for _, c := range cos {
+				if callIsRelease(pass, n.Call, c) || callContainsRelease(pass, n.Call, c) {
+					c.deferred = true
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					for _, c := range cos {
+						if c.name == id.Name {
+							c.escapes = true
+						}
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	// Pass 2: walk every exit path of each checkout's scope.
+	for _, c := range cos {
+		if c.deferred || c.escapes {
+			continue
+		}
+		scope, isLoopBody := enclosingList(fn, c.stmt)
+		if scope == nil {
+			continue
+		}
+		w := &wsWalker{pass: pass, c: c}
+		released := w.list(scope, c.stmt)
+		if released || w.terminated {
+			continue
+		}
+		// Falling off the end of the scope without a release leaks the
+		// buffer — except off the end of the body of a function with
+		// results, which cannot fall through (go/types guarantees a
+		// terminating statement, so this path is unreachable).
+		if scope == &fn.Body.List && fn.Type.Results != nil {
+			continue
+		}
+		what := "scope end"
+		if isLoopBody {
+			what = "loop iteration end"
+		}
+		pass.Reportf(c.stmt.Pos(),
+			"%s checked out of the pool leaks at %s: release it with %s on every path or defer it (zero-allocation engine contract, PRs 1-2)",
+			c.name, what, releaseName(c.pair))
+	}
+}
+
+// enclosingList returns a pointer to the innermost statement list that
+// directly contains target, and whether that list is a loop body.
+func enclosingList(fn *ast.FuncDecl, target ast.Stmt) (*[]ast.Stmt, bool) {
+	var found *[]ast.Stmt
+	var loop bool
+	var visit func(list *[]ast.Stmt, isLoop bool)
+	visit = func(list *[]ast.Stmt, isLoop bool) {
+		for _, st := range *list {
+			if st == target {
+				found, loop = list, isLoop
+				return
+			}
+		}
+		for _, st := range *list {
+			if containsNode(st, target) {
+				descend(st, visit)
+				return
+			}
+		}
+	}
+	visit(&fn.Body.List, false)
+	return found, loop
+}
+
+// descend calls visit on each statement list directly owned by stmt.
+func descend(stmt ast.Stmt, visit func(*[]ast.Stmt, bool)) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		visit(&s.List, false)
+	case *ast.IfStmt:
+		visit(&s.Body.List, false)
+		if s.Else != nil {
+			descend(s.Else, visit)
+		}
+	case *ast.ForStmt:
+		visit(&s.Body.List, true)
+	case *ast.RangeStmt:
+		visit(&s.Body.List, true)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				visit(&cc.Body, false)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				visit(&cc.Body, false)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CommClause); ok {
+				visit(&cc.Body, false)
+			}
+		}
+	case *ast.LabeledStmt:
+		descend(s.Stmt, visit)
+	}
+}
+
+// wsWalker walks the checkout's scope; released tracks whether the
+// buffer has been returned to the pool on the current path.
+type wsWalker struct {
+	pass *Pass
+	c    *checkout
+	// terminated notes that the walked path ended in return/panic, so
+	// the scope end is unreachable from it.
+	terminated bool
+}
+
+// list walks stmts starting after the checkout statement (when from is
+// non-nil) and returns the released state at the end of the list.
+func (w *wsWalker) list(stmts *[]ast.Stmt, from ast.Stmt) bool {
+	released := false
+	seen := from == nil
+	w.terminated = false
+	for _, stmt := range *stmts {
+		if !seen {
+			seen = stmt == from
+			continue
+		}
+		if w.terminated {
+			// Unreachable after return/panic on this path.
+			break
+		}
+		released = w.stmt(stmt, released)
+	}
+	return released
+}
+
+func (w *wsWalker) stmt(stmt ast.Stmt, released bool) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		if !released && !returnsVar(s, w.c.name) {
+			w.pass.Reportf(s.Pos(),
+				"return leaks %s checked out of the pool: release it with %s on every path or defer it (zero-allocation engine contract, PRs 1-2)",
+				w.c.name, releaseName(w.c.pair))
+		}
+		w.terminated = true
+		return released
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				w.terminated = true
+				return released
+			}
+			if callIsRelease(w.pass, call, w.c) {
+				return true
+			}
+		}
+		return released
+	case *ast.BlockStmt:
+		end := w.list(&s.List, nil)
+		return released || end
+	case *ast.IfStmt:
+		thenEnd := w.list(&s.Body.List, nil)
+		thenTerm := w.terminated
+		elseEnd, elseTerm := released, false
+		if s.Else != nil {
+			elseEnd = w.stmt(s.Else, released)
+			elseTerm = w.terminated
+		}
+		w.terminated = thenTerm && elseTerm
+		// Released after the if only when every fall-through path
+		// released (a branch ending in return/panic does not fall
+		// through). With no else, the not-taken path keeps the incoming
+		// state.
+		switch {
+		case thenTerm && elseTerm:
+			return released
+		case thenTerm:
+			return elseEnd
+		case elseTerm:
+			return released || thenEnd
+		default:
+			if s.Else == nil {
+				return released // then-branch released? the untaken path did not
+			}
+			return (released || thenEnd) && elseEnd
+		}
+	case *ast.ForStmt:
+		w.list(&s.Body.List, nil)
+		w.terminated = false
+		return released
+	case *ast.RangeStmt:
+		w.list(&s.Body.List, nil)
+		w.terminated = false
+		return released
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Walk each clause independently; conservatively assume the
+		// statement can complete without any clause releasing.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch cc := n.(type) {
+			case *ast.CaseClause:
+				w.list(&cc.Body, nil)
+				return false
+			case *ast.CommClause:
+				w.list(&cc.Body, nil)
+				return false
+			case *ast.FuncLit:
+				return false
+			}
+			return true
+		})
+		w.terminated = false
+		return released
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, released)
+	default:
+		return released
+	}
+}
+
+// returnsVar reports whether the return statement hands the checked-out
+// value itself to the caller — an ownership transfer (the pool accessor
+// idiom: getScratch returns what it got from vecPool), not a leak.
+func returnsVar(s *ast.ReturnStmt, name string) bool {
+	for _, r := range s.Results {
+		found := false
+		ast.Inspect(r, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func callIsRelease(pass *Pass, call *ast.CallExpr, c *checkout) bool {
+	if c.pair.ReleaseMethod != "" {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == c.pair.ReleaseMethod {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == c.name {
+				return true
+			}
+		}
+	}
+	if c.pair.ReleaseFunc != "" && pass.CalleeName(call) == c.pair.ReleaseFunc && len(call.Args) > 0 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && id.Name == c.name {
+			return true
+		}
+	}
+	return false
+}
+
+// callContainsRelease reports whether a deferred call's function
+// literal body contains a release of c (the `defer func() { ... }()`
+// idiom).
+func callContainsRelease(pass *Pass, call *ast.CallExpr, c *checkout) bool {
+	fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if cc, ok := n.(*ast.CallExpr); ok && callIsRelease(pass, cc, c) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func containsNode(stmt ast.Stmt, target ast.Node) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func releaseName(p PoolPair) string {
+	if p.ReleaseMethod != "" {
+		return "." + p.ReleaseMethod + "()"
+	}
+	return p.ReleaseFunc
+}

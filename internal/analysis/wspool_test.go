@@ -1,0 +1,122 @@
+package analysis
+
+import "testing"
+
+func wsPoolFixtureConfig() WSPoolConfig {
+	return WSPoolConfig{
+		Packages: []string{"fixture"},
+		Pairs: []PoolPair{
+			{Checkout: "fixture.getScratch", ReleaseMethod: "put"},
+			{Checkout: "sync.Pool.Get", ReleaseFunc: "sync.Pool.Put"},
+		},
+	}
+}
+
+func TestWSPoolFlagsLeakingPaths(t *testing.T) {
+	src := `package fixture
+
+type ws struct{ buf []float64 }
+
+func (w *ws) put() {}
+
+func getScratch() *ws { return &ws{} }
+
+func badEarlyReturn(n int) int {
+	w := getScratch()
+	if n < 0 {
+		return -1 // want wspool
+	}
+	w.put()
+	return n
+}
+
+func badLoopIteration(xs []int) {
+	for range xs { // each iteration checks out; none releases
+		w := getScratch() // want wspool
+		_ = w
+	}
+}
+
+func goodDefer(n int) int {
+	w := getScratch()
+	defer w.put()
+	if n < 0 {
+		return -1
+	}
+	return n
+}
+
+func goodDeferredClosure(n int) int {
+	w := getScratch()
+	defer func() { w.put() }()
+	return n
+}
+
+func goodAllPaths(n int) int {
+	w := getScratch()
+	if n < 0 {
+		w.put()
+		return -1
+	}
+	w.put()
+	return n
+}
+`
+	checkFixture(t, src, WSPool(wsPoolFixtureConfig()))
+}
+
+func TestWSPoolOwnershipTransferAndPanic(t *testing.T) {
+	src := `package fixture
+
+type ws struct{ buf []float64 }
+
+func (w *ws) put() {}
+
+func getScratch() *ws { return &ws{} }
+
+// Returning the checked-out value itself transfers ownership to the
+// caller (the pool accessor idiom), not a leak.
+func newWorkspace() *ws {
+	w := getScratch()
+	w.buf = w.buf[:0]
+	return w
+}
+
+// Losing one buffer on a panic path is fine: the pool is a cache.
+func panicPath(n int) {
+	w := getScratch()
+	if n < 0 {
+		panic("negative")
+	}
+	w.put()
+}
+
+// Closure captures transfer release responsibility in ways a syntactic
+// pass cannot track; such escapes are skipped, not flagged.
+func escapes() func() {
+	w := getScratch()
+	return func() { w.put() }
+}
+`
+	checkFixture(t, src, WSPool(wsPoolFixtureConfig()))
+}
+
+func TestWSPoolSyncPoolFuncRelease(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+var pool sync.Pool
+
+func badPoolLeak() {
+	v := pool.Get().([]float64) // want wspool
+	_ = v
+}
+
+func goodPoolRoundTrip() {
+	v := pool.Get()
+	pool.Put(v)
+}
+`
+	checkFixture(t, src, WSPool(wsPoolFixtureConfig()))
+}

@@ -28,13 +28,15 @@ type PrivBayesConfig struct {
 }
 
 func (c *PrivBayesConfig) fill() {
-	if c.EpsTotalShare <= 0 {
+	// NaN-rejecting guards: with the `<= 0` form a NaN share would
+	// survive defaulting and flow into the per-stage epsilons.
+	if !(c.EpsTotalShare > 0) {
 		c.EpsTotalShare = 0.1
 	}
-	if c.EpsSelectShare <= 0 {
+	if !(c.EpsSelectShare > 0) {
 		c.EpsSelectShare = 0.4
 	}
-	if c.EpsMeasureShare <= 0 {
+	if !(c.EpsMeasureShare > 0) {
 		c.EpsMeasureShare = 0.5
 	}
 }

@@ -45,7 +45,9 @@ func Exponential(rng *rand.Rand, scores []float64, eps, sens float64) int {
 	if len(scores) == 0 {
 		panic("noise: Exponential with no candidates")
 	}
-	if sens <= 0 {
+	// NaN-rejecting form: `sens <= 0` would let a NaN sensitivity
+	// through (every NaN comparison is false) and poison the weights.
+	if !(sens > 0) {
 		panic("noise: Exponential non-positive sensitivity")
 	}
 	// Subtract the max score for numerical stability.
@@ -77,7 +79,9 @@ func Exponential(rng *rand.Rand, scores []float64, eps, sens float64) int {
 // parameter alpha = exp(-eps/sens), the discrete analogue of the Laplace
 // mechanism (useful for integer-valued counts).
 func TwoSidedGeometric(rng *rand.Rand, eps, sens float64) int64 {
-	if eps <= 0 || sens <= 0 {
+	// NaN-rejecting form: with `eps <= 0` a NaN epsilon slips through
+	// and alpha = exp(-NaN/sens) silently yields NaN-valued samples.
+	if !(eps > 0) || !(sens > 0) {
 		panic("noise: TwoSidedGeometric requires positive eps and sens")
 	}
 	alpha := math.Exp(-eps / sens)

@@ -324,6 +324,7 @@ func (d *Dataset) persistLocked() error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore lockscope snapshot backend by design rewrites state inside the commit section so disk order equals generation order; the WAL backend (default) exists to shrink exactly this hold
 	if err := wal.WriteFileAtomic(d.fs, d.statePath, data); err != nil {
 		return fmt.Errorf("serve: write snapshot %q: %w", d.name, err)
 	}

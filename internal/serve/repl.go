@@ -295,7 +295,9 @@ func (d *Dataset) shipToLocalLogLocked(rec wal.Record) {
 	if d.wlog == nil || d.readOnly {
 		return
 	}
+	//lint:ignore lockscope commit-section append is the replication design: the local log must record frames in applied order, and the fsync policy bounds the hold
 	if err := d.wlog.Append(rec.Type, rec.Payload); err != nil {
+		//lint:ignore lockscope error path: logs once when the local append fails, immediately before the read-only degrade
 		log.Printf("serve: replica %q: local log append failed: %v", d.name, err)
 		d.degradeLocked(err)
 		return

@@ -335,6 +335,7 @@ func (d *Dataset) degradeLocked(cause error) {
 	}
 	d.readOnly = true
 	d.roCause = cause
+	//lint:ignore lockscope error path: the single read-only degrade announcement; it fires at most once per dataset lifetime
 	log.Printf("serve: dataset %q: degrading to read-only, queries keep serving: %v", d.name, cause)
 }
 
@@ -388,6 +389,7 @@ func (d *Dataset) persistCommitLocked(payload []byte) error {
 	if d.readOnly {
 		return nil // already degraded and logged; nothing more to lose durably
 	}
+	//lint:ignore lockscope commit-section WAL append is the design: one O(delta) record per commit keeps disk order equal to generation order, and the fsync policy bounds the hold (PR 7)
 	if err := d.wlog.Append(wal.TypeMeasurementBlock, payload); err != nil {
 		return err
 	}
@@ -422,6 +424,7 @@ func (d *Dataset) persistSpendLocked(payload []byte) error {
 	if d.readOnly {
 		return nil
 	}
+	//lint:ignore lockscope commit-section WAL append is the design: a failed plan's spend must hit the log before the next commit can reorder past it
 	if err := d.wlog.Append(wal.TypeBudgetRestore, payload); err != nil {
 		return err
 	}
@@ -442,9 +445,11 @@ func (d *Dataset) persistPanelLocked() {
 	}
 	data, err := json.Marshal(&panelSidecar{Domain: d.n, K: d.k, Panel: d.panel})
 	if err == nil {
+		//lint:ignore lockscope the sidecar is written at commit time so restarts reproduce the legacy snapshot's warm-start state exactly; advisory, and small (k columns)
 		err = wal.WriteFileAtomic(d.fs, d.panelPath, data)
 	}
 	if err != nil {
+		//lint:ignore lockscope error path: advisory sidecar failures log once and never degrade
 		log.Printf("serve: dataset %q: panel sidecar write (advisory): %v", d.name, err)
 		return
 	}
@@ -464,23 +469,30 @@ func (d *Dataset) maybeCompactLocked() {
 	}
 	data, err := d.encodeSnapshotLocked()
 	if err != nil {
+		//lint:ignore lockscope error path: compaction giving up must be visible; the pre-compaction log still holds everything
 		log.Printf("serve: dataset %q: checkpoint encode failed, keeping log: %v", d.name, err)
 		return
 	}
 	marker, err := json.Marshal(&walMarker{Gen: d.gen, Consumed: d.kern.Consumed()})
 	if err != nil {
+		//lint:ignore lockscope error path: compaction giving up must be visible; the pre-compaction log still holds everything
 		log.Printf("serve: dataset %q: checkpoint marker encode failed, keeping log: %v", d.name, err)
 		return
 	}
+	//lint:ignore lockscope compaction must swap the log against a quiesced commit path, which only the dataset mutex guarantees; it runs every CheckpointEvery commits, not per request
 	if err := d.wlog.Close(); err != nil {
 		// The records being folded into the checkpoint are already read
 		// back from memory; a failed final sync cannot lose them. Proceed —
 		// Compact replaces the file wholesale.
+		//lint:ignore lockscope error path: a failed pre-compaction sync is logged once and compaction proceeds
 		log.Printf("serve: dataset %q: wal close before compaction: %v", d.name, err)
 	}
+	//lint:ignore lockscope compaction must swap the log against a quiesced commit path, which only the dataset mutex guarantees; it runs every CheckpointEvery commits, not per request
 	nl, err := wal.Compact(d.walPath, d.statePath, data, marker, d.walOpts())
 	if err != nil {
+		//lint:ignore lockscope error path: compaction failure is logged once, then the old log is reopened
 		log.Printf("serve: dataset %q: compaction failed: %v", d.name, err)
+		//lint:ignore lockscope reopening the surviving log is the compaction-failure recovery; it must finish before the commit path resumes
 		ol, _, oerr := wal.Open(d.walPath, d.walOpts())
 		if oerr != nil {
 			d.degradeLocked(fmt.Errorf("compaction failed (%v) and log reopen failed: %w", err, oerr))
@@ -504,7 +516,9 @@ func (d *Dataset) closePersistence() {
 	if d.wlog == nil {
 		return
 	}
+	//lint:ignore lockscope shutdown path: the final fsync+close runs after the batcher drained, with no traffic left to stall
 	if err := d.wlog.Close(); err != nil {
+		//lint:ignore lockscope error path: shutdown close failures log once
 		log.Printf("serve: dataset %q: wal close: %v", d.name, err)
 	}
 }
