@@ -1,0 +1,339 @@
+// Command ektelo-audit is the client side of the serve tier's budget
+// audit ledger: it fetches a dataset's signed tree head from a running
+// ektelo-serve (or ektelo-router) process, verifies the signature,
+// proves the new head is an append-only extension of the last head it
+// saw, and spot-checks leaf inclusion — all with the same RFC
+// 6962-style hashing the server uses, reimplemented on the client so a
+// tampered server cannot vouch for itself.
+//
+// Usage:
+//
+//	ektelo-audit -server http://localhost:8199 -dataset census \
+//	             [-state audit.census.json] [-samples 8]
+//
+// With -state the verifier keeps a trust-on-first-use pin: the first
+// run records the dataset's signing key, tree size and root; every
+// later run demands the same key, a size that has not shrunk, and a
+// consistency proof from the pinned root to the new one. The state
+// file is rewritten atomically only after every check passes, so an
+// interrupted run never advances the pin. Any failure — a forged
+// signature, a swapped key, a truncated tree, an edited leaf — exits
+// nonzero with the reason on stderr.
+//
+// Verification needs only the serve audit endpoints:
+//
+//	GET /v1/datasets/{name}/audit/checkpoint
+//	GET /v1/datasets/{name}/audit/proof?index=I&size=N
+//	GET /v1/datasets/{name}/audit/consistency?from=M&to=N
+package main
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/audit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// pinState is the TOFU cache persisted by -state: the last verified
+// tree head and the signing key it was verified against.
+type pinState struct {
+	Dataset   string `json:"dataset"`
+	Size      uint64 `json:"size"`
+	Root      string `json:"root"`
+	PublicKey string `json:"public_key"`
+}
+
+// run is main's testable body: parses args, performs one verification
+// pass, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ektelo-audit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://localhost:8199", "base URL of the serve process to audit")
+	dataset := fs.String("dataset", "", "dataset name to audit (required)")
+	statePath := fs.String("state", "", "TOFU pin file: cached key + last verified tree head (optional)")
+	samples := fs.Int("samples", 8, "inclusion spot-checks against the new head (0 disables)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dataset == "" {
+		fmt.Fprintln(stderr, "ektelo-audit: -dataset is required")
+		return 2
+	}
+	client := &http.Client{Timeout: *timeout}
+	v := &verifier{client: client, base: *server, dataset: *dataset}
+
+	prior, havePrior, err := loadPin(*statePath, *dataset)
+	if err != nil {
+		fmt.Fprintf(stderr, "ektelo-audit: %v\n", err)
+		return 1
+	}
+	ckpt, err := v.verify(prior, havePrior, *samples, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "ektelo-audit: %s: VERIFICATION FAILED: %v\n", *dataset, err)
+		return 1
+	}
+	if *statePath != "" {
+		pin := pinState{Dataset: *dataset, Size: ckpt.Size, Root: ckpt.Root, PublicKey: ckpt.PublicKey}
+		if err := savePin(*statePath, pin); err != nil {
+			fmt.Fprintf(stderr, "ektelo-audit: save state: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "%s: OK size=%d root=%s\n", *dataset, ckpt.Size, ckpt.Root)
+	return 0
+}
+
+// verifier performs one audit pass against a serve process.
+type verifier struct {
+	client  *http.Client
+	base    string
+	dataset string
+}
+
+// verify fetches the current signed tree head and checks it: the
+// signature (against the pinned key when one exists), append-only
+// consistency with the prior pinned head, and sampled leaf inclusion.
+func (v *verifier) verify(prior pinState, havePrior bool, samples int, stdout io.Writer) (audit.Checkpoint, error) {
+	var ckpt audit.Checkpoint
+	if err := v.getJSON("/audit/checkpoint", nil, &ckpt); err != nil {
+		return ckpt, err
+	}
+	if ckpt.Dataset != v.dataset {
+		return ckpt, fmt.Errorf("checkpoint names dataset %q", ckpt.Dataset)
+	}
+	root, err := audit.ParseHash(ckpt.Root)
+	if err != nil {
+		return ckpt, fmt.Errorf("checkpoint root: %w", err)
+	}
+	pub, err := hex.DecodeString(ckpt.PublicKey)
+	if err != nil || len(pub) != ed25519.PublicKeySize {
+		return ckpt, errors.New("checkpoint carries a malformed public key")
+	}
+	sig, err := hex.DecodeString(ckpt.Signature)
+	if err != nil {
+		return ckpt, errors.New("checkpoint carries a malformed signature")
+	}
+	if havePrior && prior.PublicKey != ckpt.PublicKey {
+		return ckpt, fmt.Errorf("signing key changed (pinned %s…, got %s…)", short(prior.PublicKey), short(ckpt.PublicKey))
+	}
+	if err := audit.VerifyCheckpoint(ed25519.PublicKey(pub), ckpt.Dataset, ckpt.Size, root, sig); err != nil {
+		return ckpt, fmt.Errorf("tree head signature: %w", err)
+	}
+	fmt.Fprintf(stdout, "%s: signed tree head verified (size %d, key %s…)\n", v.dataset, ckpt.Size, short(ckpt.PublicKey))
+
+	if havePrior {
+		if err := v.verifyConsistency(prior, ckpt, root); err != nil {
+			return ckpt, err
+		}
+		fmt.Fprintf(stdout, "%s: consistent extension of pinned head (size %d -> %d)\n", v.dataset, prior.Size, ckpt.Size)
+	}
+	if samples > 0 && ckpt.Size > 0 {
+		n, err := v.spotCheck(ckpt, root, samples)
+		if err != nil {
+			return ckpt, err
+		}
+		fmt.Fprintf(stdout, "%s: %d/%d sampled leaves proved included\n", v.dataset, n, n)
+	}
+	return ckpt, nil
+}
+
+// verifyConsistency proves the fetched head extends the pinned one.
+// A head smaller than the pin is history truncation and always fails.
+func (v *verifier) verifyConsistency(prior pinState, ckpt audit.Checkpoint, root [audit.HashSize]byte) error {
+	if ckpt.Size < prior.Size {
+		return fmt.Errorf("tree shrank: pinned size %d, server reports %d (history truncated)", prior.Size, ckpt.Size)
+	}
+	priorRoot, err := audit.ParseHash(prior.Root)
+	if err != nil {
+		return fmt.Errorf("pinned root: %w", err)
+	}
+	if ckpt.Size == prior.Size {
+		if ckpt.Root != prior.Root {
+			return fmt.Errorf("root changed at unchanged size %d (history rewritten)", ckpt.Size)
+		}
+		return nil
+	}
+	if prior.Size == 0 {
+		return nil // extending the empty tree is trivially consistent
+	}
+	var cons audit.ConsistencyResponse
+	q := url.Values{"from": {fmt.Sprint(prior.Size)}, "to": {fmt.Sprint(ckpt.Size)}}
+	if err := v.getJSON("/audit/consistency", q, &cons); err != nil {
+		return err
+	}
+	if cons.From != prior.Size || cons.To != ckpt.Size {
+		return fmt.Errorf("consistency proof answers sizes %d..%d, want %d..%d", cons.From, cons.To, prior.Size, ckpt.Size)
+	}
+	if cons.FromRoot != prior.Root {
+		return fmt.Errorf("server's root at pinned size %d is %s, pin says %s (history rewritten)", prior.Size, cons.FromRoot, prior.Root)
+	}
+	if cons.ToRoot != ckpt.Root {
+		return errors.New("consistency proof targets a different head than the signed checkpoint")
+	}
+	proof, err := audit.ParseHashes(cons.Proof)
+	if err != nil {
+		return fmt.Errorf("consistency proof: %w", err)
+	}
+	if err := audit.VerifyConsistency(prior.Size, ckpt.Size, priorRoot, root, proof); err != nil {
+		return fmt.Errorf("consistency %d..%d: %w", prior.Size, ckpt.Size, err)
+	}
+	return nil
+}
+
+// spotCheck proves inclusion for up to `samples` leaves spread evenly
+// across the tree (always including the first and the latest leaf).
+// It returns how many distinct indices were checked.
+func (v *verifier) spotCheck(ckpt audit.Checkpoint, root [audit.HashSize]byte, samples int) (int, error) {
+	indices := sampleIndices(ckpt.Size, samples)
+	for _, i := range indices {
+		var inc audit.InclusionResponse
+		q := url.Values{"index": {fmt.Sprint(i)}, "size": {fmt.Sprint(ckpt.Size)}}
+		if err := v.getJSON("/audit/proof", q, &inc); err != nil {
+			return 0, err
+		}
+		if inc.Index != i || inc.Size != ckpt.Size {
+			return 0, fmt.Errorf("inclusion proof answers leaf %d of %d, want %d of %d", inc.Index, inc.Size, i, ckpt.Size)
+		}
+		if inc.Root != ckpt.Root {
+			return 0, fmt.Errorf("inclusion proof for leaf %d targets a different head than the signed checkpoint", i)
+		}
+		leaf, err := audit.ParseHash(inc.Leaf)
+		if err != nil {
+			return 0, fmt.Errorf("leaf %d: %w", i, err)
+		}
+		proof, err := audit.ParseHashes(inc.Proof)
+		if err != nil {
+			return 0, fmt.Errorf("leaf %d proof: %w", i, err)
+		}
+		if err := audit.VerifyInclusion(leaf, i, ckpt.Size, proof, root); err != nil {
+			return 0, fmt.Errorf("leaf %d inclusion: %w", i, err)
+		}
+	}
+	return len(indices), nil
+}
+
+// sampleIndices picks up to k distinct indices in [0, size) spread
+// evenly, first and last included. Deterministic so failures reproduce.
+func sampleIndices(size uint64, k int) []uint64 {
+	if size == 0 || k <= 0 {
+		return nil
+	}
+	if uint64(k) >= size {
+		out := make([]uint64, size)
+		for i := range out {
+			out[i] = uint64(i)
+		}
+		return out
+	}
+	out := make([]uint64, 0, k)
+	for i := 0; i < k; i++ {
+		idx := uint64(i) * (size - 1) / uint64(k-1)
+		if n := len(out); n == 0 || out[n-1] != idx {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// getJSON fetches one audit endpoint for the verifier's dataset and
+// decodes the JSON body into v.
+func (v *verifier) getJSON(suffix string, q url.Values, out any) error {
+	u := v.base + "/v1/datasets/" + url.PathEscape(v.dataset) + suffix
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := v.client.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", suffix, resp.Status, firstLine(body))
+	}
+	return json.Unmarshal(body, out)
+}
+
+// loadPin reads the TOFU state file. A missing file is a clean first
+// run; a file pinned to a different dataset is an operator error.
+func loadPin(path, dataset string) (pinState, bool, error) {
+	if path == "" {
+		return pinState{}, false, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return pinState{}, false, nil
+	}
+	if err != nil {
+		return pinState{}, false, err
+	}
+	var pin pinState
+	if err := json.Unmarshal(data, &pin); err != nil {
+		return pinState{}, false, fmt.Errorf("state file %s: %w", path, err)
+	}
+	if pin.Dataset != dataset {
+		return pinState{}, false, fmt.Errorf("state file %s pins dataset %q, not %q", path, pin.Dataset, dataset)
+	}
+	return pin, true, nil
+}
+
+// savePin writes the state file atomically (temp file + rename) so a
+// crash mid-write never leaves a corrupt or half-advanced pin.
+func savePin(path string, pin pinState) error {
+	data, err := json.MarshalIndent(pin, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".audit-state-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func short(hexKey string) string {
+	if len(hexKey) > 8 {
+		return hexKey[:8]
+	}
+	return hexKey
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			b = b[:i]
+			break
+		}
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}

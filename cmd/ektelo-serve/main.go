@@ -9,7 +9,7 @@
 //	             [-solver lsmr|cgls|normal|nnls] [-state-dir DIR]
 //	             [-persist wal|snapshot] [-fsync always|interval|never]
 //	             [-fsync-interval 100ms] [-checkpoint-every 64]
-//	             [-shutdown-grace 10s]
+//	             [-repl-retain 128] [-shutdown-grace 10s]
 //	             [-plan-cache 256] [-preload name:kind:n:scale:seed:eps ...]
 //	             [-topology FILE -self NAME [-sync-interval 200ms]]
 //
@@ -44,6 +44,14 @@
 // workloads at one log generation are answered with zero solver and
 // panel work); -1 disables it.
 //
+// Every committed charge also appends a leaf to the dataset's
+// append-only Merkle audit ledger, served as ed25519-signed tree heads
+// with inclusion and consistency proofs under
+// /v1/datasets/{name}/audit/ — verify externally with `ektelo-audit`.
+// With -state-dir the signing key persists at <state-dir>/audit.key
+// (created 0600 on first start), so auditors' trust-on-first-use pins
+// survive restarts; without it the key is ephemeral per process.
+//
 // With -topology (a cluster topology file — see internal/cluster) and
 // -self (this process's backend name in it), the process joins a serve
 // cluster as a replica host: a follower manager polls the other
@@ -68,6 +76,9 @@
 //	GET  /v1/strategies                — measurement strategies
 //	GET  /v1/datasets                  — dataset summaries
 //	GET  /v1/datasets/{name}/wal       — replication-stream tail
+//	GET  /v1/datasets/{name}/audit/checkpoint   — signed ledger head
+//	GET  /v1/datasets/{name}/audit/proof        — charge inclusion proof
+//	GET  /v1/datasets/{name}/audit/consistency  — append-only proof
 //	POST /v1/datasets                  — create a synthetic dataset
 //	GET  /v1/datasets/{name}           — one dataset's summary
 //	GET  /v1/datasets/{name}/budget    — remaining-budget report
@@ -123,6 +134,7 @@ func main() {
 		"wal fsync policy: always (per record), interval (batched), never (OS page cache only)")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "max time between wal fsyncs under -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "compact the wal into a checkpoint every N records (0: default 64)")
+	replRetain := flag.Int("repl-retain", 0, "replication-stream frames kept in memory before trimming (0: default 2x checkpoint cadence, -1: unlimited)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "in-flight request deadline on SIGINT/SIGTERM")
 	planCache := flag.Int("plan-cache", 0, "workload-answer cache entries per dataset (0: default 256, -1: disabled)")
 	topologyPath := flag.String("topology", "", "cluster topology file; enables the follower manager (requires -self)")
@@ -157,6 +169,7 @@ func main() {
 		Fsync:           *fsync,
 		FsyncInterval:   *fsyncInterval,
 		CheckpointEvery: *checkpointEvery,
+		ReplRetain:      *replRetain,
 	})
 
 	for _, p := range preloads {

@@ -1,0 +1,396 @@
+// Package audit implements the tamper-evident budget ledger: an
+// append-only Merkle tree over privacy-charge entries with RFC
+// 6962-style hashing, inclusion and consistency proofs, and
+// ed25519-signed tree heads. The serve tier appends one leaf per
+// committed budget mutation; external auditors use the verifier half
+// of this package (VerifyInclusion, VerifyConsistency,
+// VerifyCheckpoint) to prove the epsilon trajectory was never
+// rewritten, without trusting the server beyond its public key.
+//
+// The tree uses the Certificate Transparency hash structure
+// (RFC 6962 §2.1): leaves are hashed with a 0x00 domain-separation
+// prefix, interior nodes with 0x01, and an n-leaf tree splits at the
+// largest power of two strictly less than n. Proof verification
+// follows the iterative algorithms of RFC 9162 §2.1.3.2 and §2.1.4.2
+// so it is independent of the prover's recursion and rejects
+// malformed or forged paths.
+package audit
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// HashSize is the byte length of every leaf, node, and root hash.
+const HashSize = sha256.Size
+
+// ErrProof is the sentinel wrapped by every proof-verification
+// failure, so callers can distinguish "the history is inconsistent"
+// from transport or encoding errors.
+var ErrProof = errors.New("audit: proof verification failed")
+
+// ErrRange is returned for proof or leaf requests outside the tree.
+var ErrRange = errors.New("audit: index outside tree")
+
+var (
+	leafPrefix = []byte{0x00}
+	nodePrefix = []byte{0x01}
+)
+
+// LeafHash computes the RFC 6962 leaf hash SHA-256(0x00 || payload).
+func LeafHash(payload []byte) [HashSize]byte {
+	h := sha256.New()
+	h.Write(leafPrefix)
+	h.Write(payload)
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// NodeHash computes the interior hash SHA-256(0x01 || left || right).
+func NodeHash(left, right [HashSize]byte) [HashSize]byte {
+	h := sha256.New()
+	h.Write(nodePrefix)
+	h.Write(left[:])
+	h.Write(right[:])
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Entry is the canonical leaf payload: one committed budget mutation.
+// Commitment is the hex SHA-256 of the canonical measurement-block
+// encoding for measurement commits, empty for budget-only charges
+// (failed plans that still spent epsilon, restored spend). The JSON
+// field order is fixed by the struct declaration, which Go's encoder
+// preserves, so Marshal is deterministic.
+type Entry struct {
+	Dataset    string  `json:"dataset"`
+	Gen        uint64  `json:"gen"`
+	Op         string  `json:"op"`
+	Session    int     `json:"session"`
+	Charges    int     `json:"charges"`
+	Eps        float64 `json:"eps"`
+	Consumed   float64 `json:"consumed"`
+	Commitment string  `json:"commitment"`
+}
+
+// Marshal returns the canonical byte encoding hashed into the leaf.
+func (e Entry) Marshal() []byte {
+	b, err := json.Marshal(e)
+	if err != nil {
+		// Entry has no unmarshalable fields; this cannot happen.
+		panic(fmt.Sprintf("audit: entry marshal: %v", err))
+	}
+	return b
+}
+
+// LeafHash returns the Merkle leaf hash of the entry.
+func (e Entry) LeafHash() [HashSize]byte { return LeafHash(e.Marshal()) }
+
+// Tree is an append-only Merkle tree over pre-hashed leaves. It
+// retains the full leaf-hash list (32 bytes per charge) so any
+// historical root, inclusion proof, or consistency proof can be
+// recomputed; budget ledgers are small (one leaf per epsilon charge),
+// so the linear storage is deliberate. Tree is not safe for
+// concurrent use; the serve tier guards it with the dataset mutex.
+type Tree struct {
+	leaves [][HashSize]byte
+}
+
+// NewTree returns an empty ledger.
+func NewTree() *Tree { return &Tree{} }
+
+// NewTreeFromLeaves rebuilds a ledger from a persisted leaf-hash
+// list, copying the slice so the caller's backing array stays free.
+func NewTreeFromLeaves(leaves [][HashSize]byte) *Tree {
+	t := &Tree{leaves: make([][HashSize]byte, len(leaves))}
+	copy(t.leaves, leaves)
+	return t
+}
+
+// Append adds a leaf hash and returns its index.
+func (t *Tree) Append(leaf [HashSize]byte) uint64 {
+	t.leaves = append(t.leaves, leaf)
+	return uint64(len(t.leaves) - 1)
+}
+
+// Size returns the number of leaves.
+func (t *Tree) Size() uint64 { return uint64(len(t.leaves)) }
+
+// Leaf returns the stored hash of leaf i.
+func (t *Tree) Leaf(i uint64) ([HashSize]byte, error) {
+	if i >= t.Size() {
+		return [HashSize]byte{}, fmt.Errorf("%w: leaf %d of %d", ErrRange, i, t.Size())
+	}
+	return t.leaves[i], nil
+}
+
+// LeafHashes returns a copy of the full leaf-hash list, oldest first.
+func (t *Tree) LeafHashes() [][HashSize]byte {
+	out := make([][HashSize]byte, len(t.leaves))
+	copy(out, t.leaves)
+	return out
+}
+
+// Root returns the Merkle tree head over all leaves. The empty tree
+// hashes to SHA-256 of the empty string, per RFC 6962.
+func (t *Tree) Root() [HashSize]byte { return subtreeHash(t.leaves) }
+
+// RootAt returns the tree head the ledger had when it held n leaves.
+func (t *Tree) RootAt(n uint64) ([HashSize]byte, error) {
+	if n > t.Size() {
+		return [HashSize]byte{}, fmt.Errorf("%w: root at %d of %d", ErrRange, n, t.Size())
+	}
+	return subtreeHash(t.leaves[:n]), nil
+}
+
+// subtreeHash computes MTH(D[n]) recursively: the split point is the
+// largest power of two strictly less than len(d).
+func subtreeHash(d [][HashSize]byte) [HashSize]byte {
+	switch len(d) {
+	case 0:
+		return sha256.Sum256(nil)
+	case 1:
+		return d[0]
+	}
+	k := splitPoint(uint64(len(d)))
+	return NodeHash(subtreeHash(d[:k]), subtreeHash(d[k:]))
+}
+
+// splitPoint returns the largest power of two strictly less than n
+// (n must be >= 2).
+func splitPoint(n uint64) uint64 {
+	k := uint64(1)
+	for k<<1 < n {
+		k <<= 1
+	}
+	return k
+}
+
+// InclusionProof returns the audit path for leaf index in the tree of
+// the given size (PATH(m, D[n]) of RFC 6962 §2.1.1).
+func (t *Tree) InclusionProof(index, size uint64) ([][HashSize]byte, error) {
+	if size > t.Size() {
+		return nil, fmt.Errorf("%w: proof in tree of %d, have %d", ErrRange, size, t.Size())
+	}
+	if index >= size {
+		return nil, fmt.Errorf("%w: leaf %d in tree of %d", ErrRange, index, size)
+	}
+	return inclusionPath(index, t.leaves[:size]), nil
+}
+
+func inclusionPath(m uint64, d [][HashSize]byte) [][HashSize]byte {
+	if len(d) <= 1 {
+		return nil
+	}
+	k := splitPoint(uint64(len(d)))
+	if m < k {
+		return append(inclusionPath(m, d[:k]), subtreeHash(d[k:]))
+	}
+	return append(inclusionPath(m-k, d[k:]), subtreeHash(d[:k]))
+}
+
+// ConsistencyProof returns the proof that the tree of size `second`
+// is an append-only extension of the tree of size `first`
+// (PROOF(m, D[n]) of RFC 6962 §2.1.2). first == second yields an
+// empty proof; first == 0 is rejected because every tree extends the
+// empty tree trivially.
+func (t *Tree) ConsistencyProof(first, second uint64) ([][HashSize]byte, error) {
+	if second > t.Size() {
+		return nil, fmt.Errorf("%w: consistency to %d, have %d", ErrRange, second, t.Size())
+	}
+	if first == 0 || first > second {
+		return nil, fmt.Errorf("%w: consistency %d -> %d", ErrRange, first, second)
+	}
+	if first == second {
+		return nil, nil
+	}
+	return subProof(first, t.leaves[:second], true), nil
+}
+
+func subProof(m uint64, d [][HashSize]byte, complete bool) [][HashSize]byte {
+	if m == uint64(len(d)) {
+		if complete {
+			return nil
+		}
+		return [][HashSize]byte{subtreeHash(d)}
+	}
+	k := splitPoint(uint64(len(d)))
+	if m <= k {
+		return append(subProof(m, d[:k], complete), subtreeHash(d[k:]))
+	}
+	return append(subProof(m-k, d[k:], false), subtreeHash(d[:k]))
+}
+
+// VerifyInclusion checks that leafHash is the leaf at `index` of the
+// tree with `size` leaves and head `root`, using the iterative
+// algorithm of RFC 9162 §2.1.3.2. It never panics on adversarial
+// input; any structural mismatch returns an error wrapping ErrProof.
+func VerifyInclusion(leafHash [HashSize]byte, index, size uint64, proof [][HashSize]byte, root [HashSize]byte) error {
+	if index >= size {
+		return fmt.Errorf("%w: leaf %d outside tree of %d", ErrProof, index, size)
+	}
+	fn, sn := index, size-1
+	r := leafHash
+	for _, p := range proof {
+		if sn == 0 {
+			return fmt.Errorf("%w: proof longer than path", ErrProof)
+		}
+		if fn&1 == 1 || fn == sn {
+			r = NodeHash(p, r)
+			if fn&1 == 0 {
+				for fn&1 == 0 && fn != 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			r = NodeHash(r, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 {
+		return fmt.Errorf("%w: proof shorter than path", ErrProof)
+	}
+	if r != root {
+		return fmt.Errorf("%w: computed root %x != %x", ErrProof, r, root)
+	}
+	return nil
+}
+
+// VerifyConsistency checks that the tree with head secondRoot at
+// `second` leaves is an append-only extension of the tree with head
+// firstRoot at `first` leaves, using the iterative algorithm of
+// RFC 9162 §2.1.4.2. An inconsistent pair of heads — history
+// rewritten, truncated, or forked — fails with ErrProof.
+func VerifyConsistency(first, second uint64, firstRoot, secondRoot [HashSize]byte, proof [][HashSize]byte) error {
+	if first == 0 || first > second {
+		return fmt.Errorf("%w: consistency %d -> %d", ErrProof, first, second)
+	}
+	if first == second {
+		if len(proof) != 0 {
+			return fmt.Errorf("%w: nonempty proof for equal sizes", ErrProof)
+		}
+		if firstRoot != secondRoot {
+			return fmt.Errorf("%w: equal sizes with different roots", ErrProof)
+		}
+		return nil
+	}
+	// When first is an exact power of two, the old root is itself a
+	// node of the new tree and the proof omits it; seed the walk with
+	// the claimed old root instead.
+	path := proof
+	if first&(first-1) == 0 {
+		path = append([][HashSize]byte{firstRoot}, proof...)
+	}
+	if len(path) == 0 {
+		return fmt.Errorf("%w: empty consistency proof", ErrProof)
+	}
+	fn, sn := first-1, second-1
+	for fn&1 == 1 {
+		fn >>= 1
+		sn >>= 1
+	}
+	fr, sr := path[0], path[0]
+	for _, c := range path[1:] {
+		if sn == 0 {
+			return fmt.Errorf("%w: proof longer than path", ErrProof)
+		}
+		if fn&1 == 1 || fn == sn {
+			fr = NodeHash(c, fr)
+			sr = NodeHash(c, sr)
+			if fn&1 == 0 {
+				for fn&1 == 0 && fn != 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			sr = NodeHash(sr, c)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 {
+		return fmt.Errorf("%w: proof shorter than path", ErrProof)
+	}
+	if fr != firstRoot {
+		return fmt.Errorf("%w: reconstructed old root %x != %x", ErrProof, fr, firstRoot)
+	}
+	if sr != secondRoot {
+		return fmt.Errorf("%w: reconstructed new root %x != %x", ErrProof, sr, secondRoot)
+	}
+	return nil
+}
+
+// checkpointHeader domain-separates checkpoint signatures from every
+// other ed25519 use; the trailing version admits future format bumps.
+const checkpointHeader = "ektelo-audit/v1"
+
+// CheckpointNote is the canonical byte string signed by the server for
+// a tree head: header, dataset, size, and hex root, newline-framed in
+// the style of a signed note so it is printable and unambiguous.
+func CheckpointNote(dataset string, size uint64, root [HashSize]byte) []byte {
+	return fmt.Appendf(nil, "%s\n%s\n%d\n%x\n", checkpointHeader, dataset, size, root)
+}
+
+// SignCheckpoint signs the canonical note for a tree head.
+func SignCheckpoint(priv ed25519.PrivateKey, dataset string, size uint64, root [HashSize]byte) []byte {
+	return ed25519.Sign(priv, CheckpointNote(dataset, size, root))
+}
+
+// VerifyCheckpoint checks a signed tree head against the server's
+// public key. It rejects malformed keys and signatures without
+// panicking, so it is safe on wire input.
+func VerifyCheckpoint(pub ed25519.PublicKey, dataset string, size uint64, root [HashSize]byte, sig []byte) error {
+	if len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: public key is %d bytes, want %d", ErrProof, len(pub), ed25519.PublicKeySize)
+	}
+	if !ed25519.Verify(pub, CheckpointNote(dataset, size, root), sig) {
+		return fmt.Errorf("%w: checkpoint signature invalid", ErrProof)
+	}
+	return nil
+}
+
+// ParseHash decodes a hex-encoded hash, rejecting wrong lengths.
+func ParseHash(s string) ([HashSize]byte, error) {
+	var out [HashSize]byte
+	if len(s) != hex.EncodedLen(HashSize) {
+		return out, fmt.Errorf("audit: hash %q has length %d, want %d", s, len(s), hex.EncodedLen(HashSize))
+	}
+	if _, err := hex.Decode(out[:], []byte(s)); err != nil {
+		return out, fmt.Errorf("audit: hash %q: %v", s, err)
+	}
+	return out, nil
+}
+
+// FormatHash hex-encodes a hash for wire and file formats.
+func FormatHash(h [HashSize]byte) string { return hex.EncodeToString(h[:]) }
+
+// ParseHashes decodes a list of hex leaf hashes (oldest first).
+func ParseHashes(ss []string) ([][HashSize]byte, error) {
+	out := make([][HashSize]byte, 0, len(ss))
+	for _, s := range ss {
+		h, err := ParseHash(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+// FormatHashes hex-encodes a list of hashes.
+func FormatHashes(hs [][HashSize]byte) []string {
+	out := make([]string, 0, len(hs))
+	for _, h := range hs {
+		out = append(out, FormatHash(h))
+	}
+	return out
+}

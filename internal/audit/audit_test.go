@@ -1,0 +1,291 @@
+package audit
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// testLeaves builds n distinct leaf payloads and their hashes.
+func testLeaves(n int) ([][]byte, [][HashSize]byte) {
+	payloads := make([][]byte, n)
+	hashes := make([][HashSize]byte, n)
+	for i := range payloads {
+		payloads[i] = fmt.Appendf(nil, "leaf-%d", i)
+		hashes[i] = LeafHash(payloads[i])
+	}
+	return payloads, hashes
+}
+
+// TestRFC6962Vectors pins the hash structure against the published
+// RFC 6962 test values (the empty root and the domain-separated leaf
+// hash of the empty string).
+func TestRFC6962Vectors(t *testing.T) {
+	empty := NewTree().Root()
+	wantEmpty := "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+	if FormatHash(empty) != wantEmpty {
+		t.Errorf("empty root = %s, want %s", FormatHash(empty), wantEmpty)
+	}
+	leaf := LeafHash(nil)
+	wantLeaf := "6e340b9cffb37a989ca544e6bb780a2c78901d3fb33738768511a30617afa01d"
+	if FormatHash(leaf) != wantLeaf {
+		t.Errorf("leaf hash of empty payload = %s, want %s", FormatHash(leaf), wantLeaf)
+	}
+}
+
+// TestInclusionExhaustive proves every (index, size) inclusion proof
+// up to 64 leaves verifies against the historical root, and fails
+// against any other leaf, index, or root.
+func TestInclusionExhaustive(t *testing.T) {
+	const maxN = 64
+	_, hashes := testLeaves(maxN)
+	tree := NewTreeFromLeaves(hashes)
+	for size := uint64(1); size <= maxN; size++ {
+		root, err := tree.RootAt(size)
+		if err != nil {
+			t.Fatalf("RootAt(%d): %v", size, err)
+		}
+		for index := uint64(0); index < size; index++ {
+			proof, err := tree.InclusionProof(index, size)
+			if err != nil {
+				t.Fatalf("InclusionProof(%d, %d): %v", index, size, err)
+			}
+			if err := VerifyInclusion(hashes[index], index, size, proof, root); err != nil {
+				t.Fatalf("VerifyInclusion(%d, %d): %v", index, size, err)
+			}
+			// Wrong leaf content must fail.
+			if err := VerifyInclusion(LeafHash([]byte("forged")), index, size, proof, root); err == nil {
+				t.Fatalf("forged leaf verified at (%d, %d)", index, size)
+			}
+			// Wrong index must fail (when another index exists).
+			if size > 1 {
+				other := (index + 1) % size
+				if err := VerifyInclusion(hashes[index], other, size, proof, root); err == nil {
+					t.Fatalf("proof for index %d verified at index %d (size %d)", index, other, size)
+				}
+			}
+			// Wrong root must fail.
+			bad := root
+			bad[0] ^= 0x80
+			if err := VerifyInclusion(hashes[index], index, size, proof, bad); err == nil {
+				t.Fatalf("proof verified against corrupted root at (%d, %d)", index, size)
+			}
+			// Truncated and extended proofs must fail.
+			if len(proof) > 0 {
+				if err := VerifyInclusion(hashes[index], index, size, proof[:len(proof)-1], root); err == nil {
+					t.Fatalf("truncated proof verified at (%d, %d)", index, size)
+				}
+			}
+			extended := append(append([][HashSize]byte{}, proof...), sha256.Sum256([]byte("extra")))
+			if err := VerifyInclusion(hashes[index], index, size, extended, root); err == nil {
+				t.Fatalf("extended proof verified at (%d, %d)", index, size)
+			}
+		}
+	}
+}
+
+// TestConsistencyExhaustive proves every (first, second) consistency
+// proof up to 64 leaves verifies against the two historical roots,
+// and fails when either root is replaced — i.e. rewriting any prefix
+// of the ledger is detected.
+func TestConsistencyExhaustive(t *testing.T) {
+	const maxN = 64
+	_, hashes := testLeaves(maxN)
+	tree := NewTreeFromLeaves(hashes)
+	for second := uint64(1); second <= maxN; second++ {
+		secondRoot, _ := tree.RootAt(second)
+		for first := uint64(1); first <= second; first++ {
+			firstRoot, _ := tree.RootAt(first)
+			proof, err := tree.ConsistencyProof(first, second)
+			if err != nil {
+				t.Fatalf("ConsistencyProof(%d, %d): %v", first, second, err)
+			}
+			if err := VerifyConsistency(first, second, firstRoot, secondRoot, proof); err != nil {
+				t.Fatalf("VerifyConsistency(%d, %d): %v", first, second, err)
+			}
+			// A rewritten prefix: the old root no longer matches.
+			badOld := firstRoot
+			badOld[7] ^= 0x01
+			if err := VerifyConsistency(first, second, badOld, secondRoot, proof); err == nil {
+				t.Fatalf("consistency verified with rewritten old root (%d, %d)", first, second)
+			}
+			badNew := secondRoot
+			badNew[31] ^= 0x01
+			if err := VerifyConsistency(first, second, firstRoot, badNew, proof); err == nil {
+				t.Fatalf("consistency verified with rewritten new root (%d, %d)", first, second)
+			}
+		}
+	}
+}
+
+// TestConsistencyForkDetection builds two ledgers sharing a prefix
+// and diverging after it; a consistency proof from one branch must
+// not verify the other branch's head.
+func TestConsistencyForkDetection(t *testing.T) {
+	_, hashes := testLeaves(16)
+	honest := NewTreeFromLeaves(hashes)
+	forkedLeaves := append([][HashSize]byte{}, hashes[:10]...)
+	forkedLeaves = append(forkedLeaves, LeafHash([]byte("rewrite-10")))
+	for i := 11; i < 16; i++ {
+		forkedLeaves = append(forkedLeaves, hashes[i])
+	}
+	forked := NewTreeFromLeaves(forkedLeaves)
+
+	oldRoot, _ := honest.RootAt(12)
+	proof, err := forked.ConsistencyProof(12, 16)
+	if err != nil {
+		t.Fatalf("ConsistencyProof: %v", err)
+	}
+	if err := VerifyConsistency(12, 16, oldRoot, forked.Root(), proof); err == nil {
+		t.Fatal("forked ledger passed consistency against honest checkpoint")
+	}
+}
+
+// TestProofRangeErrors pins the error surface for out-of-range
+// requests on both the prover and verifier sides.
+func TestProofRangeErrors(t *testing.T) {
+	_, hashes := testLeaves(8)
+	tree := NewTreeFromLeaves(hashes)
+	if _, err := tree.InclusionProof(8, 8); !errors.Is(err, ErrRange) {
+		t.Errorf("InclusionProof(8, 8) err = %v, want ErrRange", err)
+	}
+	if _, err := tree.InclusionProof(0, 9); !errors.Is(err, ErrRange) {
+		t.Errorf("InclusionProof(0, 9) err = %v, want ErrRange", err)
+	}
+	if _, err := tree.ConsistencyProof(0, 4); !errors.Is(err, ErrRange) {
+		t.Errorf("ConsistencyProof(0, 4) err = %v, want ErrRange", err)
+	}
+	if _, err := tree.ConsistencyProof(5, 4); !errors.Is(err, ErrRange) {
+		t.Errorf("ConsistencyProof(5, 4) err = %v, want ErrRange", err)
+	}
+	if _, err := tree.RootAt(9); !errors.Is(err, ErrRange) {
+		t.Errorf("RootAt(9) err = %v, want ErrRange", err)
+	}
+	if _, err := tree.Leaf(8); !errors.Is(err, ErrRange) {
+		t.Errorf("Leaf(8) err = %v, want ErrRange", err)
+	}
+	if err := VerifyInclusion(hashes[0], 3, 3, nil, tree.Root()); !errors.Is(err, ErrProof) {
+		t.Errorf("VerifyInclusion index==size err = %v, want ErrProof", err)
+	}
+	if err := VerifyConsistency(0, 3, tree.Root(), tree.Root(), nil); !errors.Is(err, ErrProof) {
+		t.Errorf("VerifyConsistency from 0 err = %v, want ErrProof", err)
+	}
+}
+
+// TestEntryDeterminism checks the canonical entry encoding is stable
+// and sensitive to every field.
+func TestEntryDeterminism(t *testing.T) {
+	e := Entry{Dataset: "taxi", Gen: 3, Op: "plan:HB", Session: 7, Charges: 2, Eps: 0.5, Consumed: 1.25, Commitment: "ab"}
+	if got, want := e.LeafHash(), e.LeafHash(); got != want {
+		t.Fatal("entry leaf hash not deterministic")
+	}
+	base := e.LeafHash()
+	variants := []Entry{
+		{Dataset: "taxi2", Gen: 3, Op: "plan:HB", Session: 7, Charges: 2, Eps: 0.5, Consumed: 1.25, Commitment: "ab"},
+		{Dataset: "taxi", Gen: 4, Op: "plan:HB", Session: 7, Charges: 2, Eps: 0.5, Consumed: 1.25, Commitment: "ab"},
+		{Dataset: "taxi", Gen: 3, Op: "plan:DAWA", Session: 7, Charges: 2, Eps: 0.5, Consumed: 1.25, Commitment: "ab"},
+		{Dataset: "taxi", Gen: 3, Op: "plan:HB", Session: 8, Charges: 2, Eps: 0.5, Consumed: 1.25, Commitment: "ab"},
+		{Dataset: "taxi", Gen: 3, Op: "plan:HB", Session: 7, Charges: 3, Eps: 0.5, Consumed: 1.25, Commitment: "ab"},
+		{Dataset: "taxi", Gen: 3, Op: "plan:HB", Session: 7, Charges: 2, Eps: 0.75, Consumed: 1.25, Commitment: "ab"},
+		{Dataset: "taxi", Gen: 3, Op: "plan:HB", Session: 7, Charges: 2, Eps: 0.5, Consumed: 1.5, Commitment: "ab"},
+		{Dataset: "taxi", Gen: 3, Op: "plan:HB", Session: 7, Charges: 2, Eps: 0.5, Consumed: 1.25, Commitment: "cd"},
+	}
+	for i, v := range variants {
+		if v.LeafHash() == base {
+			t.Errorf("variant %d collides with base entry", i)
+		}
+	}
+}
+
+// TestCheckpointSignature round-trips a signed tree head and rejects
+// forgeries: wrong key, wrong dataset, wrong size, wrong root,
+// truncated signature.
+func TestCheckpointSignature(t *testing.T) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hashes := testLeaves(5)
+	tree := NewTreeFromLeaves(hashes)
+	root := tree.Root()
+	sig := SignCheckpoint(priv, "taxi", 5, root)
+	if err := VerifyCheckpoint(pub, "taxi", 5, root, sig); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+	otherPub, _, _ := ed25519.GenerateKey(rand.Reader)
+	if err := VerifyCheckpoint(otherPub, "taxi", 5, root, sig); err == nil {
+		t.Error("checkpoint verified under wrong key")
+	}
+	if err := VerifyCheckpoint(pub, "census", 5, root, sig); err == nil {
+		t.Error("checkpoint verified for wrong dataset")
+	}
+	if err := VerifyCheckpoint(pub, "taxi", 6, root, sig); err == nil {
+		t.Error("checkpoint verified for wrong size")
+	}
+	bad := root
+	bad[0] ^= 1
+	if err := VerifyCheckpoint(pub, "taxi", 5, bad, sig); err == nil {
+		t.Error("checkpoint verified for wrong root")
+	}
+	if err := VerifyCheckpoint(pub, "taxi", 5, root, sig[:32]); err == nil {
+		t.Error("truncated signature verified")
+	}
+	if err := VerifyCheckpoint(pub[:16], "taxi", 5, root, sig); err == nil {
+		t.Error("short public key accepted")
+	}
+}
+
+// TestHashCodec round-trips the hex helpers and rejects junk.
+func TestHashCodec(t *testing.T) {
+	h := sha256.Sum256([]byte("x"))
+	got, err := ParseHash(FormatHash(h))
+	if err != nil || got != h {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if _, err := ParseHash("abc"); err == nil {
+		t.Error("short hash accepted")
+	}
+	if _, err := ParseHash(string(make([]byte, 64))); err == nil {
+		t.Error("non-hex hash accepted")
+	}
+	hs := [][HashSize]byte{sha256.Sum256([]byte("a")), sha256.Sum256([]byte("b"))}
+	round, err := ParseHashes(FormatHashes(hs))
+	if err != nil || len(round) != 2 || round[0] != hs[0] || round[1] != hs[1] {
+		t.Fatalf("hash list round trip failed: %v", err)
+	}
+	if _, err := ParseHashes([]string{"zz"}); err == nil {
+		t.Error("bad hash list accepted")
+	}
+}
+
+// TestAppendIsIncremental checks Append indexes and that RootAt(n)
+// over a grown tree equals Root of the prefix tree (append-only
+// semantics the consistency proofs depend on).
+func TestAppendIsIncremental(t *testing.T) {
+	_, hashes := testLeaves(20)
+	grown := NewTree()
+	for i, h := range hashes {
+		if idx := grown.Append(h); idx != uint64(i) {
+			t.Fatalf("Append returned %d, want %d", idx, i)
+		}
+		prefix := NewTreeFromLeaves(hashes[:i+1])
+		if grown.Root() != prefix.Root() {
+			t.Fatalf("root mismatch at size %d", i+1)
+		}
+		at, err := grown.RootAt(uint64(i + 1))
+		if err != nil || at != prefix.Root() {
+			t.Fatalf("RootAt(%d) mismatch: %v", i+1, err)
+		}
+	}
+	if got, err := grown.Leaf(3); err != nil || got != hashes[3] {
+		t.Fatalf("Leaf(3) = %x, %v", got, err)
+	}
+	cp := grown.LeafHashes()
+	cp[0] = LeafHash([]byte("mutate"))
+	if grown.Root() != NewTreeFromLeaves(hashes).Root() {
+		t.Fatal("LeafHashes returned aliased storage")
+	}
+}

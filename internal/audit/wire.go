@@ -1,0 +1,41 @@
+package audit
+
+// Wire types shared by the serve tier's audit endpoints and the
+// client-side verifier (cmd/ektelo-audit). All hashes, signatures and
+// keys travel hex-encoded; sizes and indices are leaf counts in the
+// RFC 6962 sense. Defining them here keeps the verifier free of any
+// dependency on the server packages.
+
+// Checkpoint is the GET .../audit/checkpoint response: a signed tree
+// head. Signature is an ed25519 signature over CheckpointNote(
+// Dataset, Size, root), verifiable with PublicKey.
+type Checkpoint struct {
+	Dataset    string `json:"dataset"`
+	Size       uint64 `json:"size"`
+	Root       string `json:"root"`
+	Generation uint64 `json:"generation"`
+	Signature  string `json:"signature"`
+	PublicKey  string `json:"public_key"`
+}
+
+// InclusionResponse is the GET .../audit/proof response: the leaf at
+// Index, its inclusion proof against the tree head at Size, and that
+// head's root.
+type InclusionResponse struct {
+	Index uint64   `json:"index"`
+	Size  uint64   `json:"size"`
+	Leaf  string   `json:"leaf"`
+	Proof []string `json:"proof"`
+	Root  string   `json:"root"`
+}
+
+// ConsistencyResponse is the GET .../audit/consistency response: a
+// proof that the tree at size To is an append-only extension of the
+// tree at size From.
+type ConsistencyResponse struct {
+	From     uint64   `json:"from"`
+	To       uint64   `json:"to"`
+	FromRoot string   `json:"from_root"`
+	ToRoot   string   `json:"to_root"`
+	Proof    []string `json:"proof"`
+}

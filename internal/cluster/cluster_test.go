@@ -224,6 +224,17 @@ func TestClusterReplicationBitIdentity(t *testing.T) {
 		if sum.Consumed != 2 {
 			t.Fatalf("replica %q mirrors consumed %g, want 2", b.Name, sum.Consumed)
 		}
+		// The replica rebuilt the audit ledger from shipped frames alone;
+		// at equal generation its root must equal the primary's.
+		pd, _ := c.servers[primary].Dataset(ds)
+		psum := pd.Summary()
+		if psum.AuditSize == 0 || sum.AuditSize != psum.AuditSize || sum.AuditRoot != psum.AuditRoot {
+			t.Fatalf("replica %q audit ledger %d/%s, primary %d/%s",
+				b.Name, sum.AuditSize, sum.AuditRoot, psum.AuditSize, psum.AuditRoot)
+		}
+		if err := d.ReplicationError(); err != nil {
+			t.Fatalf("replica %q latched replication error: %v", b.Name, err)
+		}
 		got := queryBackend(t, c.listen[b.Name].URL, ds)
 		if !sameBits(got.Answers, want.Answers) {
 			t.Fatalf("replica %q answers differ:\nprimary %v\nreplica %v", b.Name, want.Answers, got.Answers)

@@ -169,6 +169,18 @@ func (m *Manager) syncDataset(primary Backend, ds serve.DatasetStatus) {
 	}
 	if err := m.tailOnce(primary, d); err != nil {
 		log.Printf("cluster: %s: tail %q from %s: %v", m.self.Name, ds.Name, primary.Name, err)
+		return
+	}
+	// Out-of-band ledger convergence check, complementing the in-band
+	// audit-checkpoint frames the stream itself carries: at equal
+	// measurement generation the follower's independently rebuilt audit
+	// root must equal the root the primary reported in /v1/status. A
+	// mismatch latches the sticky replication error the status endpoint
+	// surfaces.
+	if sum := d.Summary(); ds.AuditRoot != "" && sum.Generation == ds.Generation && sum.AuditRoot != ds.AuditRoot {
+		d.MarkReplicationDivergence(ds.AuditRoot, sum.Generation)
+		log.Printf("cluster: %s: dataset %q: audit root %s diverges from primary %s at generation %d",
+			m.self.Name, ds.Name, sum.AuditRoot, ds.AuditRoot, sum.Generation)
 	}
 }
 

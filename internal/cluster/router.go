@@ -147,6 +147,12 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}", r.handleRead)
 	mux.HandleFunc("GET /v1/datasets/{name}/budget", r.handleRead)
 	mux.HandleFunc("GET /v1/datasets/{name}/wal", r.handleWrite) // the stream is per-process; only the primary's is canonical
+	// Audit endpoints route to the primary like the stream: its signed
+	// checkpoints are the ledger of record (a replica's ledger converges
+	// to the same root, but its checkpoints are signed by its own key).
+	mux.HandleFunc("GET /v1/datasets/{name}/audit/checkpoint", r.handleWrite)
+	mux.HandleFunc("GET /v1/datasets/{name}/audit/proof", r.handleWrite)
+	mux.HandleFunc("GET /v1/datasets/{name}/audit/consistency", r.handleWrite)
 	mux.HandleFunc("POST /v1/datasets/{name}/query", r.handleRead)
 	mux.HandleFunc("POST /v1/datasets/{name}/measure", r.handleWrite)
 	mux.HandleFunc("POST /v1/datasets/{name}/plan", r.handleWrite)

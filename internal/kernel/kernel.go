@@ -327,6 +327,7 @@ func (k *Kernel) charge(s *Session, id int, eps float64, kind string) bool {
 		return false
 	}
 	s.consumed += k.nodes[0].budget - before
+	s.charges++
 	k.history = append(k.history, QueryRecord{Source: id, Epsilon: eps, Kind: kind})
 	return true
 }
@@ -353,6 +354,7 @@ func (k *Kernel) RestoreConsumed(eps float64) error {
 	}
 	k.nodes[0].budget += eps
 	k.rootSess.consumed += eps
+	k.rootSess.charges++
 	k.history = append(k.history, QueryRecord{Source: 0, Epsilon: eps, Kind: "Restore"})
 	return nil
 }

@@ -29,6 +29,7 @@ type Session struct {
 	id       int
 	rng      *rand.Rand
 	consumed float64 // root-budget delta from this session's queries; guarded by k.mu
+	charges  int     // count of committed budget mutations; guarded by k.mu
 }
 
 // kernelSeq distinguishes the session-seed streams of kernels created
@@ -92,6 +93,16 @@ func (s *Session) Consumed() float64 {
 	s.k.mu.Lock()
 	defer s.k.mu.Unlock()
 	return s.consumed
+}
+
+// Charges returns the number of budget mutations (successful charges,
+// including replayed Restore spend on the root session) committed by
+// this session. The audit ledger uses it to record how many kernel
+// charges a single committed operator collapsed into one leaf.
+func (s *Session) Charges() int {
+	s.k.mu.Lock()
+	defer s.k.mu.Unlock()
+	return s.charges
 }
 
 // Session returns the session a handle is bound to.

@@ -48,6 +48,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}", s.withDataset(s.handleSummary))
 	mux.HandleFunc("GET /v1/datasets/{name}/budget", s.withDataset(s.handleBudget))
 	mux.HandleFunc("GET /v1/datasets/{name}/wal", s.withDataset(s.handleWALTail))
+	mux.HandleFunc("GET /v1/datasets/{name}/audit/checkpoint", s.withDataset(s.handleAuditCheckpoint))
+	mux.HandleFunc("GET /v1/datasets/{name}/audit/proof", s.withDataset(s.handleAuditProof))
+	mux.HandleFunc("GET /v1/datasets/{name}/audit/consistency", s.withDataset(s.handleAuditConsistency))
 	mux.HandleFunc("POST /v1/datasets/{name}/measure", s.withDataset(s.handleMeasure))
 	mux.HandleFunc("POST /v1/datasets/{name}/plan", s.withDataset(s.handlePlan))
 	mux.HandleFunc("POST /v1/datasets/{name}/query", s.withDataset(s.handleQuery))
@@ -254,16 +257,18 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request, d *Datase
 		s.runPlan(w, d, planRequest{Plan: req.Plan, Eps: req.Eps, Params: req.Params})
 		return
 	}
-	rows, err := d.Measure(req.Strategy, req.Eps)
+	rows, rcpt, err := d.MeasureAudited(req.Strategy, req.Eps)
 	if err != nil {
 		writeErr(w, clientErr(err))
 		return
 	}
 	sum := d.Summary()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"rows":      rows,
-		"consumed":  sum.Consumed,
-		"remaining": sum.Remaining,
+		"rows":        rows,
+		"consumed":    sum.Consumed,
+		"remaining":   sum.Remaining,
+		"audit_index": rcpt.Index,
+		"audit_leaf":  rcpt.Leaf,
 	})
 }
 

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/audit"
 	"repro/internal/mat"
 	"repro/internal/wal"
 )
@@ -36,11 +37,11 @@ import (
 // partial log.
 
 // snapshotVersion is the current on-disk format version. Loaders accept
-// the current version and version 1 (which simply lacks the optional
-// warm-start panel) and reject anything else outright: guessing at a
-// skewed layout risks loading a wrong measurement log, which is worse
-// than refusing to start.
-const snapshotVersion = 2
+// the current version and versions 1–2 (1 lacks the optional warm-start
+// panel, 2 the optional audit ledger) and reject anything else
+// outright: guessing at a skewed layout risks loading a wrong
+// measurement log, which is worse than refusing to start.
+const snapshotVersion = 3
 
 // maxSnapshotDomain bounds the domain (and so every matrix dimension) a
 // loader will accept, so hostile or corrupted snapshots cannot force
@@ -83,6 +84,20 @@ type snapshot struct {
 	// the measurement log regardless.
 	Panel  []float64 `json:"panel,omitempty"`
 	PanelK int       `json:"panel_k,omitempty"`
+	// Audit is the audit ledger at snapshot time (version ≥ 3, omitted
+	// while the ledger is empty). Unlike the panel it IS authoritative:
+	// a checkpoint that compacted leaf-bearing log records away must
+	// carry their leaves, or replay could not reproduce later persisted
+	// checkpoint roots.
+	Audit *snapshotAudit `json:"audit,omitempty"`
+}
+
+// snapshotAudit is the persisted audit ledger: every leaf hash (oldest
+// first) plus the root they must recompute to.
+type snapshotAudit struct {
+	Size   uint64   `json:"size"`
+	Root   string   `json:"root"`
+	Leaves []string `json:"leaves"`
 }
 
 // canonicalMatrix re-represents a measurement matrix in the snapshot
@@ -241,7 +256,7 @@ func loadSnapshot(data []byte) (*snapshot, []measBlock, error) {
 	if dec.More() {
 		return nil, nil, fmt.Errorf("%w: trailing data after snapshot object", ErrSnapshot)
 	}
-	if s.Version != snapshotVersion && s.Version != 1 {
+	if s.Version < 1 || s.Version > snapshotVersion {
 		return nil, nil, fmt.Errorf("%w: version %d, loader supports %d", ErrSnapshot, s.Version, snapshotVersion)
 	}
 	if s.Domain <= 0 || s.Domain > maxSnapshotDomain {
@@ -265,6 +280,26 @@ func loadSnapshot(data []byte) (*snapshot, []measBlock, error) {
 		}
 	} else if s.PanelK != 0 {
 		return nil, nil, fmt.Errorf("%w: panel_k %d without a panel", ErrSnapshot, s.PanelK)
+	}
+	if s.Audit != nil {
+		// The persisted root is the tamper-evidence anchor: the leaves must
+		// recompute exactly to it, or the snapshot's ledger was edited.
+		leaves, err := audit.ParseHashes(s.Audit.Leaves)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: audit section: %v", ErrSnapshot, err)
+		}
+		if uint64(len(leaves)) != s.Audit.Size {
+			return nil, nil, fmt.Errorf("%w: audit section carries %d leaves for size %d",
+				ErrSnapshot, len(leaves), s.Audit.Size)
+		}
+		root, err := audit.ParseHash(s.Audit.Root)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: audit section: %v", ErrSnapshot, err)
+		}
+		if got := audit.NewTreeFromLeaves(leaves).Root(); got != root {
+			return nil, nil, fmt.Errorf("%w: audit leaves recompute to root %s, snapshot claims %s",
+				ErrSnapshot, audit.FormatHash(got), s.Audit.Root)
+		}
 	}
 	blocks := make([]measBlock, len(s.Blocks))
 	for i, b := range s.Blocks {
@@ -302,6 +337,13 @@ func (d *Dataset) encodeSnapshotLocked() ([]byte, error) {
 	}
 	if d.panel != nil {
 		s.Panel, s.PanelK = d.panel, d.k
+	}
+	if size := d.audit.Size(); size > 0 {
+		s.Audit = &snapshotAudit{
+			Size:   size,
+			Root:   audit.FormatHash(d.audit.Root()),
+			Leaves: audit.FormatHashes(d.audit.LeafHashes()),
+		}
 	}
 	data, err := json.Marshal(&s)
 	if err != nil {
@@ -382,6 +424,33 @@ func (d *Dataset) loadState() error {
 		d.panel = append([]float64(nil), s.Panel...)
 		d.k = s.PanelK
 	}
+	if err := d.restoreAuditFromSnapshot(s); err != nil {
+		return fmt.Errorf("snapshot for %q: %w", d.name, err)
+	}
 	d.stale = true
+	return nil
+}
+
+// restoreAuditFromSnapshot installs a validated snapshot's audit
+// ledger and raises the leaf-derivation watermarks to the snapshot
+// state: every budget mutation at or below (Generation, Consumed) is
+// accounted for — by the restored leaves, or, for a legacy snapshot
+// without an audit section, by history that predates the ledger — so
+// replaying records the snapshot already covers stays leaf-neutral.
+// Runs during create, before the dataset is published.
+func (d *Dataset) restoreAuditFromSnapshot(s *snapshot) error {
+	if s.Audit != nil {
+		leaves, err := audit.ParseHashes(s.Audit.Leaves)
+		if err != nil {
+			return err // unreachable after loadSnapshot validation
+		}
+		d.audit = audit.NewTreeFromLeaves(leaves)
+	}
+	if s.Generation > d.auditGen {
+		d.auditGen = s.Generation
+	}
+	if s.Consumed > d.auditConsumed {
+		d.auditConsumed = s.Consumed
+	}
 	return nil
 }

@@ -216,7 +216,7 @@ func TestPersistRejectsCorruptSnapshot(t *testing.T) {
 		t.Fatal("truncated snapshot accepted")
 	}
 	if err := corrupt(t, func(b []byte) []byte {
-		return []byte(strings.Replace(string(b), `"version":2`, `"version":99`, 1))
+		return []byte(strings.Replace(string(b), `"version":3`, `"version":99`, 1))
 	}); err == nil {
 		t.Fatal("version-skewed snapshot accepted")
 	}

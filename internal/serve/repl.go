@@ -1,6 +1,8 @@
 package serve
 
 import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/wal"
 )
 
@@ -21,18 +24,29 @@ import (
 // The stream is the dataset's commit history in the WAL frame encoding
 // (wal.AppendFrame — length|type|payload|CRC32C, no file magic): a
 // dataset-create frame pinning the identity, then one
-// measurement-block frame per commit and a budget-restore frame per
-// failed-plan spend. Offsets are logical byte positions in this
-// stream, independent of the on-disk log — checkpoint compaction can
-// rewrite the physical file without moving a replica's position. The
-// stream is retained in memory; its size is the same order as the warm
-// measurement log the dataset already keeps resident, and it restarts
-// (with a fresh epoch, so followers resynchronize from offset zero)
-// when the process does. On a restart the stream is re-seeded from the
-// restored state as one create frame plus one combined
-// measurement-block frame — replay idempotence (generation-guarded
-// blocks, absolute budget values) makes the collapsed form apply
-// identically to the original commit-by-commit history.
+// measurement-block frame per commit, a budget-restore frame per
+// failed-plan spend, and an audit-checkpoint frame (the post-commit
+// ledger head — audit.go) after each. Offsets are logical byte
+// positions in this stream, independent of the on-disk log —
+// checkpoint compaction can rewrite the physical file without moving
+// a replica's position.
+//
+// The stream is retained in memory but NOT unboundedly: only the most
+// recent Config.ReplRetain frames are kept (trimReplLocked), so a
+// long-lived primary's memory — and the O(retained) copy each trim
+// performs under d.mu — stays bounded by the retention window rather
+// than growing with the commit history. repl.base is the logical
+// offset of the oldest retained byte; a follower tailing below it
+// gets ErrWALRange (416) and resynchronizes from offset zero, where
+// the primary serves a regenerated bootstrap stream (one create
+// frame, the full audit-ledger state, one collapsed full-history
+// measurement frame, and the closing audit checkpoint) whose `next`
+// offset is the live stream end — exactly the stream a process
+// restart seeds (with a fresh epoch, so followers resynchronize from
+// zero then too). Replay idempotence (generation-guarded blocks with
+// full-replace semantics for collapsed frames, absolute budget
+// values, audit watermarks) makes the bootstrap apply identically to
+// the original commit-by-commit history.
 //
 // # Followers
 //
@@ -85,51 +99,133 @@ type replState struct {
 	// only comparable within an epoch, and a follower that observes a new
 	// epoch restarts its tail from offset zero.
 	epoch uint64
-	// buf is the frame stream (wal.AppendFrame encoding, no magic).
+	// base is the logical offset of buf[0] — the trim floor. Offsets
+	// below it (except 0, which serves a regenerated bootstrap) have
+	// been trimmed away and fail with ErrWALRange.
+	base int64
+	// buf is the retained frame stream (wal.AppendFrame encoding, no
+	// magic), holding the stream's logical bytes [base, base+len(buf)).
 	buf []byte
+	// frames holds the logical start offset of every retained frame,
+	// ascending, so trimming can cut on frame boundaries.
+	frames []int64
 }
 
 var replEpochCounter atomic.Uint64
 
 // newReplEpoch returns a process-unique, restart-distinguishing epoch.
+// Epochs are drawn from crypto/rand: the previous clock-based scheme
+// (UnixNano + counter) could repeat an epoch across a restart on a
+// platform with coarse clocks or after a clock step backwards, letting
+// a follower keep a stale offset into a different stream. The
+// time+counter form survives only as the fallback if the random read
+// fails, which crypto/rand does not do on supported platforms.
 func newReplEpoch() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		if e := binary.LittleEndian.Uint64(b[:]); e != 0 {
+			return e
+		}
+	}
 	return uint64(time.Now().UnixNano()) + replEpochCounter.Add(1)
 }
 
-// appendReplLocked appends one frame to the replication stream. Caller
-// holds d.mu.
+// appendReplLocked appends one frame to the replication stream and
+// trims the retention window. Caller holds d.mu.
 func (d *Dataset) appendReplLocked(t wal.Type, payload []byte) {
+	d.repl.frames = append(d.repl.frames, d.repl.base+int64(len(d.repl.buf)))
 	d.repl.buf = wal.AppendFrame(d.repl.buf, t, payload)
+	d.trimReplLocked()
+}
+
+// trimReplLocked drops the oldest frames beyond Config.ReplRetain,
+// advancing the trim floor. The copy is O(retained bytes) — bounded by
+// the retention window, never by the commit history. Caller holds d.mu.
+func (d *Dataset) trimReplLocked() {
+	keep := d.cfg.ReplRetain
+	if keep <= 0 || len(d.repl.frames) <= keep {
+		return
+	}
+	cut := d.repl.frames[len(d.repl.frames)-keep]
+	// Fresh allocations release the old backing arrays; re-slicing would
+	// pin the full untrimmed buffer alive.
+	d.repl.buf = append([]byte(nil), d.repl.buf[cut-d.repl.base:]...)
+	d.repl.frames = append([]int64(nil), d.repl.frames[len(d.repl.frames)-keep:]...)
+	d.repl.base = cut
+}
+
+// bootstrapRecordsLocked builds the records that reproduce the
+// dataset's full current state on a follower starting from nothing:
+// the identity frame; then, once any budget was spent, the full
+// audit-ledger state (which also raises the follower's leaf-derivation
+// watermarks so the collapsed frame that follows stays leaf-neutral),
+// one collapsed full-history measurement frame (Full: apply replaces
+// rather than appends, so a resyncing follower cannot duplicate
+// blocks) or a budget-restore frame when budget was spent without
+// measurements surviving, and the closing audit checkpoint the
+// follower must reproduce. Shared by the restart seed (seedReplStream)
+// and the trimmed-stream bootstrap (WALTail at offset zero). Caller
+// holds d.mu (or owns the unpublished dataset).
+func (d *Dataset) bootstrapRecordsLocked() ([]wal.Record, error) {
+	fail := func(err error) ([]wal.Record, error) {
+		return nil, fmt.Errorf("serve: bootstrap stream for %q: %w", d.name, err)
+	}
+	payload, err := json.Marshal(&walCreate{Name: d.name, Domain: d.n, EpsTotal: d.kern.EpsTotal()})
+	if err != nil {
+		return fail(err)
+	}
+	recs := []wal.Record{{Type: wal.TypeDatasetCreate, Payload: payload}}
+	consumed := d.kern.Consumed()
+	if d.gen == 0 && consumed == 0 && d.audit.Size() == 0 {
+		return recs, nil
+	}
+	payload, err = json.Marshal(&walAuditState{
+		Size:     d.audit.Size(),
+		Gen:      d.gen,
+		Consumed: consumed,
+		Leaves:   audit.FormatHashes(d.audit.LeafHashes()),
+	})
+	if err != nil {
+		return fail(err)
+	}
+	recs = append(recs, wal.Record{Type: wal.TypeAuditState, Payload: payload})
+	if d.gen > 0 {
+		m := walMeas{Gen: d.gen, Consumed: consumed, Blocks: make([]snapshotBlock, len(d.blocks)), Full: true}
+		for i, b := range d.blocks {
+			m.Blocks[i] = encodeBlock(b)
+		}
+		if payload, err = json.Marshal(&m); err != nil {
+			return fail(err)
+		}
+		recs = append(recs, wal.Record{Type: wal.TypeMeasurementBlock, Payload: payload})
+	} else if consumed > 0 {
+		if payload, err = json.Marshal(&walBudget{Consumed: consumed}); err != nil {
+			return fail(err)
+		}
+		recs = append(recs, wal.Record{Type: wal.TypeBudgetRestore, Payload: payload})
+	}
+	payload, err = json.Marshal(&walAuditCkpt{Size: d.audit.Size(), Root: audit.FormatHash(d.audit.Root())})
+	if err != nil {
+		return fail(err)
+	}
+	recs = append(recs, wal.Record{Type: wal.TypeAuditCheckpoint, Payload: payload})
+	return recs, nil
 }
 
 // seedReplStream initializes the replication stream from the dataset's
-// (possibly restored) state: the create frame, then — when a restore
-// brought history back — one combined measurement-block frame carrying
-// every restored block at the restored generation, or a budget-restore
-// frame when budget was spent without measurements surviving. Called
-// once from addDataset before the dataset is published, so no lock is
-// needed; errors are impossible for the types marshaled here short of
-// running out of memory, and are treated as fatal to the create.
+// (possibly restored) state — the bootstrap records, from offset zero.
+// Called once from addDataset before the dataset is published, so no
+// lock is needed; errors are impossible for the types marshaled here
+// short of running out of memory, and are treated as fatal to the
+// create.
 func (d *Dataset) seedReplStream() error {
 	d.repl.epoch = newReplEpoch()
-	payload, err := json.Marshal(&walCreate{Name: d.name, Domain: d.n, EpsTotal: d.kern.EpsTotal()})
+	recs, err := d.bootstrapRecordsLocked()
 	if err != nil {
-		return fmt.Errorf("serve: seed replication stream for %q: %w", d.name, err)
+		return err
 	}
-	d.repl.buf = wal.AppendFrame(d.repl.buf, wal.TypeDatasetCreate, payload)
-	consumed := d.kern.Consumed()
-	if d.gen > 0 {
-		payload, err := d.encodeCommitLocked(d.blocks)
-		if err != nil {
-			return fmt.Errorf("serve: seed replication stream for %q: %w", d.name, err)
-		}
-		d.repl.buf = wal.AppendFrame(d.repl.buf, wal.TypeMeasurementBlock, payload)
-	} else if consumed > 0 {
-		payload, err := json.Marshal(&walBudget{Consumed: consumed})
-		if err != nil {
-			return fmt.Errorf("serve: seed replication stream for %q: %w", d.name, err)
-		}
-		d.repl.buf = wal.AppendFrame(d.repl.buf, wal.TypeBudgetRestore, payload)
+	for _, rec := range recs {
+		d.appendReplLocked(rec.Type, rec.Payload)
 	}
 	return nil
 }
@@ -138,18 +234,34 @@ func (d *Dataset) seedReplStream() error {
 // offset from to its current end, with the end offset, the stream
 // epoch and the measurement-log generation the returned bytes reach.
 // An empty data slice with next == from means the follower is caught
-// up. Offsets outside [0, len] fail with ErrWALRange (the follower
-// resynchronizes from zero — its offset belongs to an older epoch).
+// up. Offsets below the trim floor or beyond the end fail with
+// ErrWALRange (the follower resynchronizes from zero — its offset
+// belongs to an older epoch or to trimmed history) — except offset
+// zero itself, which is always servable: on a trimmed stream it
+// returns a regenerated bootstrap (see bootstrapRecordsLocked) whose
+// next offset jumps to the live end.
 func (d *Dataset) WALTail(from int64) (data []byte, next int64, epoch, gen uint64, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	n := int64(len(d.repl.buf))
-	if from < 0 || from > n {
-		return nil, n, d.repl.epoch, d.gen, fmt.Errorf("%w: offset %d outside [0,%d]", ErrWALRange, from, n)
+	end := d.repl.base + int64(len(d.repl.buf))
+	if from == 0 && d.repl.base > 0 {
+		recs, berr := d.bootstrapRecordsLocked()
+		if berr != nil {
+			return nil, end, d.repl.epoch, d.gen, berr
+		}
+		var buf []byte
+		for _, rec := range recs {
+			buf = wal.AppendFrame(buf, rec.Type, rec.Payload)
+		}
+		return buf, end, d.repl.epoch, d.gen, nil
+	}
+	if from < d.repl.base || from > end {
+		return nil, end, d.repl.epoch, d.gen,
+			fmt.Errorf("%w: offset %d outside [%d,%d]", ErrWALRange, from, d.repl.base, end)
 	}
 	// Copied: the caller releases d.mu before writing the response, and
 	// a later append may grow the buffer in place.
-	return append([]byte(nil), d.repl.buf[from:]...), n, d.repl.epoch, d.gen, nil
+	return append([]byte(nil), d.repl.buf[from-d.repl.base:]...), end, d.repl.epoch, d.gen, nil
 }
 
 // ReplState reports the stream's current (epoch, end offset,
@@ -157,7 +269,7 @@ func (d *Dataset) WALTail(from int64) (data []byte, next int64, epoch, gen uint6
 func (d *Dataset) ReplState() (epoch uint64, offset int64, gen uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.repl.epoch, int64(len(d.repl.buf)), d.gen
+	return d.repl.epoch, d.repl.base + int64(len(d.repl.buf)), d.gen
 }
 
 // IsFollower reports the dataset's role; Primary is the primary's
@@ -242,12 +354,20 @@ func (d *Dataset) applyReplRecord(rec wal.Record) (bool, error) {
 		}
 		d.stale = true
 		d.cache.invalidate()
-		if err := d.mirrorConsumedLocked(m.Consumed); err != nil {
+		if _, err := d.auditMeasLeafLocked(m); err != nil {
 			return true, err
 		}
+		// The mirror can fail (a shipped consumed above the replica's
+		// eps_total) AFTER the blocks landed above. The frame must still be
+		// recorded on the replica's own stream and local log: state changed,
+		// and dropping the frame here would fork this replica's history
+		// from the primary's — a restart or downstream follower would
+		// replay a log missing a generation it already holds. Record
+		// first, then report the mirror error.
+		merr := d.mirrorConsumedLocked(m.Consumed)
 		d.appendReplLocked(rec.Type, rec.Payload)
 		d.shipToLocalLogLocked(rec)
-		return true, nil
+		return true, merr
 	case wal.TypeBudgetRestore:
 		var b walBudget
 		if err := decodeStrict(rec.Payload, &b); err != nil {
@@ -263,9 +383,41 @@ func (d *Dataset) applyReplRecord(rec wal.Record) (bool, error) {
 		if b.Consumed <= before {
 			return false, nil
 		}
+		d.auditSpendLeafLocked(b)
 		d.appendReplLocked(rec.Type, rec.Payload)
 		d.shipToLocalLogLocked(rec)
 		return true, nil
+	case wal.TypeAuditCheckpoint:
+		var c walAuditCkpt
+		if err := decodeStrict(rec.Payload, &c); err != nil {
+			return false, err
+		}
+		// The primary's shipped ledger head is the in-band integrity
+		// check: the replica's independently rebuilt tree must have held
+		// exactly this root at this size. Divergence latches the sticky
+		// replication error (surfaced in /v1/status) — the replica's
+		// history is not the primary's, and serving proofs from it would
+		// be lying to auditors.
+		if err := d.checkAuditCheckpointLocked(c); err != nil {
+			d.setReplicationErrorLocked(err)
+			return false, err
+		}
+		d.appendReplLocked(rec.Type, rec.Payload)
+		d.shipToLocalLogLocked(rec)
+		return false, nil
+	case wal.TypeAuditState:
+		var st walAuditState
+		if err := decodeStrict(rec.Payload, &st); err != nil {
+			return false, err
+		}
+		changed, err := d.installAuditStateLocked(st)
+		if err != nil {
+			d.setReplicationErrorLocked(err)
+			return false, err
+		}
+		d.appendReplLocked(rec.Type, rec.Payload)
+		d.shipToLocalLogLocked(rec)
+		return changed, nil
 	default:
 		// Checkpoint markers belong to physical log files; the logical
 		// stream never carries them.
@@ -307,12 +459,19 @@ func (d *Dataset) shipToLocalLogLocked(rec wal.Record) {
 	d.maybeCompactLocked()
 }
 
-// applyMeasLocked appends a measurement record's blocks if its
+// applyMeasLocked applies a measurement record's blocks if its
 // generation is not already covered — the strict replay step shared by
 // crash recovery (loadStateWAL) and follower apply. It validates
 // exactly like the loader: bad generations or consumed values and
 // undecodable blocks are errors, an already-covered generation is a
-// clean skip (false, nil). Caller holds d.mu.
+// clean skip (false, nil). Every block decodes before any state
+// mutates, so a mid-record decode error cannot leave a partial append
+// behind. A Full record carries the complete history collapsed into
+// one frame (a bootstrap stream): it REPLACES the measurement log —
+// content-equal on its shared prefix with what a correct follower
+// already holds — where appending would duplicate every block a
+// resyncing follower had applied before its stream reset. Caller
+// holds d.mu.
 func (d *Dataset) applyMeasLocked(m walMeas) (bool, error) {
 	if m.Gen == 0 || !validConsumed(m.Consumed) {
 		return false, fmt.Errorf("generation %d, consumed %g", m.Gen, m.Consumed)
@@ -320,13 +479,21 @@ func (d *Dataset) applyMeasLocked(m walMeas) (bool, error) {
 	if m.Gen <= d.gen {
 		return false, nil
 	}
+	decoded := make([]measBlock, 0, len(m.Blocks))
+	rows := 0
 	for bi, sb := range m.Blocks {
 		mb, err := decodeBlock(bi, sb, d.n)
 		if err != nil {
 			return false, err
 		}
-		d.blocks = append(d.blocks, mb)
-		d.rows += len(mb.y)
+		decoded = append(decoded, mb)
+		rows += len(mb.y)
+	}
+	if m.Full {
+		d.blocks, d.rows = decoded, rows
+	} else {
+		d.blocks = append(d.blocks, decoded...)
+		d.rows += rows
 	}
 	d.gen = m.Gen
 	return true, nil

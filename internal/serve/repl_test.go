@@ -319,7 +319,10 @@ func TestFollowerRejectsTamperedStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	tampered := append([]byte(nil), data...)
-	tampered[len(tampered)-3] ^= 0x40 // inside the last frame's payload/CRC region
+	// Flip a bit inside the measurement frame's payload (located by its
+	// generation field — the stream now ends with an audit-checkpoint
+	// frame, so "the last bytes" would miss the measurement).
+	tampered[bytes.Index(tampered, []byte(`"gen":1`))] ^= 0x40
 	if _, err := fd.ApplyWALStream(tampered); err == nil {
 		t.Fatal("tampered stream applied cleanly")
 	}

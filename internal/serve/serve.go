@@ -65,15 +65,22 @@
 package serve
 
 import (
+	"crypto/ed25519"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log"
 	"math"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core/inference"
 	"repro/internal/core/ops"
 	"repro/internal/core/plans"
@@ -169,6 +176,17 @@ type Config struct {
 	// and as a safety valve; the default (false) serves the same answers
 	// faster.
 	ColdRefresh bool
+	// ReplRetain bounds the in-memory replication stream to this many
+	// most-recent frames; older frames are trimmed and a follower
+	// tailing below the trim floor restarts from a regenerated
+	// bootstrap stream at offset zero. 0 means 2×CheckpointEvery (or
+	// 128 when compaction is disabled), negative disables trimming.
+	ReplRetain int
+	// AuditKey is the ed25519 private key that signs audit-ledger
+	// checkpoints (GET .../audit/checkpoint); nil generates an
+	// ephemeral key at startup. Operators who want checkpoints
+	// verifiable across restarts pass a stable key.
+	AuditKey ed25519.PrivateKey
 }
 
 func (c *Config) fill() {
@@ -205,9 +223,62 @@ func (c *Config) fill() {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 64
 	}
+	if c.ReplRetain == 0 {
+		if c.CheckpointEvery > 0 {
+			c.ReplRetain = 2 * c.CheckpointEvery
+		} else {
+			c.ReplRetain = 128
+		}
+	}
+	if c.ReplRetain < 0 {
+		c.ReplRetain = 0 // trimming disabled: the stream keeps full history
+	}
 	if c.FS == nil {
 		c.FS = wal.OSFS{}
 	}
+	if c.AuditKey == nil && c.StateDir != "" {
+		// A persistent server keeps a persistent signing identity:
+		// auditors pin the key (trust on first use), so rotating it on
+		// every restart would make their pins useless. Best-effort — a
+		// failure falls through to an ephemeral key.
+		c.AuditKey = loadOrCreateAuditKey(filepath.Join(c.StateDir, "audit.key"))
+	}
+	if c.AuditKey == nil {
+		_, priv, err := ed25519.GenerateKey(cryptorand.Reader)
+		if err != nil {
+			// crypto/rand never fails on supported platforms; an ephemeral
+			// key is startup configuration, so treat failure as fatal.
+			panic(fmt.Sprintf("serve: generating audit key: %v", err))
+		}
+		c.AuditKey = priv
+	}
+}
+
+// loadOrCreateAuditKey reads the hex-encoded ed25519 seed at path,
+// generating and persisting one (0600) when the file does not exist.
+// Any failure is logged and yields nil (the caller falls back to an
+// ephemeral key) — signing identity must never block serving.
+func loadOrCreateAuditKey(path string) ed25519.PrivateKey {
+	if data, err := os.ReadFile(path); err == nil {
+		seed, derr := hex.DecodeString(strings.TrimSpace(string(data)))
+		if derr != nil || len(seed) != ed25519.SeedSize {
+			log.Printf("serve: audit key %s is malformed; using an ephemeral key", path)
+			return nil
+		}
+		return ed25519.NewKeyFromSeed(seed)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		log.Printf("serve: read audit key %s (using an ephemeral key): %v", path, err)
+		return nil
+	}
+	seed := make([]byte, ed25519.SeedSize)
+	if _, err := cryptorand.Read(seed); err != nil {
+		panic(fmt.Sprintf("serve: generating audit key: %v", err))
+	}
+	if err := os.WriteFile(path, []byte(hex.EncodeToString(seed)+"\n"), 0o600); err != nil {
+		log.Printf("serve: persist audit key %s (using an ephemeral key): %v", path, err)
+		return nil
+	}
+	return ed25519.NewKeyFromSeed(seed)
 }
 
 // The estimate-panel solvers refreshLocked dispatches between. CGLS and
@@ -275,8 +346,17 @@ func New(cfg Config) *Server {
 		panic(fmt.Sprintf("serve: unknown fsync policy %q (have %q, %q, %q)",
 			cfg.Fsync, wal.PolicyAlways, wal.PolicyInterval, wal.PolicyNever))
 	}
+	if cfg.AuditKey != nil && len(cfg.AuditKey) != ed25519.PrivateKeySize {
+		panic(fmt.Sprintf("serve: audit key has %d bytes, want %d", len(cfg.AuditKey), ed25519.PrivateKeySize))
+	}
 	cfg.fill()
 	return &Server{cfg: cfg, datasets: map[string]*Dataset{}}
+}
+
+// AuditPublicKey returns the public half of the checkpoint-signing
+// key, the one clients pin to verify signed tree heads.
+func (s *Server) AuditPublicKey() ed25519.PublicKey {
+	return s.cfg.AuditKey.Public().(ed25519.PublicKey)
 }
 
 // Close stops every dataset's batcher. Pending queries are answered
@@ -418,6 +498,20 @@ type Dataset struct {
 	primary  string // the primary's address ("" on a primary)
 	// repl is the in-memory replication stream followers tail (repl.go).
 	repl replState
+	// replErr is the sticky replication-integrity latch (audit.go): set
+	// when a follower's rebuilt audit ledger diverges from the
+	// primary's shipped checkpoints, surfaced through /v1/status.
+	replErr error
+
+	// audit is the append-only Merkle ledger over this dataset's
+	// committed budget mutations (audit.go). auditGen / auditConsumed
+	// are the watermarks the leaf-derivation rule advances: a record is
+	// leaf-bearing only when it moves past them, which is what keeps
+	// primary commits, follower applies and WAL replays on identical
+	// trees. All three are guarded by d.mu.
+	audit         *audit.Tree
+	auditGen      uint64
+	auditConsumed float64
 
 	batch *batcher
 }
@@ -496,6 +590,7 @@ func (s *Server) addDataset(name string, x []float64, seed uint64, epsTotal floa
 		seed:     seed,
 		follower: primary != "",
 		primary:  primary,
+		audit:    audit.NewTree(),
 	}
 	if s.cfg.StateDir != "" {
 		d.statePath = snapshotPath(s.cfg.StateDir, name)
@@ -677,6 +772,12 @@ type Summary struct {
 	// per process lifetime and so nondeterministic, lives in /v1/status
 	// rather than here, keeping summaries bit-reproducible).
 	WALOffset int64 `json:"wal_offset"`
+	// AuditSize / AuditRoot are the audit ledger's head: the number of
+	// committed budget mutations and the hex Merkle root over them.
+	// Deterministic given the commit history, so a follower's values
+	// must equal the primary's at equal generation.
+	AuditSize uint64 `json:"audit_size"`
+	AuditRoot string `json:"audit_root"`
 	// Follower marks a read replica; Primary is where its writes go.
 	Follower bool   `json:"follower,omitempty"`
 	Primary  string `json:"primary,omitempty"`
@@ -697,7 +798,8 @@ func (d *Dataset) Summary() Summary {
 	warm, cold, saved := d.warmRefreshes, d.coldRefreshes, d.savedIterations
 	covered := d.panelRows
 	readOnly, roCause := d.readOnly, d.roCause
-	walOffset := int64(len(d.repl.buf))
+	walOffset := d.repl.base + int64(len(d.repl.buf))
+	auditSize, auditRoot := d.audit.Size(), audit.FormatHash(d.audit.Root())
 	d.mu.Unlock()
 	// One Consumed() read keeps the budget triple internally consistent
 	// (consumed + remaining == eps_total) even while other sessions are
@@ -729,6 +831,8 @@ func (d *Dataset) Summary() Summary {
 		PersistError:    errText(roCause),
 		Seed:            d.seed,
 		WALOffset:       walOffset,
+		AuditSize:       auditSize,
+		AuditRoot:       auditRoot,
 		Follower:        d.follower,
 		Primary:         d.primary,
 	}
@@ -747,25 +851,35 @@ func errText(err error) string {
 // to the warm measurement log. Concurrent Measure calls are safe: each
 // runs in its own session and the kernel's accounting is linearizable.
 func (d *Dataset) Measure(strategy string, eps float64) (rows int, err error) {
+	rows, _, err = d.MeasureAudited(strategy, eps)
+	return rows, err
+}
+
+// MeasureAudited is Measure returning also the audit-ledger receipt
+// for the commit: the index and leaf hash of the entry the charge
+// appended, which the client can later prove included under any
+// signed checkpoint covering it.
+func (d *Dataset) MeasureAudited(strategy string, eps float64) (rows int, rcpt AuditReceipt, err error) {
 	m, err := strategyByName(strategy, d.n)
 	if err != nil {
-		return 0, err
+		return 0, AuditReceipt{}, err
 	}
 	// The read-only gate comes before the budget spend: a degraded
 	// dataset must refuse the charge, not take it and fail to log it.
 	if err := d.checkWritable(); err != nil {
-		return 0, err
+		return 0, AuditReceipt{}, err
 	}
 	sess := d.kern.NewSession()
 	y, scale, err := sess.Bind(d.root).VectorLaplace(m, eps)
 	if err != nil {
-		return 0, err
+		return 0, AuditReceipt{}, err
 	}
+	meta := commitMeta{Op: "measure:" + strategy, Session: sess.ID(), Charges: sess.Charges(), Eps: eps}
 	blocks := canonicalBlocks([]measBlock{{m: m, y: y, scale: scale}})
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.commitBlocksLocked(blocks)
-	return len(y), nil
+	rcpt = d.commitBlocksLocked(blocks, meta)
+	return len(y), rcpt, nil
 }
 
 // canonicalBlocks converts every block matrix to snapshot-canonical
@@ -790,7 +904,10 @@ func canonicalBlocks(blocks []measBlock) []measBlock {
 // Appending advances d.rows while d.panelRows stays at the covered
 // prefix — the gap between the two is the generation delta the next
 // refresh absorbs incrementally (Summary reports it as PendingRows).
-func (d *Dataset) commitBlocksLocked(blocks []measBlock) {
+// The commit also appends the charge's audit-ledger leaf and a signed-
+// head checkpoint record (audit.go); the returned receipt identifies
+// the leaf for later inclusion proofs.
+func (d *Dataset) commitBlocksLocked(blocks []measBlock, meta commitMeta) AuditReceipt {
 	for _, b := range blocks {
 		d.blocks = append(d.blocks, b)
 		d.rows += len(b.y)
@@ -798,13 +915,19 @@ func (d *Dataset) commitBlocksLocked(blocks []measBlock) {
 	d.gen++
 	d.stale = true
 	d.cache.invalidate()
-	// One encode serves both consumers of the commit record: the
+	// One encode serves every consumer of the commit record: the
 	// replication stream (always — replicas tail memory state, not the
-	// disk) and, below, the WAL append.
-	payload, err := d.encodeCommitLocked(blocks)
+	// disk), the audit leaf derived from the identical payload every
+	// replay site sees, and, below, the WAL append.
+	rec, payload, err := d.encodeCommitLocked(blocks, meta)
+	var rcpt AuditReceipt
 	if err == nil {
 		d.appendReplLocked(wal.TypeMeasurementBlock, payload)
+		rcpt, err = d.auditMeasLeafLocked(rec)
+	}
+	if err == nil {
 		err = d.persistCommitLocked(payload)
+		d.auditCheckpointLocked()
 	}
 	if err != nil {
 		// The measurement is committed and its budget spent; failing the
@@ -817,6 +940,7 @@ func (d *Dataset) commitBlocksLocked(blocks []measBlock) {
 			d.degradeLocked(err)
 		}
 	}
+	return rcpt
 }
 
 // PlanResult reports one plan-mode measurement: what executed, what it
@@ -838,6 +962,10 @@ type PlanResult struct {
 	Remaining  float64 `json:"remaining"`
 	// Generation is the measurement-log generation after the append.
 	Generation uint64 `json:"generation"`
+	// AuditIndex / AuditLeaf are the audit-ledger receipt for the
+	// plan's commit (see AuditReceipt).
+	AuditIndex uint64 `json:"audit_index"`
+	AuditLeaf  string `json:"audit_leaf"`
 }
 
 // MeasurePlan executes a Fig. 2 registry plan by name against the
@@ -881,8 +1009,9 @@ func (d *Dataset) MeasurePlan(name string, eps float64, params plans.Params) (Pl
 		// pre-failure consumption would let a restarted server re-grant
 		// the spent budget — the exact violation persistence exists to
 		// prevent. The WAL backend logs it as one budget-restore record.
+		meta := commitMeta{Op: "plan-failed:" + name, Session: sess.ID(), Charges: sess.Charges(), Eps: sess.Consumed()}
 		d.mu.Lock()
-		perr := d.commitSpendLocked()
+		perr := d.commitSpendLocked(meta)
 		if perr != nil && d.wlog != nil {
 			d.degradeLocked(perr)
 		}
@@ -903,8 +1032,10 @@ func (d *Dataset) MeasurePlan(name string, eps float64, params plans.Params) (Pl
 		rows += len(y)
 	}
 	blocks = canonicalBlocks(blocks)
+	epsCharged := sess.Consumed()
+	meta := commitMeta{Op: "plan:" + name, Session: sess.ID(), Charges: sess.Charges(), Eps: epsCharged}
 	d.mu.Lock()
-	d.commitBlocksLocked(blocks)
+	rcpt := d.commitBlocksLocked(blocks, meta)
 	gen := d.gen
 	d.mu.Unlock()
 	consumed := d.kern.Consumed()
@@ -913,10 +1044,12 @@ func (d *Dataset) MeasurePlan(name string, eps float64, params plans.Params) (Pl
 		Signature:  g.Signature(),
 		Trace:      env.Trace,
 		Rows:       rows,
-		EpsCharged: sess.Consumed(),
+		EpsCharged: epsCharged,
 		Consumed:   consumed,
 		Remaining:  d.kern.EpsTotal() - consumed,
 		Generation: gen,
+		AuditIndex: rcpt.Index,
+		AuditLeaf:  rcpt.Leaf,
 	}, nil
 }
 

@@ -87,14 +87,23 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("pre-measure query: %d %s", status, body)
 	}
 
-	var meas map[string]float64
+	var meas struct {
+		Rows       int     `json:"rows"`
+		Consumed   float64 `json:"consumed"`
+		Remaining  float64 `json:"remaining"`
+		AuditIndex uint64  `json:"audit_index"`
+		AuditLeaf  string  `json:"audit_leaf"`
+	}
 	status, body = postJSON(t, ts.URL+"/v1/datasets/census/measure",
 		measureRequest{Strategy: "hb", Eps: 5}, &meas)
 	if status != http.StatusOK {
 		t.Fatalf("measure: %d %s", status, body)
 	}
-	if math.Abs(meas["consumed"]-5) > 1e-9 || math.Abs(meas["remaining"]-5) > 1e-9 {
-		t.Fatalf("measure accounting %v", meas)
+	if math.Abs(meas.Consumed-5) > 1e-9 || math.Abs(meas.Remaining-5) > 1e-9 {
+		t.Fatalf("measure accounting %+v", meas)
+	}
+	if meas.AuditIndex != 0 || len(meas.AuditLeaf) != 64 {
+		t.Fatalf("measure audit receipt %+v", meas)
 	}
 
 	var res QueryResult

@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+
+	"repro/internal/audit"
 )
 
 // Liveness and status endpoints (see http.go for the full surface):
@@ -37,7 +39,16 @@ type DatasetStatus struct {
 	Generation uint64 `json:"generation"`
 	WALEpoch   uint64 `json:"wal_epoch"`
 	WALOffset  int64  `json:"wal_offset"`
-	ReadOnly   bool   `json:"read_only,omitempty"`
+	// AuditSize / AuditRoot are the audit ledger head. Deterministic
+	// given the commit history: a healthy follower's values equal the
+	// primary's at equal generation, and the follower manager checks
+	// exactly that. ReplicationError is the sticky divergence latch — a
+	// follower whose rebuilt ledger contradicted the primary's shipped
+	// audit checkpoints (or an out-of-band root comparison).
+	AuditSize        uint64 `json:"audit_size"`
+	AuditRoot        string `json:"audit_root"`
+	ReplicationError string `json:"replication_error,omitempty"`
+	ReadOnly         bool   `json:"read_only,omitempty"`
 	// Follower / Primary report the replica role for this process's copy.
 	Follower bool   `json:"follower,omitempty"`
 	Primary  string `json:"primary,omitempty"`
@@ -56,19 +67,22 @@ type Status struct {
 func (d *Dataset) status() DatasetStatus {
 	d.mu.Lock()
 	st := DatasetStatus{
-		Name:          d.name,
-		Domain:        d.n,
-		Seed:          d.seed,
-		Solver:        d.solver,
-		Damping:       d.damp,
-		Generation:    d.gen,
-		WALEpoch:      d.repl.epoch,
-		WALOffset:     int64(len(d.repl.buf)),
-		ReadOnly:      d.readOnly,
-		Follower:      d.follower,
-		Primary:       d.primary,
-		WarmRefreshes: d.warmRefreshes,
-		ColdRefreshes: d.coldRefreshes,
+		Name:             d.name,
+		Domain:           d.n,
+		Seed:             d.seed,
+		Solver:           d.solver,
+		Damping:          d.damp,
+		Generation:       d.gen,
+		WALEpoch:         d.repl.epoch,
+		WALOffset:        d.repl.base + int64(len(d.repl.buf)),
+		AuditSize:        d.audit.Size(),
+		AuditRoot:        audit.FormatHash(d.audit.Root()),
+		ReplicationError: errText(d.replErr),
+		ReadOnly:         d.readOnly,
+		Follower:         d.follower,
+		Primary:          d.primary,
+		WarmRefreshes:    d.warmRefreshes,
+		ColdRefreshes:    d.coldRefreshes,
 	}
 	d.mu.Unlock()
 	st.EpsTotal = d.kern.EpsTotal()

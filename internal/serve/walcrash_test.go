@@ -86,9 +86,10 @@ func TestWALCrashMatrix(t *testing.T) {
 	if clean != len(data) {
 		t.Fatalf("live log not fully clean: %d of %d bytes", clean, len(data))
 	}
-	// create + 3 measurement commits + 1 budget restore.
-	if len(recs) != 5 {
-		t.Fatalf("log has %d records, want 5", len(recs))
+	// create + 3 measurement commits + 1 budget restore, each commit
+	// followed by its audit-checkpoint record.
+	if len(recs) != 9 {
+		t.Fatalf("log has %d records, want 9", len(recs))
 	}
 	// boundary[k] is the byte offset after the k-th record.
 	boundary := []int{len(wal.Magic)}

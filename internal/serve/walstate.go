@@ -88,16 +88,34 @@ type walCreate struct {
 	EpsTotal float64 `json:"eps_total"`
 }
 
-// walMeas is the measurement-block record payload: one commit.
+// walMeas is the measurement-block record payload: one commit. The
+// attribution fields (Op, Session, Charges, Eps) feed the audit
+// ledger's leaf for the commit; they are omitempty so logs written
+// before the ledger existed replay unchanged (their leaves carry zero
+// attribution, identically at every replay site).
 type walMeas struct {
 	Gen      uint64          `json:"gen"`
 	Consumed float64         `json:"consumed"`
 	Blocks   []snapshotBlock `json:"blocks"`
+	Op       string          `json:"op,omitempty"`
+	Session  int             `json:"session,omitempty"`
+	Charges  int             `json:"charges,omitempty"`
+	Eps      float64         `json:"eps,omitempty"`
+	// Full marks a collapsed full-history record (a replication
+	// bootstrap frame): apply replaces the measurement log instead of
+	// appending to it, so a follower resyncing from offset zero does
+	// not duplicate blocks it already holds.
+	Full bool `json:"full,omitempty"`
 }
 
-// walBudget is the budget-restore record payload.
+// walBudget is the budget-restore record payload (attribution fields
+// as in walMeas).
 type walBudget struct {
 	Consumed float64 `json:"consumed"`
+	Op       string  `json:"op,omitempty"`
+	Session  int     `json:"session,omitempty"`
+	Charges  int     `json:"charges,omitempty"`
+	Eps      float64 `json:"eps,omitempty"`
 }
 
 // walMarker is the checkpoint-marker record payload.
@@ -191,6 +209,15 @@ func (d *Dataset) loadStateWAL() error {
 			d.panel = append([]float64(nil), s.Panel...)
 			d.k = s.PanelK
 		}
+		// Install the checkpoint's audit ledger and raise the leaf-
+		// derivation watermarks to the checkpoint state: records at or
+		// below it (compaction crash windows) must stay leaf-neutral on
+		// replay, exactly as they were in the pre-crash tree. A legacy
+		// checkpoint without an audit section restores an empty tree with
+		// the same watermarks — its history predates the ledger.
+		if err := d.restoreAuditFromSnapshot(s); err != nil {
+			return fmt.Errorf("checkpoint for %q: %w", d.name, err)
+		}
 		haveCkpt = true
 	case errors.Is(err, os.ErrNotExist):
 		// Fresh dataset, or a legacy directory whose snapshot was never
@@ -231,6 +258,12 @@ func (d *Dataset) loadStateWAL() error {
 			if err != nil {
 				return fail("record %d: %v", i, err)
 			}
+			// The audit leaf derives from the same record payload under the
+			// same watermark rule the primary commit used, so replay grows
+			// the identical tree (skipped records are leaf-neutral).
+			if _, err := d.auditMeasLeafLocked(m); err != nil {
+				return fail("record %d: %v", i, err)
+			}
 			d.walRecs++
 			if ok && m.Consumed > consumed {
 				consumed = m.Consumed
@@ -243,6 +276,7 @@ func (d *Dataset) loadStateWAL() error {
 			if !validConsumed(b.Consumed) {
 				return fail("record %d: consumed %g", i, b.Consumed)
 			}
+			d.auditSpendLeafLocked(b)
 			d.walRecs++
 			if b.Consumed > consumed {
 				consumed = b.Consumed
@@ -266,6 +300,29 @@ func (d *Dataset) loadStateWAL() error {
 			}
 			if mk.Consumed > consumed {
 				consumed = mk.Consumed
+			}
+		case wal.TypeAuditCheckpoint:
+			var c walAuditCkpt
+			if err := decodeStrict(rec.Payload, &c); err != nil {
+				return fail("record %d: %v", i, err)
+			}
+			// The persisted ledger head is the tamper-evidence anchor:
+			// replay must reproduce exactly the root that was committed (and
+			// possibly served to clients as a signed checkpoint). A mismatch
+			// is a tampered or corrupted history and fails the create.
+			if err := d.checkAuditCheckpointLocked(c); err != nil {
+				return fail("record %d: %v", i, err)
+			}
+		case wal.TypeAuditState:
+			// Follower local logs open with the shipped full-ledger state
+			// (the bootstrap frame a resync started from); replay reinstalls
+			// it with the same prefix-consistency checks apply used.
+			var st walAuditState
+			if err := decodeStrict(rec.Payload, &st); err != nil {
+				return fail("record %d: %v", i, err)
+			}
+			if _, err := d.installAuditStateLocked(st); err != nil {
+				return fail("record %d: %v", i, err)
 			}
 		default:
 			return fail("record %d: unknown type %d", i, rec.Type)
@@ -356,20 +413,30 @@ func (d *Dataset) checkWritable() error {
 	return nil
 }
 
-// encodeCommitLocked builds the measurement-block record payload for a
-// commit that just appended blocks at the current generation — shared
-// by the replication stream (which carries it even without persistence)
-// and the WAL append. Caller holds d.mu.
-func (d *Dataset) encodeCommitLocked(blocks []measBlock) ([]byte, error) {
-	rec := walMeas{Gen: d.gen, Consumed: d.kern.Consumed(), Blocks: make([]snapshotBlock, len(blocks))}
+// encodeCommitLocked builds the measurement-block record for a commit
+// that just appended blocks at the current generation — shared by the
+// replication stream (which carries it even without persistence), the
+// audit leaf derivation, and the WAL append. Returns both the record
+// and its encoding so the leaf derives from exactly the payload every
+// replay site will decode. Caller holds d.mu.
+func (d *Dataset) encodeCommitLocked(blocks []measBlock, meta commitMeta) (walMeas, []byte, error) {
+	rec := walMeas{
+		Gen:      d.gen,
+		Consumed: d.kern.Consumed(),
+		Blocks:   make([]snapshotBlock, len(blocks)),
+		Op:       meta.Op,
+		Session:  meta.Session,
+		Charges:  meta.Charges,
+		Eps:      meta.Eps,
+	}
 	for i, b := range blocks {
 		rec.Blocks[i] = encodeBlock(b)
 	}
 	payload, err := json.Marshal(&rec)
 	if err != nil {
-		return nil, fmt.Errorf("serve: encode wal record for %q: %w", d.name, err)
+		return walMeas{}, nil, fmt.Errorf("serve: encode wal record for %q: %w", d.name, err)
 	}
-	return payload, nil
+	return rec, payload, nil
 }
 
 // persistCommitLocked makes one commit durable: in WAL mode it appends
@@ -402,14 +469,26 @@ func (d *Dataset) persistCommitLocked(payload []byte) error {
 // commitSpendLocked records a budget charge without measurements (a
 // failed plan's partial spend) on the replication stream and in the
 // durability backend: one budget-restore record carrying the absolute
-// consumed value. Caller holds d.mu.
-func (d *Dataset) commitSpendLocked() error {
-	payload, err := json.Marshal(&walBudget{Consumed: d.kern.Consumed()})
+// consumed value. The spend is also a ledger leaf — a failed plan's
+// partial charge is exactly the kind of budget mutation an auditor
+// must see — followed by a checkpoint record. Caller holds d.mu.
+func (d *Dataset) commitSpendLocked(meta commitMeta) error {
+	rec := walBudget{
+		Consumed: d.kern.Consumed(),
+		Op:       meta.Op,
+		Session:  meta.Session,
+		Charges:  meta.Charges,
+		Eps:      meta.Eps,
+	}
+	payload, err := json.Marshal(&rec)
 	if err != nil {
 		return fmt.Errorf("serve: encode wal record for %q: %w", d.name, err)
 	}
 	d.appendReplLocked(wal.TypeBudgetRestore, payload)
-	return d.persistSpendLocked(payload)
+	d.auditSpendLeafLocked(rec)
+	err = d.persistSpendLocked(payload)
+	d.auditCheckpointLocked()
+	return err
 }
 
 // persistSpendLocked makes the encoded budget-restore record durable.

@@ -91,9 +91,20 @@ const (
 	// TypeCheckpointMarker opens a post-compaction log, recording the
 	// generation and consumed value of the checkpoint it sits on.
 	TypeCheckpointMarker Type = 4
+	// TypeAuditCheckpoint pins the audit ledger head (leaf count and
+	// Merkle root) after a commit; replay must reproduce the root or
+	// the dataset fails to open.
+	TypeAuditCheckpoint Type = 5
+	// TypeAuditState carries the full audit leaf-hash list plus the
+	// watermarks it reaches. It opens replication bootstrap streams —
+	// so a follower joining after the stream was trimmed can rebuild
+	// the ledger the collapsed measurement frame no longer implies —
+	// and, shipped verbatim to a follower's local log, replays on the
+	// follower's own restart.
+	TypeAuditState Type = 6
 )
 
-func (t Type) valid() bool { return t >= TypeDatasetCreate && t <= TypeCheckpointMarker }
+func (t Type) valid() bool { return t >= TypeDatasetCreate && t <= TypeAuditState }
 
 // Record is one decoded log record.
 type Record struct {
